@@ -1,0 +1,108 @@
+"""E11 (extension) — the optional/future-work features as ablations.
+
+Not a paper table: these regenerate the *pointers* the paper leaves —
+checkpoints (§6.2 [19]), early release ([14], §6.5) and elastic
+transactions ([9], §8 future work) — each against its natural baseline,
+so the benefit each mechanism buys is a measured number.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_quiet, series_line
+from repro.runtime import WorkloadConfig, make_workload
+from repro.specs import MemorySpec
+from repro.tm import CheckpointTM, EarlyReleaseTM, ElasticTM, EncounterTM, TL2TM
+
+
+def workload(seed, ops_per_tx=6, keys=3, read_ratio=0.6, transactions=40):
+    return make_workload(
+        "readwrite",
+        WorkloadConfig(transactions=transactions, ops_per_tx=ops_per_tx,
+                       keys=keys, read_ratio=read_ratio, seed=seed),
+    )
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_checkpoints_vs_full_abort(benchmark):
+    """Partial abort keeps prefix work: fewer APPs replayed than TL2."""
+    programs = workload(seed=111)
+
+    def run_both():
+        checkpointed = CheckpointTM(checkpoint_every=2)
+        return (
+            checkpointed,
+            run_quiet(checkpointed, MemorySpec(), programs, concurrency=5),
+            run_quiet(TL2TM(), MemorySpec(), programs, concurrency=5),
+        )
+
+    algorithm, ckpt, tl2 = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print(series_line("checkpoint", [
+        ("commits", ckpt.commits),
+        ("partial-rewinds", algorithm.partial_rewinds),
+        ("full-aborts", algorithm.full_aborts),
+    ]))
+    print(series_line("tl2", [("commits", tl2.commits),
+                              ("aborts", tl2.aborts)]))
+    assert ckpt.commits == tl2.commits == 40
+    assert algorithm.partial_rewinds > 0
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_early_release_vs_plain_visible_reads(benchmark):
+    """Released reads stop blocking writers: writer-side conflicts drop."""
+    programs = workload(seed=112, keys=10, read_ratio=0.8)
+
+    def run_both():
+        releasing = EarlyReleaseTM()
+        plain = EarlyReleaseTM(release_enabled=False)
+        return (
+            releasing,
+            run_quiet(releasing, MemorySpec(), programs, concurrency=5),
+            run_quiet(plain, MemorySpec(), programs, concurrency=5),
+        )
+
+    algorithm, released, plain = benchmark.pedantic(run_both, rounds=1,
+                                                    iterations=1)
+    print()
+    print(series_line("early-release", [
+        ("commits", released.commits), ("aborts", released.aborts),
+        ("releases", algorithm.releases),
+    ]))
+    print(series_line("visible-reads", [
+        ("commits", plain.commits), ("aborts", plain.aborts),
+    ]))
+    assert released.commits == plain.commits == 40
+    assert algorithm.releases > 0
+
+
+@pytest.mark.benchmark(group="extensions")
+def test_elastic_vs_plain_tl2(benchmark):
+    """Elastic cuts absorb conflicts that would otherwise be full aborts;
+    the price is piece-level (weaker) atomicity."""
+    programs = workload(seed=113, ops_per_tx=6, keys=3, read_ratio=0.7)
+
+    def run_both():
+        elastic = ElasticTM()
+        return (
+            elastic,
+            run_quiet(elastic, MemorySpec(), programs, concurrency=6,
+                      verify=True),
+            run_quiet(TL2TM(), MemorySpec(), programs, concurrency=6,
+                      verify=True),
+        )
+
+    algorithm, elastic, tl2 = benchmark.pedantic(run_both, rounds=1,
+                                                 iterations=1)
+    print()
+    print(series_line("elastic", [
+        ("logical-commits", elastic.commits),
+        ("pieces", elastic.runtime.history.commit_count()),
+        ("cuts", algorithm.cuts),
+        ("aborts", elastic.aborts),
+    ]))
+    print(series_line("tl2", [("commits", tl2.commits),
+                              ("aborts", tl2.aborts)]))
+    assert elastic.commits == tl2.commits == 40
+    assert elastic.serialization.serializable
+    assert tl2.serialization.serializable

@@ -1,0 +1,143 @@
+"""E7 — §7 / Figure 7: boosting + HTM interaction.
+
+Claims regenerated:
+
+* the exact Figure 7 rule trace executes on the machine: out-of-order
+  announcement (hashT pushed before the earlier size++), selective
+  UNPUSH of HTM operations while boosted effects stay shared, partial
+  UNAPP, branch re-execution, commit;
+* the generalised hybrid driver completes mixed workloads, and the
+  *selective rewind* beats the full-abort fallback (ablation:
+  ``max_htm_retries=0`` forces full aborts): boosted work is preserved
+  instead of replayed.
+"""
+
+import random
+
+import pytest
+
+from benchmarks.conftest import run_quiet, series_line
+from repro.core import Machine, call, choice, tx
+from repro.runtime import run_experiment
+from repro.specs import CounterSpec, KVMapSpec, SetSpec
+from repro.specs.product import ProductSpec
+from repro.tm import HybridTM
+
+
+def fig7_spec():
+    return ProductSpec({
+        "skiplist": SetSpec(),
+        "hashT": KVMapSpec(),
+        "size": CounterSpec(),
+        "x": CounterSpec(),
+        "y": CounterSpec(),
+    })
+
+
+def fig7_rule_sequence(spec):
+    """The literal Figure 7 trace; returns the final committed machine."""
+    machine = Machine(spec)
+    program = tx(
+        call("skiplist.add", "foo"),
+        call("size.inc"),
+        call("hashT.put", "foo", "bar"),
+        choice(call("x.inc"), call("y.inc")),
+    )
+    machine, t = machine.spawn(program)
+    machine = machine.app(t)
+    op_skiplist = machine.thread(t).local[-1].op
+    machine = machine.push(t, op_skiplist)
+    machine = machine.app(t)
+    op_size = machine.thread(t).local[-1].op
+    machine = machine.app(t)
+    op_hash = machine.thread(t).local[-1].op
+    machine = machine.push(t, op_hash)
+    x_branch = next(c for c in machine.app_choices(t) if c[0].method == "x.inc")
+    machine = machine.app(t, x_branch)
+    op_x = machine.thread(t).local[-1].op
+    machine = machine.push(t, op_size)
+    machine = machine.push(t, op_x)
+    # HTM abort:
+    machine = machine.unpush(t, op_x)
+    machine = machine.unpush(t, op_size)
+    machine = machine.unapp(t)
+    y_branch = next(c for c in machine.app_choices(t) if c[0].method == "y.inc")
+    machine = machine.app(t, y_branch)
+    op_y = machine.thread(t).local[-1].op
+    machine = machine.push(t, op_size)
+    machine = machine.push(t, op_y)
+    return machine.cmt(t)
+
+
+@pytest.mark.benchmark(group="fig7-hybrid")
+def test_fig7_rule_sequence(benchmark):
+    spec = fig7_spec()
+    machine = benchmark(fig7_rule_sequence, spec)
+    final = dict(spec.replay(machine.global_log.all_ops()))
+    print()
+    print(series_line("fig7 final state", sorted(
+        (k, v) for k, v in final.items() if k in ("size", "x", "y")
+    )))
+    assert final["size"] == 1 and final["x"] == 0 and final["y"] == 1
+
+
+def hybrid_workload(n=40, seed=7):
+    rng = random.Random(seed)
+    programs = []
+    for i in range(n):
+        programs.append(tx(
+            call("skiplist.add", ("item", rng.randrange(10))),
+            call("size.inc"),
+            call("hashT.put", ("key", rng.randrange(10)), i),
+            call("x.inc") if rng.random() < 0.5 else call("y.inc"),
+        ))
+    return programs
+
+
+@pytest.mark.benchmark(group="fig7-hybrid")
+def test_fig7_hybrid_workload(benchmark):
+    spec = fig7_spec()
+    programs = hybrid_workload()
+    algorithm = HybridTM(htm_components=frozenset({"size", "x", "y"}))
+    result = benchmark.pedantic(
+        lambda: run_quiet(algorithm, spec, programs, concurrency=5,
+                          verify=True),
+        rounds=1, iterations=1,
+    )
+    print()
+    print(series_line("hybrid", [
+        ("commits", result.commits), ("aborts", result.aborts),
+        ("UNPUSH", result.rule_counts.get("UNPUSH", 0)),
+    ]))
+    assert result.commits == 40
+    assert result.serialization.serializable
+
+
+@pytest.mark.benchmark(group="fig7-hybrid")
+def test_fig7_selective_rewind_ablation(benchmark):
+    """Selective HTM rewind vs full abort: the selective driver preserves
+    boosted work, so it replays fewer APPs overall."""
+    spec = fig7_spec()
+    programs = hybrid_workload(seed=8)
+
+    def run_both():
+        selective = HybridTM(htm_components=frozenset({"size", "x", "y"}),
+                             max_htm_retries=8)
+        full_abort = HybridTM(htm_components=frozenset({"size", "x", "y"}),
+                              max_htm_retries=0)
+        return (
+            run_quiet(selective, fig7_spec(), programs, concurrency=5),
+            run_quiet(full_abort, fig7_spec(), programs, concurrency=5),
+        )
+
+    selective, full_abort = benchmark.pedantic(run_both, rounds=1, iterations=1)
+    print()
+    print(series_line("selective", [
+        ("APP", selective.rule_counts.get("APP", 0)),
+        ("aborts", selective.aborts),
+    ]))
+    print(series_line("full-abort", [
+        ("APP", full_abort.rule_counts.get("APP", 0)),
+        ("aborts", full_abort.aborts),
+    ]))
+    assert selective.commits == full_abort.commits == 40

@@ -1,0 +1,91 @@
+"""E9 — §5.3: invariant checking cost and coverage.
+
+The paper's proof leans on seven invariants; this bench measures what it
+costs to *check* them on live states (they always hold — that is Lemmas
+5.7–5.13 — so the measurable quantity is checker cost vs state size), and
+confirms they hold across every algorithm's end states.
+"""
+
+import pytest
+
+from benchmarks.conftest import run_quiet, series_line
+from repro.core import Machine, call, tx
+from repro.core.invariants import check_all_invariants
+from repro.runtime import WorkloadConfig, make_workload
+from repro.specs import KVMapSpec, MemorySpec
+from repro.tm import ALL_ALGORITHMS, BoostingTM
+
+
+def busy_machine(n_threads):
+    """A machine with n_threads mid-flight transactions (pushed, unpushed
+    and pulled entries all present)."""
+    spec = KVMapSpec()
+    machine = Machine(spec)
+    tids = []
+    for i in range(n_threads):
+        machine, tid = machine.spawn(
+            tx(call("put", ("k", i), i), call("get", ("k", i)))
+        )
+        tids.append(tid)
+    for tid in tids:
+        machine = machine.app(tid)
+        machine = machine.push(tid, machine.thread(tid).local[0].op)
+        machine = machine.app(tid)
+    # everyone pulls the first thread's pushed op (disjoint keys commute)
+    first_op = machine.thread(tids[0]).local[0].op
+    for tid in tids[1:]:
+        machine = machine.pull(tid, first_op)
+    return machine
+
+
+@pytest.mark.benchmark(group="invariants")
+@pytest.mark.parametrize("n_threads", [2, 4, 8])
+def test_invariant_check_scaling(benchmark, n_threads):
+    machine = busy_machine(n_threads)
+    violations = benchmark(check_all_invariants, machine)
+    print()
+    print(series_line(f"threads={n_threads}", [
+        ("local-entries", sum(len(t.local) for t in machine.threads)),
+        ("global-entries", len(machine.global_log)),
+        ("violations", len(violations)),
+    ]))
+    assert violations == []
+
+
+@pytest.mark.benchmark(group="invariants")
+def test_invariants_hold_for_every_algorithm_end_state(benchmark):
+    config = WorkloadConfig(transactions=10, ops_per_tx=3, keys=4,
+                            read_ratio=0.5, seed=9)
+    programs = make_workload("readwrite", config)
+
+    def run_all():
+        verdicts = {}
+        for name, factory in sorted(ALL_ALGORITHMS.items()):
+            if name == "hybrid":
+                continue  # needs a ProductSpec; covered in E7
+            result = run_quiet(factory(), MemorySpec(), programs,
+                               concurrency=3)
+            verdicts[name] = len(check_all_invariants(result.runtime.machine))
+        return verdicts
+
+    verdicts = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    print()
+    print(series_line("violations-by-algorithm", sorted(verdicts.items())))
+    assert all(v == 0 for v in verdicts.values())
+
+
+@pytest.mark.benchmark(group="invariants")
+def test_invariant_check_on_boosted_run_midpoints(benchmark):
+    """Checker cost on a realistic mid-run state reached by a driver."""
+    config = WorkloadConfig(transactions=20, ops_per_tx=3, keys=8,
+                            read_ratio=0.4, seed=10)
+    from repro.runtime.workload import map_workload
+
+    programs = map_workload(config)
+
+    def run_and_check():
+        result = run_quiet(BoostingTM(), KVMapSpec(), programs, concurrency=4)
+        return check_all_invariants(result.runtime.machine)
+
+    violations = benchmark.pedantic(run_and_check, rounds=3, iterations=1)
+    assert violations == []

@@ -1,0 +1,106 @@
+"""E10 — Definitions 3.1/4.1 machinery: precongruence and mover checks.
+
+DESIGN.md ablation 1: exact per-spec mover oracles vs the bounded
+coinductive ground truth, and the effect of payload-level memoization —
+the machine consults movers on every PUSH against every concurrent
+uncommitted operation, so this is the model's inner loop.
+"""
+
+import pytest
+
+from benchmarks.conftest import series_line
+from repro.core.ops import make_op
+from repro.core.precongruence import (
+    left_mover_bounded,
+    precongruent,
+    precongruent_bounded,
+)
+from repro.core.spec import MemoizedMovers
+from repro.specs import CounterSpec, KVMapSpec, MemorySpec
+
+PAIRS = [
+    (make_op("write", ("x", 1), None), make_op("write", ("x", 2), None)),
+    (make_op("write", ("x", 1), None), make_op("write", ("y", 2), None)),
+    (make_op("read", ("x",), 0), make_op("write", ("x", 1), None)),
+    (make_op("read", ("x",), 0), make_op("read", ("y",), 0)),
+    (make_op("write", ("x", 1), None), make_op("read", ("x",), 1)),
+]
+
+
+@pytest.mark.benchmark(group="movers")
+def test_exact_oracle_cost(benchmark):
+    spec = MemorySpec()
+
+    def check_all():
+        return [spec.left_mover(a, b) for a, b in PAIRS]
+
+    verdicts = benchmark(check_all)
+    print()
+    print(series_line("exact", list(zip(range(len(PAIRS)), verdicts))))
+
+
+@pytest.mark.benchmark(group="movers")
+def test_bounded_ground_truth_cost(benchmark):
+    spec = MemorySpec()
+    probes = tuple(
+        make_op("write", (loc, v), None) for loc in ("x", "y") for v in (0, 1, 2)
+    )
+
+    def check_all():
+        return [
+            left_mover_bounded(spec, a, b, context_depth=2, probes=probes)
+            for a, b in PAIRS
+        ]
+
+    verdicts = benchmark.pedantic(check_all, rounds=3, iterations=1)
+    print()
+    print(series_line("bounded", list(zip(range(len(PAIRS)), verdicts))))
+    # sound wrt the oracle on these pairs (oracle True ⇒ bounded True):
+    exact = [spec.left_mover(a, b) for a, b in PAIRS]
+    for oracle, ground in zip(exact, verdicts):
+        if oracle:
+            assert ground
+
+
+@pytest.mark.benchmark(group="movers")
+def test_memoization_effect(benchmark):
+    """The machine's real access pattern: the same payload pairs checked
+    over and over across pushes."""
+    spec = KVMapSpec()
+    ops = [make_op("put", (("k", i % 4), i), None) for i in range(64)]
+
+    def with_memo():
+        movers = MemoizedMovers(spec)
+        hits = 0
+        for a in ops:
+            for b in ops:
+                if movers.left_mover(a, b):
+                    hits += 1
+        return hits
+
+    hits = benchmark(with_memo)
+    print()
+    print(series_line("memoized 64x64", [("left-movers", hits)]))
+    assert hits > 0
+
+
+@pytest.mark.benchmark(group="movers")
+def test_precongruence_exact_vs_bounded(benchmark):
+    spec = CounterSpec()
+    l1 = tuple(make_op("inc", (), None) for _ in range(4))
+    l2 = (
+        make_op("add", (2,), None),
+        make_op("inc", (), None),
+        make_op("inc", (), None),
+    )
+
+    def both():
+        exact = precongruent(spec, l1, l2)
+        bounded = precongruent_bounded(spec, l1, l2, depth=3)
+        return exact, bounded
+
+    exact, bounded = benchmark(both)
+    print()
+    print(series_line("precongruence", [("exact", exact), ("bounded", bounded)]))
+    assert exact is True  # both reach counter=4
+    assert bounded is True

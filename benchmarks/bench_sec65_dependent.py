@@ -1,0 +1,106 @@
+"""E5 — §6.5: reading uncommitted effects (early release / dependent
+transactions, Ramadan et al.).
+
+Claims regenerated:
+
+* a transaction may PULL another's published-but-uncommitted operation,
+  creating a commit-order dependency enforced by CMT criterion (iii);
+* forwarding uncommitted values lets dependents proceed where an opaque
+  TM would stall or abort — measured as commits whose view contained
+  uncommitted operations;
+* the cost is cascading aborts: when a producer dies, its (transitive)
+  consumers detangle; cascade volume grows with dependency-chain depth
+  (the DESIGN.md dependency-depth ablation).
+"""
+
+import pytest
+
+from benchmarks.conftest import run_quiet, series_line
+from repro.runtime import WorkloadConfig, make_workload
+from repro.specs import CounterSpec, MemorySpec
+from repro.tm import DependentTM, TL2TM
+
+
+@pytest.mark.benchmark(group="sec65-dependent")
+def test_sec65_dependencies_form_and_commit(benchmark):
+    config = WorkloadConfig(transactions=40, ops_per_tx=3, read_ratio=0.3,
+                            seed=65)
+    programs = make_workload("counter", config)
+
+    result = benchmark.pedantic(
+        lambda: run_quiet(DependentTM(), CounterSpec(), programs,
+                          concurrency=6, verify=True),
+        rounds=1, iterations=1,
+    )
+    dependent_commits = sum(
+        1 for r in result.runtime.history.committed_records()
+        if r.pulled_uncommitted
+    )
+    print()
+    print(series_line("dependent", [
+        ("commits", result.commits),
+        ("dependent-commits", dependent_commits),
+        ("aborts", result.aborts),
+    ]))
+    assert result.commits == 40
+    assert result.serialization.serializable
+    assert dependent_commits > 0  # the feature was genuinely exercised
+
+
+@pytest.mark.benchmark(group="sec65-dependent")
+def test_sec65_cascading_aborts(benchmark):
+    """Hot-key read/write mix: producers abort, consumers cascade."""
+    config = WorkloadConfig(transactions=40, ops_per_tx=3, keys=2,
+                            read_ratio=0.5, seed=66)
+    programs = make_workload("readwrite", config)
+
+    result = benchmark.pedantic(
+        lambda: run_quiet(DependentTM(), MemorySpec(), programs,
+                          concurrency=6),
+        rounds=3, iterations=1,
+    )
+    cascades = sum(
+        1 for r in result.runtime.history.aborted_records()
+        if "cascad" in (r.abort_reason or "")
+    )
+    print()
+    print(series_line("cascades", [
+        ("commits", result.commits), ("aborts", result.aborts),
+        ("cascading", cascades),
+    ]))
+    assert result.commits == 40
+
+
+@pytest.mark.benchmark(group="sec65-dependent")
+def test_sec65_vs_opaque_baseline(benchmark):
+    """Same workload under the opaque TL2: zero dependent commits by
+    construction — the §6.1/§6.5 dividing line as data."""
+    config = WorkloadConfig(transactions=40, ops_per_tx=3, read_ratio=0.3,
+                            seed=67)
+    programs = make_workload("counter", config)
+
+    def run_both():
+        return (
+            run_quiet(DependentTM(), CounterSpec(), programs, concurrency=6),
+            run_quiet(TL2TM(), CounterSpec(), programs, concurrency=6),
+        )
+
+    dependent, opaque = benchmark.pedantic(run_both, rounds=1, iterations=1)
+
+    def dependent_commits(result):
+        return sum(
+            1 for r in result.runtime.history.committed_records()
+            if r.pulled_uncommitted
+        )
+
+    print()
+    print(series_line("dependent-TM", [
+        ("commits", dependent.commits),
+        ("dependent-commits", dependent_commits(dependent)),
+    ]))
+    print(series_line("opaque-TL2", [
+        ("commits", opaque.commits),
+        ("dependent-commits", dependent_commits(opaque)),
+    ]))
+    assert dependent_commits(opaque) == 0
+    assert dependent.commits == opaque.commits == 40

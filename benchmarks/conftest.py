@@ -1,0 +1,32 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one row/figure of the paper's evaluation
+(§6/§7 case studies — the paper has no quantitative tables, so each case
+study's *claim* is rendered as a measurable comparison).  Conventions:
+
+* each bench prints the series it measured (so ``--benchmark-only``
+  output contains the qualitative "who wins / what shape" data alongside
+  pytest-benchmark's timings);
+* assertions encode the claim itself (e.g. "pessimistic never aborts"),
+  making a shape regression a test failure, not a silent number drift.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.runtime import WorkloadConfig, make_workload, run_experiment
+
+
+def run_quiet(algorithm, spec, programs, seed=7, concurrency=4, **kw):
+    """Experiment run with verification off (benchmarks measure execution,
+    not the checker) unless a bench opts back in."""
+    kw.setdefault("verify", False)
+    return run_experiment(
+        algorithm, spec, programs, concurrency=concurrency, seed=seed, **kw
+    )
+
+
+def series_line(label, pairs):
+    body = "  ".join(f"{x}={y}" for x, y in pairs)
+    return f"  [{label}] {body}"

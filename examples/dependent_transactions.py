@@ -1,0 +1,121 @@
+#!/usr/bin/env python3
+"""Dependent transactions (§6.5): reading uncommitted effects.
+
+Transaction A PULLs an effect transaction B has PUSHed but not yet
+committed.  A is now *dependent* on B: CMT criterion (iii) forbids A from
+committing first, and if B aborts, A must detangle (here: cascade-abort
+and retry).  This is exactly the Ramadan et al. "committing conflicting
+transactions" mechanism, and it is *not opaque* — no PULL-committed-only
+fragment can exhibit it.
+
+Part 1 scripts the machine by hand, including the forced wait and a
+producer abort with cascading detangle.  Part 2 runs the generalised
+:class:`~repro.tm.dependent.DependentTM` driver and reports how many
+transactions became dependent and how many cascades occurred.
+"""
+
+from repro.core import CriterionViolation, Machine, call, tx
+from repro.runtime import WorkloadConfig, run_experiment
+from repro.runtime.workload import counter_workload
+from repro.specs import CounterSpec, MemorySpec
+from repro.tm import DependentTM
+
+
+def part1_manual_dependency() -> None:
+    print("=" * 64)
+    print("Part 1: a dependency by hand (memory spec)")
+    print("=" * 64)
+    spec = MemorySpec()
+    machine = Machine(spec)
+    machine, producer = machine.spawn(tx(call("write", "x", 42)))
+    machine, consumer = machine.spawn(tx(call("read", "x")))
+
+    machine = machine.app(producer)
+    op_write = machine.thread(producer).local[0].op
+    machine = machine.push(producer, op_write)  # released, NOT committed
+
+    # Consumer pulls the UNCOMMITTED write — the dependency-creating PULL.
+    machine = machine.pull(consumer, op_write)
+    machine = machine.app(consumer)
+    op_read = machine.thread(consumer).local[-1].op
+    print("consumer read the uncommitted value:", op_read.pretty())
+    assert op_read.ret == 42
+
+    # The consumer cannot publish-and-commit while the producer is live:
+    try:
+        machine.push(consumer, op_read)
+    except CriterionViolation as exc:
+        print("consumer's PUSH blocked  ->", exc)
+
+    # Producer commits; the consumer may now publish and commit.
+    machine = machine.cmt(producer)
+    machine = machine.push(consumer, op_read)
+    machine = machine.cmt(consumer)
+    print("both committed; global:", [e.op.pretty() for e in machine.global_log])
+
+
+def part1b_producer_abort_cascades() -> None:
+    print()
+    print("=" * 64)
+    print("Part 1b: producer aborts -> consumer must detangle")
+    print("=" * 64)
+    spec = MemorySpec()
+    machine = Machine(spec)
+    machine, producer = machine.spawn(tx(call("write", "x", 1)))
+    machine, consumer = machine.spawn(tx(call("read", "x")))
+    machine = machine.app(producer)
+    op_write = machine.thread(producer).local[0].op
+    machine = machine.push(producer, op_write)
+    machine = machine.pull(consumer, op_write)
+    machine = machine.app(consumer)
+
+    # Producer aborts: UNPUSH + UNAPP.
+    machine = machine.unpush(producer, op_write)
+    machine = machine.unapp(producer)
+    print("producer rolled back; consumer's view now dangles")
+
+    # Consumer detangles: UNAPP its read, UNPULL the dangling operation.
+    machine = machine.unapp(consumer)
+    machine = machine.unpull(consumer, op_write)
+    print("consumer detangled; local log:", list(machine.thread(consumer).local))
+    # It can now re-run against the real state and commit.
+    machine = machine.app(consumer)
+    op_read = machine.thread(consumer).local[-1].op
+    print("re-executed read:", op_read.pretty())
+    assert op_read.ret == 0  # the default value — the write never happened
+    machine = machine.push(consumer, op_read)
+    machine = machine.cmt(consumer)
+    print("consumer committed after detangling")
+
+
+def part2_driver_run() -> None:
+    print()
+    print("=" * 64)
+    print("Part 2: DependentTM on a counter workload")
+    print("=" * 64)
+    config = WorkloadConfig(
+        transactions=30, ops_per_tx=3, read_ratio=0.4, seed=13
+    )
+    programs = counter_workload(config)
+    result = run_experiment(
+        DependentTM(), CounterSpec(), programs, concurrency=5, seed=17
+    )
+    print(result.summary_row())
+    dependent_commits = sum(
+        1
+        for record in result.runtime.history.committed_records()
+        if record.pulled_uncommitted
+    )
+    cascades = sum(
+        1
+        for record in result.runtime.history.aborted_records()
+        if "cascad" in (record.abort_reason or "")
+    )
+    print(f"commits that read uncommitted data: {dependent_commits}")
+    print(f"cascading detangles: {cascades}")
+
+
+if __name__ == "__main__":
+    part1_manual_dependency()
+    part1b_producer_abort_cascades()
+    part2_driver_run()

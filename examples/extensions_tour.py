@@ -1,0 +1,98 @@
+#!/usr/bin/env python3
+"""Beyond the paper's core: the extension drivers in action.
+
+Three systems the paper points at but does not elaborate, each exploiting
+a PUSH/PULL rule in a way the mainline algorithms don't:
+
+* **checkpoints** (§6.2 [19]) — partial abort: UNAPP only a suffix;
+* **early release** (DSTM [14], §6.5) — UNPUSH for a *non-abort* purpose:
+  a reader retracts a published read it no longer needs so writers stop
+  conflicting with it;
+* **elastic transactions** ([9], the §8 future-work citation) — a
+  transaction cut into serializable pieces instead of aborting; the cut
+  points are ``skip +`` choices in the program itself, so the machine's
+  CMT criterion (i) admits committing any declared prefix.
+"""
+
+from repro.core import Machine, call, tx
+from repro.core.errors import CriterionViolation
+from repro.runtime import WorkloadConfig, make_workload, run_experiment
+from repro.specs import MemorySpec
+from repro.tm import CheckpointTM, EarlyReleaseTM, ElasticTM
+from repro.tm.base import Runtime
+
+
+def part1_checkpoints() -> None:
+    print("=" * 64)
+    print("Part 1: checkpoints — aborts only UNAPP a suffix")
+    print("=" * 64)
+    config = WorkloadConfig(transactions=24, ops_per_tx=6, keys=3,
+                            read_ratio=0.5, seed=2)
+    algorithm = CheckpointTM(checkpoint_every=2)
+    result = run_experiment(
+        algorithm, MemorySpec(), make_workload("readwrite", config),
+        concurrency=5, seed=2,
+    )
+    print(result.summary_row())
+    print(f"partial rewinds: {algorithm.partial_rewinds}   "
+          f"full aborts: {algorithm.full_aborts}")
+
+
+def part2_early_release() -> None:
+    print()
+    print("=" * 64)
+    print("Part 2: early release — UNPUSH unblocks a writer, no abort")
+    print("=" * 64)
+    rt = Runtime(MemorySpec())
+    rt.machine, reader = rt.machine.spawn(tx(call("read", "x"), call("read", "y")))
+    rt.machine, writer = rt.machine.spawn(tx(call("write", "x", 9)))
+    rt.apply("app", reader)
+    read_x = rt.machine.thread(reader).local[0].op
+    rt.apply("push", reader, read_x)
+    print("reader published", read_x.pretty())
+    rt.apply("app", writer)
+    w = rt.machine.thread(writer).local[0].op
+    try:
+        rt.machine.push(writer, w)
+    except CriterionViolation as exc:
+        print("writer blocked ->", exc)
+    rt.apply("unpush", reader, read_x)
+    print("reader RELEASED the read (UNPUSH, not an abort)")
+    rt.apply("push", writer, w)
+    rt.apply("cmt", writer)
+    print("writer committed:", w.pretty())
+
+    config = WorkloadConfig(transactions=30, ops_per_tx=4, keys=10,
+                            read_ratio=0.8, seed=3)
+    algorithm = EarlyReleaseTM()
+    result = run_experiment(
+        algorithm, MemorySpec(), make_workload("readwrite", config),
+        concurrency=5, seed=3,
+    )
+    print(result.summary_row())
+    print("reads released early:", algorithm.releases)
+
+
+def part3_elastic() -> None:
+    print()
+    print("=" * 64)
+    print("Part 3: elastic transactions — cut instead of abort")
+    print("=" * 64)
+    config = WorkloadConfig(transactions=30, ops_per_tx=6, keys=3,
+                            read_ratio=0.7, seed=4)
+    algorithm = ElasticTM()
+    result = run_experiment(
+        algorithm, MemorySpec(), make_workload("readwrite", config),
+        concurrency=6, seed=4,
+    )
+    print(result.summary_row())
+    pieces = result.runtime.history.commit_count()
+    print(f"cuts: {algorithm.cuts} -> {pieces} committed pieces for "
+          f"{result.commits} logical transactions")
+    print("(each piece independently serializable — the elastic criterion)")
+
+
+if __name__ == "__main__":
+    part1_checkpoints()
+    part2_early_release()
+    part3_elastic()

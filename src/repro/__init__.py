@@ -1,0 +1,37 @@
+"""repro — an executable reproduction of *The Push/Pull Model of
+Transactions* (Koskinen & Parkinson, PLDI 2015).
+
+The package layers:
+
+* :mod:`repro.core` — the paper's formal artefacts, executable: logs,
+  sequential specifications, precongruence/movers, the atomic semantics,
+  and the PUSH/PULL machine with every Figure 5 criterion checked.
+* :mod:`repro.specs` — concrete sequential specifications (memory,
+  counter, set, map, queue, stack, bank) with exact mover oracles.
+* :mod:`repro.tm` — the TM systems of §6/§7 recast as PUSH/PULL rule
+  disciplines: global lock, TL2-style optimistic, encounter-time
+  optimistic, transactional boosting, pessimistic (Matveev–Shavit),
+  irrevocable mixed, dependent transactions, simulated HTM, and the
+  boosting+HTM hybrid of §7.
+* :mod:`repro.runtime` — seeded schedulers, workload generators and the
+  experiment harness.
+* :mod:`repro.checking` — the small-scope model checker validating
+  Theorem 5.17 (serializability) and the §5 invariants on every reachable
+  state.
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import (  # noqa: F401
+    CriterionViolation,
+    Machine,
+    Op,
+    SequentialSpec,
+    StateSpec,
+    TMAbort,
+    call,
+    choice,
+    make_op,
+    seq,
+    tx,
+)

@@ -1,0 +1,86 @@
+"""Graphviz/DOT export for machine states and conflict graphs.
+
+The paper communicates its model with the Figure 1 picture (shared log in
+the middle, per-thread local logs around it).  :func:`machine_to_dot`
+renders the same picture for a concrete state; :func:`conflict_graph_to_dot`
+renders the Papadimitriou precedence graph with its edge reasons.  Both
+emit plain DOT text — no graphviz dependency; render with ``dot -Tsvg``
+wherever available, or read the text (it is deliberately human-legible).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.core.conflictgraph import ConflictGraph
+from repro.core.machine import Machine
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', '\\"').replace("\n", "\\n")
+
+
+def machine_to_dot(machine: Machine, title: str = "push/pull state") -> str:
+    """The Figure 1 picture for a concrete machine state."""
+    lines: List[str] = [
+        "digraph pushpull {",
+        "  rankdir=LR;",
+        f'  label="{_escape(title)}"; labelloc=t;',
+        "  node [shape=record, fontsize=10];",
+    ]
+    global_rows = []
+    for index, entry in enumerate(machine.global_log):
+        flag = "gCmt" if entry.is_committed else "gUCmt"
+        global_rows.append(f"<g{index}> {_escape(entry.op.pretty())} [{flag}]")
+    body = "|".join(global_rows) if global_rows else "(empty)"
+    lines.append(f'  global [label="{{shared log|{body}}}", style=filled, '
+                 'fillcolor=lightyellow];')
+    for thread in machine.threads:
+        rows = []
+        for index, entry in enumerate(thread.local):
+            kind = (
+                "pld" if entry.is_pulled else
+                "pshd" if entry.is_pushed else "npshd"
+            )
+            rows.append(f"<l{index}> {_escape(entry.op.pretty())} [{kind}]")
+        body = "|".join(rows) if rows else "(empty)"
+        lines.append(
+            f'  t{thread.tid} [label="{{thread {thread.tid}|'
+            f"code: {_escape(repr(thread.code)[:40])}|{body}}}\"];"
+        )
+        # pushed/pulled entries link to their global-log slot
+        for index, entry in enumerate(thread.local):
+            g_entry = machine.global_log.entry_for(entry.op)
+            if g_entry is None:
+                continue
+            g_index = machine.global_log.index_of(entry.op)
+            if entry.is_pushed:
+                lines.append(
+                    f"  t{thread.tid}:l{index} -> global:g{g_index} "
+                    '[color=blue, label="push"];'
+                )
+            elif entry.is_pulled:
+                lines.append(
+                    f"  global:g{g_index} -> t{thread.tid}:l{index} "
+                    '[color=darkgreen, label="pull"];'
+                )
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def conflict_graph_to_dot(graph: ConflictGraph, title: str = "precedence") -> str:
+    """The transaction precedence (conflict) graph with edge reasons."""
+    lines = [
+        "digraph conflicts {",
+        f'  label="{_escape(title)}"; labelloc=t;',
+        "  node [shape=circle, fontsize=10];",
+    ]
+    for node in sorted(graph.nodes):
+        lines.append(f'  tx{node} [label="T{node}"];')
+    for (src, dst), (op1, op2) in sorted(
+        graph.edge_reasons.items(), key=lambda kv: kv[0]
+    ):
+        reason = _escape(f"{op1.method}→{op2.method}")
+        lines.append(f'  tx{src} -> tx{dst} [label="{reason}", fontsize=8];')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,327 @@
+"""Exhaustive small-scope exploration of the PUSH/PULL machine.
+
+:func:`explore` enumerates *every* interleaving of *every* enabled rule
+instance — including the backward rules UNAPP/UNPUSH/UNPULL, which is what
+distinguishes this from a mere scheduler sweep: the paper's invariants are
+specifically engineered to be closed under rewinding, and the checker
+exercises exactly those rewinding paths.
+
+States are memoised on payload-level keys (operation ids are abstracted),
+so APP/UNAPP cycles revisit old states and the reachable space is finite
+for loop-free programs.
+
+Checked properties (all optional, see :class:`ExploreOptions`):
+
+* the §5.3 invariants (``I_LG``, ``I_slideR``, ``I_reorderPUSH``,
+  ``I_localOrder``, ``I_slidePushed``, ``I_chronPush``,
+  ``I_localReorder``) on every reached state;
+* the commit-preservation invariant of §5.4 (expensive; tiny scopes only);
+* **the simulation of Theorem 5.17**: at every state whose exploration
+  terminated (final — all threads finished — or stuck), the committed
+  global log is covered (``≼``) by some atomic-machine execution of the
+  set of transactions that committed along the path;
+* the opaque-fragment restriction (§6.1): when ``forbid_uncommitted_pull``
+  is set, PULLs of uncommitted entries are pruned, and the checker
+  verifies every transaction's observed view is consistent
+  (:func:`repro.core.opacity.check_view_consistent`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.atomic import atomic_final_logs, payloads
+from repro.core.errors import (
+    CriterionViolation,
+    MachineError,
+    SerializabilityViolation,
+    SpecError,
+)
+from repro.core.invariants import check_all_invariants
+from repro.core.language import Code, Skip, Tx
+from repro.core.machine import Machine
+from repro.core.ops import IdGenerator, Op
+from repro.core.precongruence import precongruent
+from repro.core.rewind import check_cmtpres_all
+from repro.core.spec import SequentialSpec
+
+
+@dataclass
+class ExploreOptions:
+    include_backward: bool = True
+    check_invariants: bool = True
+    check_cmtpres: bool = False
+    check_atomic_cover: bool = True
+    check_every_state_cover: bool = False
+    forbid_uncommitted_pull: bool = False
+    #: "all" — PULL any global entry (the full model; state count grows
+    #: with the permutations of pull interleavings, so keep scopes tiny);
+    #: "committed" — the opaque fragment's PULLs only; "none" — disable
+    #: PULL entirely (adequate for checking the push-side rules).
+    pull_policy: str = "all"
+    #: Finiteness cut.  The raw model's reachable space is *infinite*:
+    #: APP/UNAPP cycles mint fresh ids for the same payload, and a thread
+    #: may PULL each incarnation, accumulating unboundedly many dangling
+    #: ``pld`` entries.  Bounding the number of simultaneously held pulled
+    #: entries per thread restores finiteness while keeping every
+    #: behaviour in which pulls are actually consumed.  ``None`` ⇒ use the
+    #: total number of method occurrences across the scope's programs.
+    max_pulled_per_thread: Optional[int] = None
+    #: run the machine with the paper's gray criteria disabled — the
+    #: experiment behind the paper's "not strictly necessary" remarks:
+    #: the §5.3 *mover* invariants may fail without them, but the
+    #: simulation (serializability) must still hold.
+    check_gray_criteria: bool = True
+    max_states: int = 100_000
+    bigstep_fuel: int = 12
+
+
+@dataclass
+class ExplorationReport:
+    states: int = 0
+    transitions: int = 0
+    final_states: int = 0
+    stuck_states: int = 0
+    rule_counts: Dict[str, int] = field(default_factory=dict)
+    invariant_violations: List[str] = field(default_factory=list)
+    cover_violations: List[str] = field(default_factory=list)
+    cmtpres_violations: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not (
+            self.invariant_violations
+            or self.cover_violations
+            or self.cmtpres_violations
+        )
+
+
+@dataclass
+class _Node:
+    machine: Machine
+    committed: Tuple[int, ...]  # tids of committed threads, in commit order
+
+    def key(self) -> Tuple:
+        return (self.machine.state_key(), self.committed)
+
+
+def _successors(
+    node: _Node, options: ExploreOptions
+) -> Iterator[Tuple[str, _Node]]:
+    machine = node.machine
+    for thread in machine.threads:
+        tid = thread.tid
+        if thread.done:
+            # A finished transaction {skip, σ, []} only leaves (MS_END);
+            # letting it PULL or re-CMT would manufacture spurious states.
+            try:
+                yield "END", _Node(machine.end_thread(tid), node.committed)
+            except MachineError:  # pragma: no cover
+                pass
+            continue
+        # APP — every step choice.
+        for choice in sorted(machine.app_choices(tid), key=repr):
+            try:
+                yield "APP", _Node(machine.app(tid, choice), node.committed)
+            except (CriterionViolation, MachineError, SpecError):
+                pass
+        # PUSH — every npshd entry.
+        for entry in thread.local:
+            if entry.is_not_pushed:
+                try:
+                    yield "PUSH", _Node(machine.push(tid, entry.op), node.committed)
+                except (CriterionViolation, MachineError):
+                    pass
+        # PULL — every global entry not in L (per policy and pull budget).
+        pull_budget = options.max_pulled_per_thread
+        if options.pull_policy != "none" and (
+            pull_budget is None or len(thread.local.pulled_ops()) < pull_budget
+        ):
+            committed_only = (
+                options.forbid_uncommitted_pull
+                or options.pull_policy == "committed"
+            )
+            for g_entry in machine.global_log:
+                if g_entry.op in thread.local:
+                    continue
+                if committed_only and not g_entry.is_committed:
+                    continue
+                try:
+                    yield "PULL", _Node(
+                        machine.pull(tid, g_entry.op), node.committed
+                    )
+                except (CriterionViolation, MachineError):
+                    pass
+        # CMT.
+        try:
+            yield "CMT", _Node(machine.cmt(tid), node.committed + (tid,))
+        except (CriterionViolation, MachineError):
+            pass
+        # MS_END for finished threads.
+        if thread.done:
+            try:
+                yield "END", _Node(machine.end_thread(tid), node.committed)
+            except MachineError:
+                pass
+        if options.include_backward:
+            # UNAPP (last entry only, by the rule's shape).
+            try:
+                yield "UNAPP", _Node(machine.unapp(tid), node.committed)
+            except (CriterionViolation, MachineError):
+                pass
+            # UNPUSH — every pshd entry.
+            for entry in thread.local:
+                if entry.is_pushed:
+                    try:
+                        yield "UNPUSH", _Node(
+                            machine.unpush(tid, entry.op), node.committed
+                        )
+                    except (CriterionViolation, MachineError):
+                        pass
+            # UNPULL — every pld entry.
+            for entry in thread.local:
+                if entry.is_pulled:
+                    try:
+                        yield "UNPULL", _Node(
+                            machine.unpull(tid, entry.op), node.committed
+                        )
+                    except (CriterionViolation, MachineError):
+                        pass
+
+
+def explore(
+    spec: SequentialSpec,
+    programs: Sequence[Code],
+    options: Optional[ExploreOptions] = None,
+) -> ExplorationReport:
+    """Exhaustively explore all interleavings of ``programs`` (one
+    transaction per thread) and check the requested properties."""
+    options = options or ExploreOptions()
+    if options.max_pulled_per_thread is None:
+        from repro.core.language import methods_of
+
+        total_methods = sum(len(methods_of(p)) for p in programs)
+        options = ExploreOptions(**{
+            **options.__dict__,
+            "max_pulled_per_thread": total_methods,
+        })
+    report = ExplorationReport()
+    machine = Machine(spec, check_gray_criteria=options.check_gray_criteria)
+    tids = []
+    for program in programs:
+        machine, tid = machine.spawn(program)
+        tids.append(tid)
+    program_of = {tid: prog for tid, prog in zip(tids, programs)}
+
+    initial = _Node(machine, ())
+    seen: Set[Tuple] = {initial.key()}
+    stack: List[_Node] = [initial]
+    cover_cache: Dict[FrozenSet[int], FrozenSet] = {}
+
+    while stack:
+        node = stack.pop()
+        report.states += 1
+        if report.states > options.max_states:
+            raise MemoryError(
+                f"model checker exceeded {options.max_states} states"
+            )
+        if options.check_invariants:
+            report.invariant_violations.extend(
+                check_all_invariants(node.machine)
+            )
+        if options.check_cmtpres:
+            report.cmtpres_violations.extend(
+                check_cmtpres_all(node.machine, fuel=options.bigstep_fuel)
+            )
+        successors = list(_successors(node, options))
+        report.transitions += len(successors)
+        terminal = not successors
+        if terminal:
+            if node.machine.threads:
+                report.stuck_states += 1
+            else:
+                report.final_states += 1
+        if options.check_atomic_cover and (
+            terminal or options.check_every_state_cover
+        ):
+            _check_cover(
+                spec, node, program_of, cover_cache, options, report
+            )
+        for rule, successor in successors:
+            report.rule_counts[rule] = report.rule_counts.get(rule, 0) + 1
+            key = successor.key()
+            if key not in seen:
+                seen.add(key)
+                stack.append(successor)
+    return report
+
+
+def _check_cover(
+    spec: SequentialSpec,
+    node: _Node,
+    program_of: Dict[int, Code],
+    cache: Dict[FrozenSet[int], FrozenSet],
+    options: ExploreOptions,
+    report: ExplorationReport,
+) -> None:
+    """Theorem 5.17 at this state: ``⌊G⌋_gCmt`` covered by an atomic run of
+    the committed transactions.
+
+    Coverage is checked in the *strong* (conventional) form: the atomic
+    candidate must consist of the same operation payloads (method, args,
+    **and return values**) as the committed log, up to reordering, and the
+    committed log must be ``≼``-below it.  The paper's bare
+    ``⌊G⌋_gCmt ≼ ℓ`` is implied but strictly weaker on its own: ``≼``
+    compares future observability only, so e.g. a write-skew log — same
+    final state as a serial run but reads nobody could have made serially
+    — would slip through without the payload condition.
+    """
+    committed_ops = node.machine.global_log.committed_ops()
+    committed_payloads = sorted(map(repr, payloads(committed_ops)))
+    subset = frozenset(node.committed)
+    if subset not in cache:
+        cache[subset] = atomic_final_logs(
+            spec,
+            [program_of[tid] for tid in sorted(subset)],
+            fuel=options.bigstep_fuel,
+        )
+    ids = IdGenerator(start=50_000_000)
+    for payload_log in cache[subset]:
+        if sorted(map(repr, payload_log)) != committed_payloads:
+            continue
+        candidate = tuple(
+            Op(method, args, ret, ids.fresh())
+            for method, args, ret in payload_log
+        )
+        if spec.allowed(candidate) and precongruent(
+            spec, committed_ops, candidate
+        ):
+            return
+    report.cover_violations.append(
+        f"committed log {payloads(committed_ops)} not covered by any atomic "
+        f"run of committed transactions {sorted(subset)}"
+    )
+
+
+def check_serializability_small_scope(
+    spec: SequentialSpec,
+    programs: Sequence[Code],
+    options: Optional[ExploreOptions] = None,
+) -> ExplorationReport:
+    """Run :func:`explore` and raise on any violation — the executable form
+    of Theorem 5.17 for this scope."""
+    report = explore(spec, programs, options)
+    if report.invariant_violations:
+        raise SerializabilityViolation(
+            "invariant violations: " + "; ".join(report.invariant_violations[:5])
+        )
+    if report.cover_violations:
+        raise SerializabilityViolation(
+            "simulation violations: " + "; ".join(report.cover_violations[:5])
+        )
+    if report.cmtpres_violations:
+        raise SerializabilityViolation(
+            "cmtpres violations: " + "; ".join(report.cmtpres_violations[:5])
+        )
+    return report

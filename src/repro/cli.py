@@ -1,0 +1,166 @@
+"""Command-line driver: ``python -m repro <command>``.
+
+Commands
+--------
+
+``compare``
+    Run every TM algorithm on a chosen workload and print the comparison
+    table (the §6 case studies as one screen of data).
+
+``modelcheck``
+    Exhaustively verify Theorem 5.17 on the built-in small scopes.
+
+``evaluate``
+    Regenerate the whole evaluation summary used by EXPERIMENTS.md: the
+    E1–E7 qualitative rows plus E8's model-checking scopes.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List, Optional
+
+from repro.checking import explore
+from repro.checking.model_checker import ExploreOptions
+from repro.core.language import call, choice, tx
+from repro.runtime import WorkloadConfig, make_workload, run_experiment
+from repro.specs import CounterSpec, KVMapSpec, MemorySpec, get_spec
+from repro.tm import ALL_ALGORITHMS
+
+
+def _spec_for(workload: str):
+    return {
+        "readwrite": "memory",
+        "map": "kvmap",
+        "set": "set",
+        "counter": "counter",
+        "bank": "bank",
+    }[workload]
+
+
+def cmd_compare(args: argparse.Namespace) -> int:
+    config = WorkloadConfig(
+        transactions=args.transactions,
+        ops_per_tx=args.ops,
+        keys=args.keys,
+        read_ratio=args.read_ratio,
+        seed=args.seed,
+    )
+    programs = make_workload(args.workload, config)
+    print(
+        f"workload={args.workload} txns={config.transactions} "
+        f"ops/tx={config.ops_per_tx} keys={config.keys} "
+        f"reads={config.read_ratio} seed={config.seed}"
+    )
+    for name in sorted(ALL_ALGORITHMS):
+        if name == "hybrid":
+            continue  # needs a ProductSpec workload; see examples/
+        algorithm = ALL_ALGORITHMS[name]()
+        spec = get_spec(_spec_for(args.workload))
+        result = run_experiment(
+            algorithm, spec, programs, concurrency=args.concurrency,
+            seed=args.seed,
+        )
+        print(result.summary_row())
+    return 0
+
+
+SCOPES = {
+    "mem-ww": (MemorySpec, [tx(call("write", "x", 1)), tx(call("write", "x", 2))]),
+    "mem-wrw": (
+        MemorySpec,
+        [tx(call("write", "x", 1), call("read", "x")), tx(call("write", "x", 2))],
+    ),
+    "counter": (CounterSpec, [tx(call("inc"), call("get")), tx(call("inc"))]),
+    "kvmap-branch": (
+        KVMapSpec,
+        [
+            tx(call("put", "a", 1), choice(call("get", "a"), call("remove", "a"))),
+            tx(call("put", "b", 2)),
+        ],
+    ),
+}
+
+
+def cmd_modelcheck(args: argparse.Namespace) -> int:
+    failures = 0
+    for name, (spec_cls, programs) in SCOPES.items():
+        start = time.time()
+        report = explore(
+            spec_cls(), programs,
+            ExploreOptions(max_states=args.max_states,
+                           check_cmtpres=args.cmtpres),
+        )
+        verdict = "OK" if report.ok else "VIOLATION"
+        print(
+            f"{name:<14} states={report.states:<7} "
+            f"transitions={report.transitions:<8} "
+            f"finals={report.final_states:<3} {verdict} "
+            f"({time.time()-start:.1f}s)"
+        )
+        if not report.ok:
+            failures += 1
+            for violation in (
+                report.invariant_violations + report.cover_violations
+            )[:3]:
+                print("   !!", violation)
+    return 1 if failures else 0
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    print("== E2/E3 style comparison (readwrite, memory) ==")
+    compare_args = argparse.Namespace(
+        workload="readwrite", transactions=40, ops=4, keys=8,
+        read_ratio=0.6, seed=99, concurrency=4,
+    )
+    cmd_compare(compare_args)
+    print()
+    print("== E1 style comparison (map, kvmap) ==")
+    compare_args.workload = "map"
+    compare_args.read_ratio = 0.5
+    cmd_compare(compare_args)
+    print()
+    print("== E8: Theorem 5.17 small scopes ==")
+    return cmd_modelcheck(argparse.Namespace(max_states=400_000, cmtpres=False))
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Push/Pull transactions (PLDI 2015) — reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser("compare", help="algorithm comparison table")
+    compare.add_argument("--workload", default="readwrite",
+                         choices=["readwrite", "map", "set", "counter", "bank"])
+    compare.add_argument("--transactions", type=int, default=40)
+    compare.add_argument("--ops", type=int, default=4)
+    compare.add_argument("--keys", type=int, default=8)
+    compare.add_argument("--read-ratio", type=float, default=0.6,
+                         dest="read_ratio")
+    compare.add_argument("--seed", type=int, default=0)
+    compare.add_argument("--concurrency", type=int, default=4)
+    compare.set_defaults(func=cmd_compare)
+
+    modelcheck = sub.add_parser("modelcheck", help="verify Theorem 5.17")
+    modelcheck.add_argument("--max-states", type=int, default=400_000,
+                            dest="max_states")
+    modelcheck.add_argument("--cmtpres", action="store_true")
+    modelcheck.set_defaults(func=cmd_modelcheck)
+
+    evaluate = sub.add_parser("evaluate", help="regenerate the evaluation")
+    evaluate.set_defaults(func=cmd_evaluate)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Exception hierarchy for the PUSH/PULL reproduction.
+
+Every rule of the PUSH/PULL machine (Figure 5 of the paper) carries side
+conditions ("criteria").  When a criterion fails at runtime the machine
+raises :class:`CriterionViolation`, naming the rule and the criterion number
+exactly as the paper does (e.g. ``PUSH criterion (ii)``).  TM algorithm
+drivers catch these to trigger aborts; the test-suite asserts on them to
+pin down *which* condition a misbehaving schedule trips.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class SpecError(ReproError):
+    """A sequential specification was used incorrectly (e.g. an operation
+    name the specification does not know about)."""
+
+
+class LogError(ReproError):
+    """Malformed log manipulation (e.g. removing an operation that is not
+    present, or duplicate operation identifiers)."""
+
+
+class LanguageError(ReproError):
+    """Malformed program in the transaction language (e.g. a method call
+    occurring outside any ``tx`` block)."""
+
+
+class MachineError(ReproError):
+    """A PUSH/PULL machine step was attempted from a state in which the
+    step's *structural* premises do not hold (distinct from a criterion
+    violation: structural errors indicate driver bugs, criteria indicate
+    genuinely disallowed behaviours)."""
+
+
+class CriterionViolation(MachineError):
+    """A rule's side-condition failed.
+
+    Attributes
+    ----------
+    rule:
+        Rule name as written in the paper: ``"APP"``, ``"UNAPP"``,
+        ``"PUSH"``, ``"UNPUSH"``, ``"PULL"``, ``"UNPULL"``, ``"CMT"``.
+    criterion:
+        Roman-numeral criterion label from Figure 5, e.g. ``"ii"``.
+    """
+
+    def __init__(self, rule: str, criterion: str, detail: str = ""):
+        self.rule = rule
+        self.criterion = criterion
+        self.detail = detail
+        message = f"{rule} criterion ({criterion}) violated"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
+class TMAbort(ReproError):
+    """Raised inside a TM algorithm to signal that the current transaction
+    must abort (and typically retry).  Carries the reason for statistics."""
+
+    def __init__(self, reason: str = "conflict"):
+        self.reason = reason
+        super().__init__(f"transaction aborted: {reason}")
+
+
+class SerializabilityViolation(ReproError):
+    """A checker found a committed history with no equivalent atomic
+    (serial) execution.  If this is ever raised on a machine-driven run it
+    indicates a bug — Theorem 5.17 says it cannot happen."""
+
+
+class OpacityViolation(ReproError):
+    """A checker found an execution outside the opaque fragment whose
+    intermediate reads are not justified by any serial prefix (§6.1)."""

@@ -1,0 +1,242 @@
+"""The generic transaction language of §3 (Example 1).
+
+::
+
+    c ::= c1 + c2 | c1 ; c2 | (c)* | skip | tx c | m
+
+Programs are immutable ASTs.  Following the paper's "first trick", the rest
+of the semantics never pattern-matches on programs directly; it only uses
+
+* ``step(c)`` — the set of pairs ``(m, c')`` such that ``m`` is a next
+  reachable method in the reduction of ``c`` with remaining code ``c'``;
+* ``fin(c)`` — whether ``c`` can reduce to ``skip`` without encountering a
+  method call.
+
+Method occurrences are :class:`Call` nodes carrying the method name and the
+literal argument tuple (the paper's ``m`` together with the pre-stack the
+operation record will receive).
+
+Well-formedness (§3): every ``Call`` must be contained within a ``tx``
+block; :func:`check_well_formed` enforces this.  As in the paper, nested
+transactions are ignored — ``tx (… tx c …)`` is rejected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, FrozenSet, Tuple
+
+from repro.core.errors import LanguageError
+
+
+class Code:
+    """Base class for program ASTs.  All nodes are frozen and hashable."""
+
+    def __add__(self, other: "Code") -> "Choice":
+        return Choice(self, other)
+
+    def then(self, other: "Code") -> "Seq":
+        return Seq(self, other)
+
+
+@dataclass(frozen=True)
+class Skip(Code):
+    """The terminated program ``skip``."""
+
+    def __repr__(self) -> str:
+        return "skip"
+
+
+@dataclass(frozen=True)
+class Call(Code):
+    """A method occurrence ``m`` with its literal arguments."""
+
+    method: str
+    args: Tuple[Any, ...] = ()
+
+    def __repr__(self) -> str:
+        arg_text = ", ".join(repr(a) for a in self.args)
+        return f"{self.method}({arg_text})"
+
+
+@dataclass(frozen=True)
+class Seq(Code):
+    """Sequential composition ``c1 ; c2``."""
+
+    first: Code
+    second: Code
+
+    def __repr__(self) -> str:
+        return f"({self.first!r} ; {self.second!r})"
+
+
+@dataclass(frozen=True)
+class Choice(Code):
+    """Nondeterministic choice ``c1 + c2``."""
+
+    left: Code
+    right: Code
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} + {self.right!r})"
+
+
+@dataclass(frozen=True)
+class Star(Code):
+    """Nondeterministic looping ``(c)*``."""
+
+    body: Code
+
+    def __repr__(self) -> str:
+        return f"({self.body!r})*"
+
+
+@dataclass(frozen=True)
+class Tx(Code):
+    """A transaction block ``tx c``."""
+
+    body: Code
+
+    def __repr__(self) -> str:
+        return f"tx {self.body!r}"
+
+
+SKIP = Skip()
+
+
+def seq(*parts: Code) -> Code:
+    """Right-nested sequential composition of ``parts`` (``skip`` if empty)."""
+    if not parts:
+        return SKIP
+    result = parts[-1]
+    for part in reversed(parts[:-1]):
+        result = Seq(part, result)
+    return result
+
+
+def choice(*alternatives: Code) -> Code:
+    """Left-nested nondeterministic choice (at least one alternative)."""
+    if not alternatives:
+        raise LanguageError("choice() needs at least one alternative")
+    result = alternatives[0]
+    for alt in alternatives[1:]:
+        result = Choice(result, alt)
+    return result
+
+
+def tx(*parts: Code) -> Tx:
+    """A transaction whose body is ``seq(*parts)``."""
+    return Tx(seq(*parts))
+
+
+def call(method: str, *args: Any) -> Call:
+    return Call(method, tuple(args))
+
+
+# ---------------------------------------------------------------------------
+# step / fin (Example 1)
+# ---------------------------------------------------------------------------
+
+
+def step(code: Code) -> FrozenSet[Tuple[Call, Code]]:
+    """``step(c)``: pairs ``(m, c')`` with ``m`` a next reachable method.
+
+    Mirrors Example 1 of the paper literally, including the two auxiliary
+    liftings ``S ; c`` and ``B ; S``.
+    """
+    if isinstance(code, Skip):
+        return frozenset()
+    if isinstance(code, Call):
+        return frozenset({(code, SKIP)})
+    if isinstance(code, Seq):
+        first_steps = frozenset(
+            (m, seq_cont(cont, code.second)) for m, cont in step(code.first)
+        )
+        if fin(code.first):
+            return first_steps | step(code.second)
+        return first_steps
+    if isinstance(code, Choice):
+        return step(code.left) | step(code.right)
+    if isinstance(code, Star):
+        return frozenset(
+            (m, seq_cont(cont, code)) for m, cont in step(code.body)
+        )
+    if isinstance(code, Tx):
+        return step(code.body)
+    raise LanguageError(f"unknown code node {code!r}")
+
+
+def seq_cont(cont: Code, rest: Code) -> Code:
+    """``(m, c1) ; c2 = (m, c1; c2)`` with the ``skip`` unit folded away."""
+    if isinstance(cont, Skip):
+        return rest
+    return Seq(cont, rest)
+
+
+def fin(code: Code) -> bool:
+    """``fin(c)``: ``c`` can reduce to ``skip`` with no method call."""
+    if isinstance(code, Skip):
+        return True
+    if isinstance(code, Call):
+        return False
+    if isinstance(code, Seq):
+        return fin(code.first) and fin(code.second)
+    if isinstance(code, Choice):
+        return fin(code.left) or fin(code.right)
+    if isinstance(code, Star):
+        return True
+    if isinstance(code, Tx):
+        return fin(code.body)
+    raise LanguageError(f"unknown code node {code!r}")
+
+
+# ---------------------------------------------------------------------------
+# Well-formedness
+# ---------------------------------------------------------------------------
+
+
+def check_well_formed(code: Code) -> None:
+    """Every method call inside a ``tx``; no nested ``tx`` (§3)."""
+    _check(code, in_tx=False)
+
+
+def _check(code: Code, in_tx: bool) -> None:
+    if isinstance(code, Skip):
+        return
+    if isinstance(code, Call):
+        if not in_tx:
+            raise LanguageError(f"method {code!r} occurs outside any tx block")
+        return
+    if isinstance(code, (Seq, Choice)):
+        left = code.first if isinstance(code, Seq) else code.left
+        right = code.second if isinstance(code, Seq) else code.right
+        _check(left, in_tx)
+        _check(right, in_tx)
+        return
+    if isinstance(code, Star):
+        _check(code.body, in_tx)
+        return
+    if isinstance(code, Tx):
+        if in_tx:
+            raise LanguageError("nested transactions are not modelled (§3)")
+        _check(code.body, in_tx=True)
+        return
+    raise LanguageError(f"unknown code node {code!r}")
+
+
+def methods_of(code: Code) -> FrozenSet[Call]:
+    """All method occurrences syntactically reachable in ``code`` (used by
+    the opacity §6.1 "reachable operations" analysis)."""
+    if isinstance(code, Skip):
+        return frozenset()
+    if isinstance(code, Call):
+        return frozenset({code})
+    if isinstance(code, Seq):
+        return methods_of(code.first) | methods_of(code.second)
+    if isinstance(code, Choice):
+        return methods_of(code.left) | methods_of(code.right)
+    if isinstance(code, Star):
+        return methods_of(code.body)
+    if isinstance(code, Tx):
+        return methods_of(code.body)
+    raise LanguageError(f"unknown code node {code!r}")

@@ -1,0 +1,381 @@
+"""Local and global operation logs (§3–§4).
+
+The PUSH/PULL model has no concrete state: the shared state is a *global
+log* ``G : list (op × g)`` whose flags distinguish committed (``gCmt``) from
+uncommitted (``gUCmt``) operations, and each thread carries a *local log*
+``L : list (op × l)`` whose flags record whether an applied operation has
+been pushed:
+
+* ``npshd c`` — applied locally, not pushed; ``c`` is the code that was
+  active when the entry was created (so UNAPP can rewind to it);
+* ``pshd c``  — applied and pushed (``c`` likewise saved);
+* ``pld``     — pulled from the global log (someone else's operation).
+
+This module implements the logs, the lifted set operations (``∈``, ``∖``,
+``⊆``, ``∩`` — all by operation id, order preserved by the first operand),
+the projections ``⌊L⌋_l`` / ``⌊G⌋_g`` and the commit transformer
+``cmt(G, L, G')`` from the bottom of Figure 5.
+
+Logs are immutable (tuples under the hood): machine steps build new logs,
+which is what makes the model checker's state hashing and the rewind
+relations of §5.4 cheap and safe.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Iterable, Iterator, Optional, Tuple, Union
+
+from repro.core.errors import LogError
+from repro.core.ops import Op
+
+# ---------------------------------------------------------------------------
+# Local-log flags
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class NotPushed:
+    """Flag ``npshd c``: locally applied, not yet in the global log."""
+
+    saved_code: Any = None
+    saved_stack: Any = None
+
+    def __repr__(self) -> str:
+        return "npshd"
+
+
+@dataclass(frozen=True)
+class Pushed:
+    """Flag ``pshd c``: locally applied and present in the global log."""
+
+    saved_code: Any = None
+    saved_stack: Any = None
+
+    def __repr__(self) -> str:
+        return "pshd"
+
+
+@dataclass(frozen=True)
+class Pulled:
+    """Flag ``pld``: pulled from the global log (another thread's op)."""
+
+    def __repr__(self) -> str:
+        return "pld"
+
+
+LocalFlag = Union[NotPushed, Pushed, Pulled]
+
+# ---------------------------------------------------------------------------
+# Global-log flags
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Uncommitted:
+    """Flag ``gUCmt``: pushed by a transaction that has not committed."""
+
+    def __repr__(self) -> str:
+        return "gUCmt"
+
+
+@dataclass(frozen=True)
+class Committed:
+    """Flag ``gCmt``: the owning transaction has committed."""
+
+    def __repr__(self) -> str:
+        return "gCmt"
+
+
+GlobalFlag = Union[Uncommitted, Committed]
+
+UNCOMMITTED = Uncommitted()
+COMMITTED = Committed()
+PULLED = Pulled()
+
+
+@dataclass(frozen=True)
+class LocalEntry:
+    """One local-log element ``[op, l]``."""
+
+    op: Op
+    flag: LocalFlag
+
+    @property
+    def is_pushed(self) -> bool:
+        return isinstance(self.flag, Pushed)
+
+    @property
+    def is_not_pushed(self) -> bool:
+        return isinstance(self.flag, NotPushed)
+
+    @property
+    def is_pulled(self) -> bool:
+        return isinstance(self.flag, Pulled)
+
+    @property
+    def is_own(self) -> bool:
+        """Whether the entry is the thread's own operation (pshd | npshd)."""
+        return not self.is_pulled
+
+
+@dataclass(frozen=True)
+class GlobalEntry:
+    """One global-log element ``(op, g)``."""
+
+    op: Op
+    flag: GlobalFlag
+
+    @property
+    def is_committed(self) -> bool:
+        return isinstance(self.flag, Committed)
+
+
+# ---------------------------------------------------------------------------
+# Local log
+# ---------------------------------------------------------------------------
+
+
+class LocalLog:
+    """An immutable local log ``L : list (op × l)``."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Iterable[LocalEntry] = ()):
+        self._entries: Tuple[LocalEntry, ...] = tuple(entries)
+
+    # -- basic container protocol ------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[LocalEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> LocalEntry:
+        return self._entries[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LocalLog):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"[{e.op.pretty()}, {e.flag!r}]" for e in self)
+        return f"LocalLog({body})"
+
+    @property
+    def entries(self) -> Tuple[LocalEntry, ...]:
+        return self._entries
+
+    # -- membership (by id, per the paper's lifting) -----------------------
+
+    def __contains__(self, op: Op) -> bool:
+        return any(e.op.op_id == op.op_id for e in self._entries)
+
+    def ids(self) -> frozenset:
+        return frozenset(e.op.op_id for e in self._entries)
+
+    def entry_for(self, op: Op) -> Optional[LocalEntry]:
+        for e in self._entries:
+            if e.op.op_id == op.op_id:
+                return e
+        return None
+
+    def index_of(self, op: Op) -> int:
+        for i, e in enumerate(self._entries):
+            if e.op.op_id == op.op_id:
+                return i
+        raise LogError(f"operation {op.pretty()} not in local log")
+
+    # -- construction -------------------------------------------------------
+
+    def append(self, op: Op, flag: LocalFlag) -> "LocalLog":
+        if op in self:
+            raise LogError(f"duplicate operation id {op.op_id} in local log")
+        return LocalLog(self._entries + (LocalEntry(op, flag),))
+
+    def drop_last(self) -> "LocalLog":
+        if not self._entries:
+            raise LogError("cannot drop from empty local log")
+        return LocalLog(self._entries[:-1])
+
+    def remove(self, op: Op) -> "LocalLog":
+        """Remove the entry for ``op`` (by id)."""
+        idx = self.index_of(op)
+        return LocalLog(self._entries[:idx] + self._entries[idx + 1 :])
+
+    def set_flag(self, op: Op, flag: LocalFlag) -> "LocalLog":
+        idx = self.index_of(op)
+        entry = LocalEntry(self._entries[idx].op, flag)
+        return LocalLog(self._entries[:idx] + (entry,) + self._entries[idx + 1 :])
+
+    def prefix(self, length: int) -> "LocalLog":
+        return LocalLog(self._entries[:length])
+
+    # -- projections ``⌊L⌋_l`` ----------------------------------------------
+
+    def _project(self, pred: Callable[[LocalEntry], bool]) -> Tuple[Op, ...]:
+        return tuple(e.op for e in self._entries if pred(e))
+
+    def pushed_ops(self) -> Tuple[Op, ...]:
+        """``⌊L⌋_pshd`` — own operations currently in the global log."""
+        return self._project(lambda e: e.is_pushed)
+
+    def not_pushed_ops(self) -> Tuple[Op, ...]:
+        """``⌊L⌋_npshd`` — own operations not yet pushed."""
+        return self._project(lambda e: e.is_not_pushed)
+
+    def pulled_ops(self) -> Tuple[Op, ...]:
+        """``⌊L⌋_pld`` — operations pulled from other transactions."""
+        return self._project(lambda e: e.is_pulled)
+
+    def own_ops(self) -> Tuple[Op, ...]:
+        """``⌊L⌋_{pshd|npshd}`` — all of the thread's own operations."""
+        return self._project(lambda e: e.is_own)
+
+    def all_ops(self) -> Tuple[Op, ...]:
+        return tuple(e.op for e in self._entries)
+
+    # -- relations with a global log ----------------------------------------
+
+    def contained_in(self, global_log: "GlobalLog") -> bool:
+        """``L ⊆ G`` restricted to own operations?  (CMT criterion (ii)
+        checks ``⌊L⌋_npshd = ∅`` via this in conjunction with I_LG; we expose
+        the raw subset check over *all* own entries.)"""
+        gids = global_log.ids()
+        return all(e.op.op_id in gids for e in self._entries if e.is_own)
+
+
+EMPTY_LOCAL = LocalLog()
+
+
+# ---------------------------------------------------------------------------
+# Global log
+# ---------------------------------------------------------------------------
+
+
+class GlobalLog:
+    """An immutable global log ``G : list (op × g)``."""
+
+    __slots__ = ("_entries",)
+
+    def __init__(self, entries: Iterable[GlobalEntry] = ()):
+        self._entries: Tuple[GlobalEntry, ...] = tuple(entries)
+
+    # -- container protocol --------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[GlobalEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> GlobalEntry:
+        return self._entries[index]
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, GlobalLog):
+            return NotImplemented
+        return self._entries == other._entries
+
+    def __hash__(self) -> int:
+        return hash(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"({e.op.pretty()}, {e.flag!r})" for e in self)
+        return f"GlobalLog({body})"
+
+    @property
+    def entries(self) -> Tuple[GlobalEntry, ...]:
+        return self._entries
+
+    def __contains__(self, op: Op) -> bool:
+        return any(e.op.op_id == op.op_id for e in self._entries)
+
+    def ids(self) -> frozenset:
+        return frozenset(e.op.op_id for e in self._entries)
+
+    def entry_for(self, op: Op) -> Optional[GlobalEntry]:
+        for e in self._entries:
+            if e.op.op_id == op.op_id:
+                return e
+        return None
+
+    def index_of(self, op: Op) -> int:
+        for i, e in enumerate(self._entries):
+            if e.op.op_id == op.op_id:
+                return i
+        raise LogError(f"operation {op.pretty()} not in global log")
+
+    # -- construction ---------------------------------------------------------
+
+    def append(self, op: Op, flag: GlobalFlag = UNCOMMITTED) -> "GlobalLog":
+        if op in self:
+            raise LogError(f"duplicate operation id {op.op_id} in global log")
+        return GlobalLog(self._entries + (GlobalEntry(op, flag),))
+
+    def remove(self, op: Op) -> "GlobalLog":
+        idx = self.index_of(op)
+        return GlobalLog(self._entries[:idx] + self._entries[idx + 1 :])
+
+    # -- projections ``⌊G⌋_g`` -------------------------------------------------
+
+    def committed_ops(self) -> Tuple[Op, ...]:
+        """``⌊G⌋_gCmt``."""
+        return tuple(e.op for e in self._entries if e.is_committed)
+
+    def uncommitted_ops(self) -> Tuple[Op, ...]:
+        """``⌊G⌋_gUCmt``."""
+        return tuple(e.op for e in self._entries if not e.is_committed)
+
+    def all_ops(self) -> Tuple[Op, ...]:
+        return tuple(e.op for e in self._entries)
+
+    # -- lifted set operations (order from self) --------------------------------
+
+    def minus(self, ops: Iterable[Op]) -> "GlobalLog":
+        """``G ∖ ops`` — drop (by id) every member of ``ops``; order kept."""
+        drop = {o.op_id for o in ops}
+        return GlobalLog(e for e in self._entries if e.op.op_id not in drop)
+
+    def intersect_ops(self, ops: Iterable[Op]) -> Tuple[Op, ...]:
+        """``G ∩ ops`` as an operation sequence, ordered as in ``G``."""
+        keep = {o.op_id for o in ops}
+        return tuple(e.op for e in self._entries if e.op.op_id in keep)
+
+    def commit(self, local: LocalLog) -> "GlobalLog":
+        """The ``cmt(G, L, G')`` transformer from Figure 5.
+
+        ``G'`` equals ``G`` except every operation that ``L`` pushed is
+        flagged ``gCmt``.  Raises if some pushed entry is missing from ``G``
+        (an ``I_LG`` violation — a driver bug).
+        """
+        pushed = {o.op_id for o in local.pushed_ops()}
+        present = self.ids()
+        missing = pushed - present
+        if missing:
+            raise LogError(f"cmt: pushed operations {sorted(missing)} not in G")
+        new_entries = []
+        for e in self._entries:
+            if e.op.op_id in pushed:
+                new_entries.append(GlobalEntry(e.op, COMMITTED))
+            else:
+                new_entries.append(e)
+        return GlobalLog(new_entries)
+
+    def committed_only(self) -> "GlobalLog":
+        """``filter (λ(op,g). g = gCmt) G`` — used by the CMT simulation case."""
+        return GlobalLog(e for e in self._entries if e.is_committed)
+
+
+EMPTY_GLOBAL = GlobalLog()
+
+
+def ops_minus(ops: Iterable[Op], drop: Iterable[Op]) -> Tuple[Op, ...]:
+    """Sequence difference by id, order preserved from ``ops``."""
+    drop_ids = {o.op_id for o in drop}
+    return tuple(o for o in ops if o.op_id not in drop_ids)

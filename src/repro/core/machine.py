@@ -1,0 +1,565 @@
+"""The PUSH/PULL machine (§4, Figures 4–6).
+
+Machine states are pairs ``T, G`` of a thread list and a global log.  Each
+thread ``{c, σ, L}`` carries its remaining transaction body ``c``, a local
+stack ``σ`` and a local log ``L``.  The seven rules of Figure 5 —
+
+=========  ==================================================================
+APP        speculatively apply a next method locally (``npshd``)
+UNAPP      rewind the last unpushed local operation
+PUSH       publish an unpushed operation to the global log (``gUCmt``)
+UNPUSH     withdraw a pushed-but-uncommitted operation from the global log
+PULL       import another transaction's published operation (``pld``)
+UNPULL     discard a pulled operation (detangle)
+CMT        atomically flip all own pushed operations to ``gCmt``
+=========  ==================================================================
+
+— are methods on :class:`Machine` that return the successor state.  Every
+side-condition of Figure 5 is checked and failures raise
+:class:`~repro.core.errors.CriterionViolation` with the rule name and the
+paper's criterion numeral.  Criteria typeset in gray in the paper (not
+strictly necessary for serializability) are checked when
+``check_gray_criteria`` is set (the default), and skipped otherwise.
+
+Machine states are immutable: steps construct new states, so histories of
+states can be retained, hashed (model checker) and rewound (§5.4) freely.
+
+Each machine thread runs a *single* transaction body (the paper's top-level
+rules likewise pertain to "a thread performing a transaction ``tx c``");
+drivers sequence multiple transactions by spawning threads.  The structural
+rules of Figure 6 (NONDETL/NONDETR/LOOP/SEMI/SEMISKIP) are provided for
+completeness via :meth:`Machine.structural_steps`, but APP/CMT already
+resolve nondeterminism through ``step``/``fin`` exactly as the paper's APP
+and CMT rules do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.errors import CriterionViolation, MachineError, SpecError
+from repro.core.language import Call, Choice, Code, Seq, Skip, SKIP, Star, Tx, fin, seq_cont, step
+from repro.core.logs import (
+    COMMITTED,
+    EMPTY_GLOBAL,
+    EMPTY_LOCAL,
+    GlobalLog,
+    LocalLog,
+    NotPushed,
+    Pulled,
+    Pushed,
+    UNCOMMITTED,
+)
+from repro.core.ops import IdGenerator, Op
+from repro.core.spec import MemoizedMovers, SequentialSpec
+
+
+@dataclass(frozen=True)
+class Thread:
+    """A machine thread ``{c, σ, L}`` plus bookkeeping identity.
+
+    ``original_code``/``original_stack`` record the transaction as first
+    submitted (the paper's ``otx``), used by rewind and by the simulation
+    relation which maps threads back to un-started transactions.
+    """
+
+    tid: int
+    code: Code
+    stack: Any
+    local: LocalLog
+    original_code: Code
+    original_stack: Any = None
+
+    def own_op_ids(self) -> frozenset:
+        return frozenset(op.op_id for op in self.local.own_ops())
+
+    @property
+    def done(self) -> bool:
+        return isinstance(self.code, Skip) and len(self.local) == 0
+
+
+class Machine:
+    """An executable PUSH/PULL machine over a sequential specification."""
+
+    def __init__(
+        self,
+        spec: SequentialSpec,
+        threads: Sequence[Thread] = (),
+        global_log: GlobalLog = EMPTY_GLOBAL,
+        ids: Optional[IdGenerator] = None,
+        check_gray_criteria: bool = True,
+        movers: Optional[MemoizedMovers] = None,
+    ):
+        self.spec = spec
+        self.threads: Tuple[Thread, ...] = tuple(threads)
+        self.global_log = global_log
+        self.ids = ids or IdGenerator()
+        self.check_gray_criteria = check_gray_criteria
+        self.movers = movers or MemoizedMovers(spec)
+        self._by_tid: Dict[int, int] = {t.tid: i for i, t in enumerate(self.threads)}
+        if len(self._by_tid) != len(self.threads):
+            raise MachineError("duplicate thread ids")
+
+    # ------------------------------------------------------------------ utils
+
+    def _with(self, threads: Tuple[Thread, ...], global_log: GlobalLog) -> "Machine":
+        return Machine(
+            self.spec,
+            threads,
+            global_log,
+            ids=self.ids,
+            check_gray_criteria=self.check_gray_criteria,
+            movers=self.movers,
+        )
+
+    def thread(self, tid: int) -> Thread:
+        try:
+            return self.threads[self._by_tid[tid]]
+        except KeyError:
+            raise MachineError(f"no thread with tid {tid}")
+
+    def _replace_thread(self, new_thread: Thread) -> Tuple[Thread, ...]:
+        index = self._by_tid[new_thread.tid]
+        return self.threads[:index] + (new_thread,) + self.threads[index + 1 :]
+
+    def spawn(self, code: Code, stack: Any = None, tid: Optional[int] = None) -> Tuple["Machine", int]:
+        """Add a thread for transaction ``code`` (a ``tx`` block or a bare
+        body).  Returns the new machine and the thread id."""
+        body = code.body if isinstance(code, Tx) else code
+        if tid is None:
+            tid = max(self._by_tid, default=-1) + 1
+        if tid in self._by_tid:
+            raise MachineError(f"thread id {tid} already in use")
+        thread = Thread(tid, body, stack, EMPTY_LOCAL, original_code=body, original_stack=stack)
+        return self._with(self.threads + (thread,), self.global_log), tid
+
+    def end_thread(self, tid: int) -> "Machine":
+        """MS_END: remove a completed thread ``{skip, σ, L}``.
+
+        The paper's rule only requires ``skip`` code; we additionally insist
+        the local log is empty (it always is after CMT, and removing a
+        thread with live ``npshd``/``pshd`` entries would strand them).
+        """
+        thread = self.thread(tid)
+        if not isinstance(thread.code, Skip):
+            raise MachineError("MS_END: thread code is not skip")
+        if len(thread.local) != 0:
+            raise MachineError("MS_END: thread still has local-log entries")
+        index = self._by_tid[tid]
+        return self._with(self.threads[:index] + self.threads[index + 1 :], self.global_log)
+
+    # ------------------------------------------------------------------- APP
+
+    def app_choices(self, tid: int) -> FrozenSetType:
+        """The ``step(c)`` choices available to APP for thread ``tid``."""
+        return step(self.thread(tid).code)
+
+    def app(self, tid: int, choice: Optional[Tuple[Call, Code]] = None) -> "Machine":
+        """APP: apply a next reachable method locally.
+
+        * criterion (i):  ``(m1, c2) ∈ step(c1)`` — ``choice`` must come
+          from :meth:`app_choices` (checked);
+        * criterion (ii): ``L1`` allows ``⟨m1, σ1, σ2, id1⟩`` — the local
+          log admits the operation, whose post-stack ``σ2`` is synthesised
+          from the specification's view of ``L1``;
+        * criterion (iii): ``fresh(id1)`` — ids come from the machine's
+          generator, unique by construction.
+
+        The pre-code and pre-stack are saved in the ``npshd`` flag so UNAPP
+        can rewind.
+        """
+        thread = self.thread(tid)
+        choices = step(thread.code)
+        if choice is None:
+            if len(choices) != 1:
+                raise MachineError(
+                    f"APP: thread {tid} has {len(choices)} step choices; pass one"
+                )
+            choice = next(iter(choices))
+        if choice not in choices:
+            raise CriterionViolation("APP", "i", f"{choice[0]!r} not in step(c)")
+        call_node, continuation = choice
+        local_view = thread.local.all_ops()
+        try:
+            ret = self.spec.result(local_view, call_node.method, call_node.args)
+        except SpecError as exc:
+            raise CriterionViolation("APP", "ii", str(exc))
+        op = Op(call_node.method, call_node.args, ret, self.ids.fresh())
+        if not self.spec.allows(local_view, op):
+            raise CriterionViolation("APP", "ii", f"local log does not allow {op.pretty()}")
+        flag = NotPushed(saved_code=thread.code, saved_stack=thread.stack)
+        new_thread = replace(
+            thread, code=continuation, stack=op.ret, local=thread.local.append(op, flag)
+        )
+        return self._with(self._replace_thread(new_thread), self.global_log)
+
+    # ----------------------------------------------------------------- UNAPP
+
+    def unapp(self, tid: int) -> "Machine":
+        """UNAPP: rewind the last local-log entry, which must be ``npshd``;
+        restores the code and stack saved at APP time."""
+        thread = self.thread(tid)
+        if len(thread.local) == 0:
+            raise MachineError("UNAPP: empty local log")
+        last = thread.local[-1]
+        if not isinstance(last.flag, NotPushed):
+            raise CriterionViolation(
+                "UNAPP", "i", f"last entry {last.op.pretty()} is {last.flag!r}, not npshd"
+            )
+        new_thread = replace(
+            thread,
+            code=last.flag.saved_code,
+            stack=last.flag.saved_stack,
+            local=thread.local.drop_last(),
+        )
+        return self._with(self._replace_thread(new_thread), self.global_log)
+
+    # ------------------------------------------------------------------ PUSH
+
+    def push(self, tid: int, op: Op) -> "Machine":
+        """PUSH: publish a local ``npshd`` operation to the global log.
+
+        * criterion (i):  ``op`` moves left of every ``npshd`` operation
+          preceding it in the local log (trivial when pushing in APP order,
+          as all known implementations do — §4);
+        * criterion (ii): every uncommitted global operation of *another*
+          transaction moves right of ``op`` (``u ◁ op``), so the pusher can
+          still serialize before all concurrent uncommitted transactions;
+        * criterion (iii): the global log allows ``op``.
+        """
+        thread = self.thread(tid)
+        entry = thread.local.entry_for(op)
+        if entry is None or not isinstance(entry.flag, NotPushed):
+            raise MachineError(f"PUSH: {op.pretty()} is not an npshd entry of thread {tid}")
+        position = thread.local.index_of(op)
+        # criterion (i) — both directions of local-order coherence:
+        # (a) op moves left of every earlier unpushed own operation
+        #     (preserves I_localOrder, Lemma 5.12);
+        # (b) every *later*-local own operation already published (pushed,
+        #     uncommitted) moves left of op — op will land after them in G
+        #     against local order, the pattern I_reorderPUSH (Lemma 5.10)
+        #     constrains.  In-order pushing never triggers (b); it bites on
+        #     re-publication after an UNPUSH (found by the theorem fuzzer).
+        for earlier in thread.local.entries[:position]:
+            if earlier.is_not_pushed and not self.movers.left_mover(op, earlier.op):
+                raise CriterionViolation(
+                    "PUSH",
+                    "i",
+                    f"{op.pretty()} does not move left of earlier unpushed "
+                    f"{earlier.op.pretty()}",
+                )
+        for later in thread.local.entries[position + 1 :]:
+            if not later.is_pushed:
+                continue
+            g_entry = self.global_log.entry_for(later.op)
+            if g_entry is not None and not g_entry.is_committed:
+                if not self.movers.left_mover(later.op, op):
+                    raise CriterionViolation(
+                        "PUSH",
+                        "i",
+                        f"already-published later operation "
+                        f"{later.op.pretty()} does not move left of "
+                        f"{op.pretty()}",
+                    )
+        # criterion (ii)
+        own = thread.own_op_ids()
+        for other in self.global_log.uncommitted_ops():
+            if other.op_id in own:
+                continue
+            if not self.movers.left_mover(other, op):
+                raise CriterionViolation(
+                    "PUSH",
+                    "ii",
+                    f"uncommitted {other.pretty()} does not move right of {op.pretty()}",
+                )
+        # criterion (iii)
+        if not self.spec.allows(self.global_log.all_ops(), op):
+            raise CriterionViolation(
+                "PUSH", "iii", f"global log does not allow {op.pretty()}"
+            )
+        new_local = thread.local.set_flag(
+            op, Pushed(saved_code=entry.flag.saved_code, saved_stack=entry.flag.saved_stack)
+        )
+        new_thread = replace(thread, local=new_local)
+        return self._with(
+            self._replace_thread(new_thread), self.global_log.append(op, UNCOMMITTED)
+        )
+
+    # ---------------------------------------------------------------- UNPUSH
+
+    def unpush(self, tid: int, op: Op) -> "Machine":
+        """UNPUSH: withdraw a pushed, still-uncommitted operation.
+
+        * criterion (i) [gray]: ``G2`` (everything pushed after ``op``)
+          does not depend on ``op`` — in mover form, ``op`` moves right
+          past each later entry (``op ◁ e`` for ``e ∈ G2``), as if it had
+          never been pushed.  The paper greys this out because disciplined
+          drivers can be *proved* to maintain it; the machine checks it
+          (under ``check_gray_criteria``) because Lemmas 5.10/5.12 lean on
+          it — without it an arbitrary rule player can break
+          ``I_localOrder`` by unpushing beneath its own later pushes;
+        * criterion (ii): everything pushed chronologically after ``op``
+          could still have been pushed had ``op`` not been (the global log
+          without ``op`` is still allowed).
+        """
+        thread = self.thread(tid)
+        entry = thread.local.entry_for(op)
+        if entry is None or not isinstance(entry.flag, Pushed):
+            raise MachineError(f"UNPUSH: {op.pretty()} is not a pshd entry of thread {tid}")
+        g_entry = self.global_log.entry_for(op)
+        if g_entry is None:
+            raise MachineError(f"UNPUSH: {op.pretty()} missing from global log (I_LG broken)")
+        if g_entry.is_committed:
+            raise MachineError(f"UNPUSH: {op.pretty()} is already committed")
+        if self.check_gray_criteria:
+            # (a) G2 does not depend on op: op moves right past everything
+            #     pushed after it (Lemma 5.10's need).
+            position = self.global_log.index_of(op)
+            for later in self.global_log.entries[position + 1 :]:
+                if not self.movers.left_mover(op, later.op):
+                    raise CriterionViolation(
+                        "UNPUSH",
+                        "i",
+                        f"{later.op.pretty()} (pushed later) depends on "
+                        f"{op.pretty()}",
+                    )
+            # (b) own later-local published operations must move left of
+            #     op — unpushing turns op ``npshd`` beneath them, the
+            #     I_localOrder pattern (Lemma 5.12's UNPUSH case).  Found
+            #     necessary by the theorem fuzzer.
+            local_position = thread.local.index_of(op)
+            for later_entry in thread.local.entries[local_position + 1 :]:
+                if not later_entry.is_pushed:
+                    continue
+                later_global = self.global_log.entry_for(later_entry.op)
+                if later_global is None or later_global.is_committed:
+                    continue
+                if not self.movers.left_mover(later_entry.op, op):
+                    raise CriterionViolation(
+                        "UNPUSH",
+                        "i",
+                        f"own published {later_entry.op.pretty()} does not "
+                        f"move left of {op.pretty()}",
+                    )
+        shrunk = self.global_log.remove(op)
+        if not self.spec.allowed(shrunk.all_ops()):
+            raise CriterionViolation(
+                "UNPUSH",
+                "ii",
+                f"later pushes are not allowed without {op.pretty()}",
+            )
+        new_local = thread.local.set_flag(
+            op, NotPushed(saved_code=entry.flag.saved_code, saved_stack=entry.flag.saved_stack)
+        )
+        new_thread = replace(thread, local=new_local)
+        return self._with(self._replace_thread(new_thread), shrunk)
+
+    # ------------------------------------------------------------------ PULL
+
+    def pull(self, tid: int, op: Op) -> "Machine":
+        """PULL: import a published operation into the local view.
+
+        * criterion (i):  ``op ∉ L`` — not pulled (or owned) already;
+        * criterion (ii): the local log allows ``op``;
+        * criterion (iii) [gray]: everything the transaction has done
+          locally moves right of ``op`` (``o ◁ op``), so the pulled effect
+          can be viewed as having preceded the transaction.
+        """
+        thread = self.thread(tid)
+        if op not in self.global_log:
+            raise MachineError(f"PULL: {op.pretty()} not in global log")
+        if op in thread.local:
+            raise CriterionViolation("PULL", "i", f"{op.pretty()} already in local log")
+        if not self.spec.allows(thread.local.all_ops(), op):
+            raise CriterionViolation(
+                "PULL", "ii", f"local log does not allow {op.pretty()}"
+            )
+        if self.check_gray_criteria:
+            for own in thread.local.own_ops():
+                if not self.movers.left_mover(own, op):
+                    raise CriterionViolation(
+                        "PULL",
+                        "iii",
+                        f"own {own.pretty()} does not move right of pulled {op.pretty()}",
+                    )
+        new_thread = replace(thread, local=thread.local.append(op, Pulled()))
+        return self._with(self._replace_thread(new_thread), self.global_log)
+
+    # ---------------------------------------------------------------- UNPULL
+
+    def unpull(self, tid: int, op: Op) -> "Machine":
+        """UNPULL: discard a pulled operation.
+
+        * criterion (i): the local log without ``op`` is still allowed —
+          the transaction did nothing that depended on ``op``.
+        """
+        thread = self.thread(tid)
+        entry = thread.local.entry_for(op)
+        if entry is None or not isinstance(entry.flag, Pulled):
+            raise MachineError(f"UNPULL: {op.pretty()} is not a pld entry of thread {tid}")
+        shrunk = thread.local.remove(op)
+        if not self.spec.allowed(shrunk.all_ops()):
+            raise CriterionViolation(
+                "UNPULL", "i", f"local log depends on pulled {op.pretty()}"
+            )
+        new_thread = replace(thread, local=shrunk)
+        return self._with(self._replace_thread(new_thread), self.global_log)
+
+    # ------------------------------------------------------------------- CMT
+
+    def cmt(self, tid: int) -> "Machine":
+        """CMT: the instantaneous commit.
+
+        * criterion (i):   ``fin(c)`` — a method-free path to ``skip``;
+        * criterion (ii):  ``L ⊆ G`` — every own operation pushed
+          (``⌊L⌋_npshd = ∅``);
+        * criterion (iii): every pulled operation is committed in ``G``;
+        * criterion (iv):  ``cmt(G, L, G')`` — own pushed operations flip
+          to ``gCmt``.
+
+        The thread finishes as ``{skip, σ, []}`` (removable via MS_END).
+        """
+        thread = self.thread(tid)
+        if not fin(thread.code):
+            raise CriterionViolation("CMT", "i", f"no method-free path to skip in {thread.code!r}")
+        if thread.local.not_pushed_ops():
+            pending = ", ".join(o.pretty() for o in thread.local.not_pushed_ops())
+            raise CriterionViolation("CMT", "ii", f"unpushed operations remain: {pending}")
+        for pulled in thread.local.pulled_ops():
+            g_entry = self.global_log.entry_for(pulled)
+            if g_entry is None:
+                raise CriterionViolation(
+                    "CMT", "iii", f"pulled {pulled.pretty()} vanished from global log"
+                )
+            if not g_entry.is_committed:
+                raise CriterionViolation(
+                    "CMT", "iii", f"pulled {pulled.pretty()} is still uncommitted"
+                )
+        new_global = self.global_log.commit(thread.local)
+        new_thread = replace(thread, code=SKIP, local=EMPTY_LOCAL)
+        return self._with(self._replace_thread(new_thread), new_global)
+
+    # ------------------------------------------------- structural rules (Fig 6)
+
+    def structural_steps(self, tid: int) -> Iterator[Tuple[str, "Machine"]]:
+        """The NONDETL/NONDETR/LOOP/SEMI/SEMISKIP reductions for ``tid``.
+
+        Yields ``(rule_name, successor)`` pairs.  SEMI recursion is folded
+        into the traversal (the reduction type is inductive, Figure 6).
+        """
+        thread = self.thread(tid)
+        for rule, new_code in _structural_code_steps(thread.code):
+            new_thread = replace(thread, code=new_code)
+            yield rule, self._with(self._replace_thread(new_thread), self.global_log)
+
+    # -------------------------------------------------------------- inspection
+
+    def enabled_rules(self, tid: int) -> List[str]:
+        """Names of Figure 5 rules with at least one enabled instance for
+        ``tid`` (used by the model checker and by tests)."""
+        enabled: List[str] = []
+        thread = self.thread(tid)
+        if step(thread.code):
+            for choice_pair in step(thread.code):
+                if self._app_enabled(thread, choice_pair):
+                    enabled.append("APP")
+                    break
+        if len(thread.local) and thread.local[-1].is_not_pushed:
+            enabled.append("UNAPP")
+        if any(self._push_enabled(thread, e.op) for e in thread.local if e.is_not_pushed):
+            enabled.append("PUSH")
+        if any(self._unpush_enabled(thread, e.op) for e in thread.local if e.is_pushed):
+            enabled.append("UNPUSH")
+        if any(self._pull_enabled(thread, e.op) for e in self.global_log):
+            enabled.append("PULL")
+        if any(self._unpull_enabled(thread, e.op) for e in thread.local if e.is_pulled):
+            enabled.append("UNPULL")
+        if self._cmt_enabled(thread):
+            enabled.append("CMT")
+        return enabled
+
+    def _try(self, fn, *args) -> bool:
+        try:
+            fn(*args)
+            return True
+        except (CriterionViolation, MachineError, SpecError):
+            return False
+
+    def _app_enabled(self, thread: Thread, choice_pair) -> bool:
+        return self._try(self.app, thread.tid, choice_pair)
+
+    def _push_enabled(self, thread: Thread, op: Op) -> bool:
+        return self._try(self.push, thread.tid, op)
+
+    def _unpush_enabled(self, thread: Thread, op: Op) -> bool:
+        return self._try(self.unpush, thread.tid, op)
+
+    def _pull_enabled(self, thread: Thread, op: Op) -> bool:
+        return self._try(self.pull, thread.tid, op)
+
+    def _unpull_enabled(self, thread: Thread, op: Op) -> bool:
+        return self._try(self.unpull, thread.tid, op)
+
+    def _cmt_enabled(self, thread: Thread) -> bool:
+        return self._try(self.cmt, thread.tid)
+
+    def state_key(self) -> Tuple:
+        """A hashable digest of the machine state (payload-level, so model
+        checker visits are independent of id allocation order)."""
+        thread_keys = tuple(
+            (
+                t.tid,
+                t.code,
+                t.stack,
+                tuple(
+                    (e.op.method, e.op.args, e.op.ret, _flag_kind(e.flag))
+                    for e in t.local
+                ),
+            )
+            for t in self.threads
+        )
+        global_key = tuple(
+            (e.op.method, e.op.args, e.op.ret, e.is_committed, _owner_of(self, e.op))
+            for e in self.global_log
+        )
+        return (thread_keys, global_key)
+
+
+def _flag_kind(flag) -> str:
+    if isinstance(flag, NotPushed):
+        return "npshd"
+    if isinstance(flag, Pushed):
+        return "pshd"
+    return "pld"
+
+
+def _owner_of(machine: Machine, op: Op) -> int:
+    for t in machine.threads:
+        entry = t.local.entry_for(op)
+        if entry is not None and entry.is_own:
+            return t.tid
+    return -1
+
+
+def _structural_code_steps(code: Code) -> Iterator[Tuple[str, Code]]:
+    if isinstance(code, Choice):
+        yield "NONDETL", code.left
+        yield "NONDETR", code.right
+        return
+    if isinstance(code, Star):
+        yield "LOOP", Choice(Seq(code.body, code), SKIP)
+        return
+    if isinstance(code, Seq):
+        if isinstance(code.first, Skip):
+            yield "SEMISKIP", code.second
+            return
+        for rule, new_first in _structural_code_steps(code.first):
+            yield f"SEMI:{rule}", seq_cont(new_first, code.second)
+        return
+    # Skip / Call / Tx have no structural reductions.
+    return
+
+
+# Typing helper (language.step returns a frozenset of pairs).
+FrozenSetType = Iterable[Tuple[Call, Code]]

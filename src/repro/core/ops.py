@@ -1,0 +1,144 @@
+"""Operation records (§3, "Operations and logs").
+
+An operation record ``op = ⟨m, σ1, σ2, id⟩`` is a tuple of the method name
+``m``, the thread-local pre-stack ``σ1`` (method arguments), the post-stack
+``σ2`` (return values) and a globally unique identifier ``id``.
+
+We realise the stacks as immutable tuples so operations are hashable and can
+be used as log entries, dictionary keys and members of frozen sets.  Log
+membership in the paper is *by id* (the ``∈``/``∖``/``⊆`` liftings in §4 all
+compare ids), which :class:`Op` mirrors: two records with the same id are
+the same operation regardless of payload, and constructing two live records
+with the same id is a :class:`~repro.core.errors.LogError`-grade driver bug
+that :class:`IdGenerator` makes impossible by construction.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class Op:
+    """An operation record ``⟨m, σ1, σ2, id⟩``.
+
+    Parameters
+    ----------
+    method:
+        The operation name ``m`` (e.g. ``"put"``, ``"read"``).
+    args:
+        The pre-stack ``σ1``: the arguments the method was invoked with.
+    ret:
+        The post-stack ``σ2``: the value(s) the method returned.  ``None``
+        models void methods.
+    op_id:
+        Globally unique identifier.  Equality and hashing of :class:`Op`
+        deliberately use *only* this field, mirroring the paper's id-based
+        log liftings.
+    """
+
+    method: str
+    args: Tuple[Any, ...]
+    ret: Any
+    op_id: int
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Op):
+            return NotImplemented
+        return self.op_id == other.op_id
+
+    def __hash__(self) -> int:
+        return hash(self.op_id)
+
+    def same_payload(self, other: "Op") -> bool:
+        """Structural comparison ignoring the id (used by tests and by the
+        atomic-machine simulation, which re-executes methods afresh)."""
+        return (
+            self.method == other.method
+            and self.args == other.args
+            and self.ret == other.ret
+        )
+
+    def with_ret(self, ret: Any) -> "Op":
+        """A copy of this record with post-stack ``ret`` (same id).
+
+        Used when a method's return value is only learned after the record
+        was speculatively created.
+        """
+        return Op(self.method, self.args, ret, self.op_id)
+
+    def pretty(self) -> str:
+        """Human-readable rendering, e.g. ``put('a', 5) -> None #12``."""
+        arg_text = ", ".join(repr(a) for a in self.args)
+        return f"{self.method}({arg_text}) -> {self.ret!r} #{self.op_id}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Op({self.pretty()})"
+
+
+class IdGenerator:
+    """Source of fresh operation ids (the paper's ``fresh(id)`` predicate).
+
+    Thread-safe so that drivers running transactions from real threads (the
+    examples do, the model checker does not) still get globally unique ids.
+    """
+
+    def __init__(self, start: int = 0):
+        self._counter = itertools.count(start)
+        self._lock = threading.Lock()
+        self._issued: set = set()
+
+    def fresh(self) -> int:
+        """Return an id never returned before by this generator."""
+        with self._lock:
+            new_id = next(self._counter)
+            self._issued.add(new_id)
+            return new_id
+
+    def is_issued(self, op_id: int) -> bool:
+        """Whether ``op_id`` came from this generator (for diagnostics)."""
+        with self._lock:
+            return op_id in self._issued
+
+
+def make_op(
+    method: str,
+    args: Iterable[Any] = (),
+    ret: Any = None,
+    ids: Optional[IdGenerator] = None,
+    op_id: Optional[int] = None,
+) -> Op:
+    """Convenience constructor for operation records.
+
+    Exactly one of ``ids`` / ``op_id`` should be supplied; tests that only
+    care about payloads may omit both and receive ids from a shared module
+    generator (still unique within the process).
+    """
+    if ids is not None and op_id is not None:
+        raise ValueError("pass either `ids` or `op_id`, not both")
+    if op_id is None:
+        op_id = (ids or _MODULE_IDS).fresh()
+    return Op(method, tuple(args), ret, op_id)
+
+
+_MODULE_IDS = IdGenerator(start=1_000_000)
+
+
+@dataclass(frozen=True)
+class OpClass:
+    """The payload of an operation without its identity.
+
+    Mover/commutativity relations are functions of payloads, not ids, so the
+    precongruence machinery memoises on :class:`OpClass` keys.
+    """
+
+    method: str
+    args: Tuple[Any, ...]
+    ret: Any = field(default=None)
+
+    @staticmethod
+    def of(op: Op) -> "OpClass":
+        return OpClass(op.method, op.args, op.ret)

@@ -1,0 +1,188 @@
+"""Log precongruence ``≼`` (Def. 3.1) and movers ``◁``/``▷`` (Def. 4.1).
+
+The paper defines ``ℓ1 ≼ ℓ2`` coinductively: ``allowed ℓ1 ⇒ allowed ℓ2``
+and for every operation ``op``, ``ℓ1·op ≼ ℓ2·op`` — i.e. no sequence of
+observations of ``ℓ1`` is impossible for ``ℓ2`` (greatest fixpoint, so the
+property is "up to all infinite suffixes").
+
+Deciding a greatest fixpoint over *all* operation extensions is not
+computable for arbitrary specifications, so this module offers a layered
+strategy, from exact to bounded:
+
+1. :class:`~repro.core.spec.StateSpec` admits an **exact** check: a
+   deterministic denotation collapses the coinduction to "ℓ1 disallowed, or
+   both allowed with observationally equal final states" (see
+   ``StateSpec.precongruent``).
+2. For relational specs, :func:`precongruent_bounded` unrolls the
+   coinductive definition to depth ``k`` over a finite probe universe
+   (``spec.probe_ops()``).  This is sound for refutation (a failure at any
+   depth is a genuine ``⋠``) and, for finite-state specs whose probe set
+   reaches every transition, complete at depth ≥ the state-space diameter.
+
+The mover relations follow the same pattern: exact oracles on
+:class:`StateSpec` (Definition 4.1 quantifies over every log ``ℓ``, which a
+spec resolves by quantifying over its reachable states), and a bounded
+fallback :func:`left_mover_bounded` quantifying over probe logs.
+
+Lifted/list forms used by the machine criteria are provided at the bottom:
+``left_mover_list_op`` (ℓ ◁ op), ``op_left_mover_list`` (op ◁ ℓ), etc.
+"""
+
+from __future__ import annotations
+
+from itertools import permutations, product
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.ops import Op
+from repro.core.spec import NondetSpec, SequentialSpec, StateSpec
+
+
+# ---------------------------------------------------------------------------
+# Precongruence
+# ---------------------------------------------------------------------------
+
+
+def precongruent(
+    spec: SequentialSpec,
+    l1: Sequence[Op],
+    l2: Sequence[Op],
+    depth: int = 3,
+) -> bool:
+    """``ℓ1 ≼ ℓ2`` — exact for :class:`StateSpec`, bounded otherwise."""
+    if isinstance(spec, StateSpec):
+        return spec.precongruent(l1, l2)
+    return precongruent_bounded(spec, l1, l2, depth)
+
+
+def precongruent_bounded(
+    spec: SequentialSpec,
+    l1: Sequence[Op],
+    l2: Sequence[Op],
+    depth: int,
+    probes: Optional[Sequence[Op]] = None,
+) -> bool:
+    """Unroll Definition 3.1 to ``depth`` over the probe universe.
+
+    At each level we check the implication ``allowed ℓ1 ⇒ allowed ℓ2`` and
+    recurse on every single-probe extension.  ``depth`` bounds the suffix
+    length considered; probes default to ``spec.probe_ops()``.
+    """
+    if probes is None:
+        probes = tuple(spec.probe_ops())
+    l1 = tuple(l1)
+    l2 = tuple(l2)
+    if spec.allowed(l1) and not spec.allowed(l2):
+        return False
+    if depth == 0:
+        return True
+    # Prefix closure: once ℓ1 is disallowed every extension is disallowed,
+    # so the implication holds vacuously at all deeper levels.
+    if not spec.allowed(l1):
+        return True
+    return all(
+        precongruent_bounded(spec, l1 + (op,), l2 + (op,), depth - 1, probes)
+        for op in probes
+    )
+
+
+def log_equivalent(
+    spec: SequentialSpec, l1: Sequence[Op], l2: Sequence[Op], depth: int = 3
+) -> bool:
+    """Mutual precongruence ``ℓ1 ≼ ℓ2 ∧ ℓ2 ≼ ℓ1``."""
+    return precongruent(spec, l1, l2, depth) and precongruent(spec, l2, l1, depth)
+
+
+# ---------------------------------------------------------------------------
+# Movers on single operations
+# ---------------------------------------------------------------------------
+
+
+def left_mover(spec: SequentialSpec, op1: Op, op2: Op) -> bool:
+    """``op1 ◁ op2`` via the spec's oracle (exact where available)."""
+    return spec.left_mover(op1, op2)
+
+
+def right_mover(spec: SequentialSpec, op1: Op, op2: Op) -> bool:
+    """``op1 ▷ op2  ≡  op2 ◁ op1``."""
+    return spec.left_mover(op2, op1)
+
+
+def both_mover(spec: SequentialSpec, op1: Op, op2: Op) -> bool:
+    """Full commutativity (both movers)."""
+    return spec.left_mover(op1, op2) and spec.left_mover(op2, op1)
+
+
+def left_mover_bounded(
+    spec: SequentialSpec,
+    op1: Op,
+    op2: Op,
+    context_depth: int = 2,
+    suffix_depth: int = 2,
+    probes: Optional[Sequence[Op]] = None,
+) -> bool:
+    """Bounded ground-truth check of Definition 4.1.
+
+    Quantifies the context ``ℓ`` over all probe sequences of length up to
+    ``context_depth`` and checks ``ℓ·op1·op2 ≼ ℓ·op2·op1`` with suffixes
+    bounded by ``suffix_depth``.  Used by property tests to validate the
+    exact per-spec oracles.
+    """
+    if probes is None:
+        probes = tuple(spec.probe_ops())
+    for n in range(context_depth + 1):
+        for ctx in product(probes, repeat=n):
+            l1 = tuple(ctx) + (op1, op2)
+            l2 = tuple(ctx) + (op2, op1)
+            if isinstance(spec, StateSpec):
+                if not spec.precongruent(l1, l2):
+                    return False
+            elif not precongruent_bounded(spec, l1, l2, suffix_depth, probes):
+                return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Lifted (list) forms used by the Figure 5 criteria
+# ---------------------------------------------------------------------------
+
+
+def op_left_mover_list(spec: SequentialSpec, op: Op, ops: Iterable[Op]) -> bool:
+    """``op ◁ ℓ`` — ``op`` moves left of every operation in ``ops``.
+
+    PUSH criterion (i) instantiates this with ``⌊L⌋_npshd``.
+    """
+    return all(spec.left_mover(op, other) for other in ops)
+
+
+def list_left_mover_op(spec: SequentialSpec, ops: Iterable[Op], op: Op) -> bool:
+    """``ℓ ◁ op`` — every operation in ``ops`` moves left of ``op``."""
+    return all(spec.left_mover(other, op) for other in ops)
+
+
+def list_right_mover_op(spec: SequentialSpec, ops: Iterable[Op], op: Op) -> bool:
+    """``ℓ ▷ op`` — every operation of ``ops`` moves right of ``op``.
+
+    PUSH criterion (ii) instantiates this with the *other* transactions'
+    uncommitted operations; PULL criterion (iii) with the puller's own ops.
+    """
+    return all(spec.left_mover(op, other) for other in ops)
+
+
+def serial_permutation_exists(
+    spec: SequentialSpec, chunks: Sequence[Sequence[Op]], target: Sequence[Op]
+) -> bool:
+    """Whether some permutation of ``chunks`` (each chunk kept in order)
+    yields a log observationally covering ``target`` (``target ≼ perm``).
+
+    A brute-force serializability reference used by tests on tiny histories.
+    """
+    for order in permutations(range(len(chunks))):
+        candidate: List[Op] = []
+        for index in order:
+            candidate.extend(chunks[index])
+        if precongruent(spec, tuple(target), tuple(candidate)) and spec.allowed(
+            tuple(candidate)
+        ):
+            if spec.allowed(tuple(target)):
+                return True
+    return False

@@ -1,0 +1,370 @@
+"""Sequential specifications (Parameter 3.1).
+
+The PUSH/PULL model is parameterized by a *sequential specification*: a
+prefix-closed predicate ``allowed ℓ`` on operation logs.  The paper expects
+``allowed`` to be induced by a denotation ``[[op]] : P(State × State)`` with
+``allowed ℓ ≡ ([[ℓ]] ≠ ∅)``; this module provides exactly that construction.
+
+Two families are offered:
+
+:class:`StateSpec`
+    Deterministic functional specifications — one initial state and one
+    transition per (state, method, args).  This covers every data type the
+    paper's evaluation needs (memory, counter, set, map, queue, stack, bank
+    accounts) and admits *exact* decision procedures for the precongruence
+    ``≼`` and the mover relations (see :mod:`repro.core.precongruence`).
+
+:class:`NondetSpec`
+    Relational specifications (a set of initial states, a set of successor
+    states per operation).  ``allowed`` remains decidable by forward
+    exploration; ``≼`` falls back to bounded coinduction.
+
+Both expose the same surface used by the machine:
+
+* ``allowed(ops)``       — the predicate of Parameter 3.1;
+* ``allows(ops, op)``    — ``ℓ allows op``, i.e. ``allowed (ℓ · op)``;
+* ``result(ops, m, args)`` — the return value the specification assigns to
+  invoking ``m(args)`` after replaying ``ops`` (used by TM drivers to give
+  methods their post-stacks);
+* mover oracles ``commutes`` / ``left_mover`` / ``right_mover`` used by the
+  rule criteria.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, FrozenSet, Iterable, Optional, Sequence, Tuple
+
+from repro.core.errors import SpecError
+from repro.core.ops import Op, OpClass
+
+
+class SequentialSpec(ABC):
+    """Abstract sequential specification.
+
+    Subclasses must provide ``allowed`` (prefix-closed) and the mover
+    oracles; everything else in the library is generic in the spec.
+    """
+
+    # -- the specification predicate ----------------------------------------
+
+    @abstractmethod
+    def allowed(self, ops: Sequence[Op]) -> bool:
+        """The ``allowed ℓ`` predicate of Parameter 3.1 (prefix closed)."""
+
+    def allows(self, ops: Sequence[Op], op: Op) -> bool:
+        """``ℓ allows op  ≡  allowed (ℓ · op)``."""
+        return self.allowed(tuple(ops) + (op,))
+
+    # -- return-value synthesis ----------------------------------------------
+
+    @abstractmethod
+    def result(self, ops: Sequence[Op], method: str, args: Tuple[Any, ...]) -> Any:
+        """The return value (post-stack) of ``method(args)`` after ``ops``.
+
+        For nondeterministic specs any allowed return value may be chosen.
+        Raises :class:`SpecError` if ``ops`` itself is not allowed.
+        """
+
+    # -- movers ----------------------------------------------------------------
+
+    @abstractmethod
+    def commutes(self, op1: Op, op2: Op) -> bool:
+        """Whether ``op1`` and ``op2`` commute: in every context allowing
+        one order, the other order is allowed and observationally equal.
+        Commutativity implies both ``op1 ◁ op2`` and ``op2 ◁ op1``."""
+
+    def left_mover(self, op1: Op, op2: Op) -> bool:
+        """``op1 ◁ op2`` (Definition 4.1): for every log ``ℓ``,
+        ``ℓ·op1·op2 ≼ ℓ·op2·op1``.
+
+        The default is the sound under-approximation by commutativity;
+        specifications with useful asymmetric movers override this.
+        """
+        return self.commutes(op1, op2)
+
+    def right_mover(self, op1: Op, op2: Op) -> bool:
+        """``op1 ▷ op2``: ``op1`` moves to the right of ``op2``, i.e.
+        ``op2 ◁ op1``."""
+        return self.left_mover(op2, op1)
+
+    # -- helpers for checkers ---------------------------------------------------
+
+    def probe_ops(self) -> Iterable[Op]:
+        """A finite set of operations used by bounded-coinduction checkers
+        as the extension universe.  Empty by default (checkers then only
+        compare at depth zero)."""
+        return ()
+
+    # -- abstract footprints (driver-level metadata) ----------------------------
+
+    def footprint(self, method: str, args: Tuple[Any, ...]) -> frozenset:
+        """The set of abstract keys ``method(args)`` may touch.
+
+        Drivers use footprints for boosting's abstract locks, HTM conflict
+        sets and relevance-based PULLing.  Soundness contract: two calls
+        with disjoint footprints commute for *every* return value, and an
+        operation's return value and state effect depend only on prior
+        operations with intersecting footprints.
+        """
+        raise SpecError(f"{type(self).__name__} does not define footprints")
+
+    def op_footprint(self, op: Op) -> frozenset:
+        return self.footprint(op.method, op.args)
+
+    def is_mutator(self, method: str) -> bool:
+        """Whether ``method`` can change the state (pure observers return
+        ``False``).  Drivers use this to prune relevance pulls."""
+        raise SpecError(f"{type(self).__name__} does not classify mutators")
+
+    def call_commutes(self, method: str, args: Tuple[Any, ...], op: Op) -> bool:
+        """Conservative §6.1 judgement: does ``method(args)`` commute with
+        ``op`` for *every* possible return value?  The default answers
+        ``True`` exactly on disjoint footprints; specs with richer
+        commutativity (e.g. counter mutators) override."""
+        try:
+            return self.footprint(method, args).isdisjoint(self.op_footprint(op))
+        except SpecError:
+            return False
+
+
+class StateSpec(SequentialSpec):
+    """Deterministic functional specification.
+
+    Subclasses implement :meth:`initial_state` and :meth:`perform`; the
+    denotational ``allowed`` and everything else is derived.  States must be
+    hashable (frozen) values.
+    """
+
+    # -- to be provided by subclasses --------------------------------------
+
+    @abstractmethod
+    def initial_state(self) -> Any:
+        """The (single) initial state ``I``."""
+
+    @abstractmethod
+    def perform(self, state: Any, method: str, args: Tuple[Any, ...]) -> Tuple[Any, Any]:
+        """Execute ``method(args)`` in ``state``; return ``(ret, state')``.
+
+        Must be total for every method the spec declares (raising
+        :class:`SpecError` for unknown methods) — "disallowed" only ever
+        means *the recorded return value disagrees with the state*.
+        """
+
+    # -- observational projection -------------------------------------------
+
+    def observe(self, state: Any) -> Any:
+        """Projection of a state onto its observable part.  The default is
+        the identity; override to model unobservable state components (the
+        paper's ``≼`` permits unobservable differences)."""
+        return state
+
+    # -- derived machinery -----------------------------------------------------
+
+    def apply(self, state: Any, op: Op) -> Optional[Any]:
+        """``[[op]]`` at ``state``: the successor state, or ``None`` if the
+        recorded post-stack disagrees with the state (op not allowed here).
+        """
+        ret, new_state = self.perform(state, op.method, op.args)
+        if ret != op.ret:
+            return None
+        return new_state
+
+    def replay(self, ops: Sequence[Op]) -> Optional[Any]:
+        """``[[ℓ]]`` from the initial state, or ``None`` if disallowed."""
+        state = self.initial_state()
+        for op in ops:
+            state = self.apply(state, op)
+            if state is None:
+                return None
+        return state
+
+    def allowed(self, ops: Sequence[Op]) -> bool:
+        return self.replay(ops) is not None
+
+    def result(self, ops: Sequence[Op], method: str, args: Tuple[Any, ...]) -> Any:
+        state = self.replay(ops)
+        if state is None:
+            raise SpecError("result() called on a disallowed log")
+        ret, _ = self.perform(state, method, args)
+        return ret
+
+    # -- exact precongruence for deterministic specs -----------------------------
+
+    def precongruent(self, l1: Sequence[Op], l2: Sequence[Op]) -> bool:
+        """Exact ``ℓ1 ≼ ℓ2`` (Definition 3.1) for deterministic specs.
+
+        With a single deterministic denotation, coinduction collapses to:
+        either ``ℓ1`` is disallowed (then every extension of ``ℓ1`` is too,
+        by prefix closure, so the greatest fixpoint holds vacuously), or
+        ``ℓ2`` is allowed and the two final states are observationally
+        equal (then both logs allow exactly the same extensions forever).
+        """
+        s1 = self.replay(l1)
+        if s1 is None:
+            return True
+        s2 = self.replay(l2)
+        if s2 is None:
+            return False
+        return self.observe(s1) == self.observe(s2)
+
+    # -- mover checking on explicit state sets ------------------------------------
+
+    def mover_states(self, op1: Op, op2: Op) -> Optional[Iterable[Any]]:
+        """A finite set of states sufficient to decide movers for the pair,
+        or ``None`` if the subclass instead overrides the oracles directly.
+        """
+        return None
+
+    def _check_swap_on_state(self, state: Any, op1: Op, op2: Op) -> bool:
+        """``ℓ·op1·op2 ≼ ℓ·op2·op1`` at one state ``[[ℓ]] = state``."""
+        s_a = self.apply(state, op1)
+        s_ab = self.apply(s_a, op2) if s_a is not None else None
+        if s_ab is None:
+            return True  # left side disallowed: vacuous
+        s_b = self.apply(state, op2)
+        s_ba = self.apply(s_b, op1) if s_b is not None else None
+        if s_ba is None:
+            return False
+        return self.observe(s_ab) == self.observe(s_ba)
+
+    def left_mover(self, op1: Op, op2: Op) -> bool:
+        states = self.mover_states(op1, op2)
+        if states is None:
+            return self.commutes(op1, op2)
+        return all(self._check_swap_on_state(s, op1, op2) for s in states)
+
+    def commutes(self, op1: Op, op2: Op) -> bool:
+        states = self.mover_states(op1, op2)
+        if states is None:
+            raise SpecError(
+                f"{type(self).__name__} provides neither mover_states() nor "
+                "a commutes() oracle"
+            )
+        return all(
+            self._check_swap_on_state(s, op1, op2)
+            and self._check_swap_on_state(s, op2, op1)
+            for s in states
+        )
+
+
+class RebasedStateSpec(StateSpec):
+    """``base`` started from a different initial state.
+
+    Used by the runtime's log compaction: once every global-log entry is
+    committed and no transaction is live, the log can be replayed into a
+    new initial state and dropped, keeping ``allowed``-check costs bounded
+    by per-transaction (not per-run) log lengths.  All behaviour except
+    :meth:`initial_state` delegates to ``base`` — mover oracles quantify
+    over all states, so they are unaffected by rebasing.
+    """
+
+    def __init__(self, base: StateSpec, state: Any):
+        while isinstance(base, RebasedStateSpec):
+            base = base.base
+        self.base = base
+        self._state = state
+
+    def initial_state(self) -> Any:
+        return self._state
+
+    def perform(self, state, method, args):
+        return self.base.perform(state, method, args)
+
+    def observe(self, state):
+        return self.base.observe(state)
+
+    def mover_states(self, op1, op2):
+        return self.base.mover_states(op1, op2)
+
+    def left_mover(self, op1, op2):
+        return self.base.left_mover(op1, op2)
+
+    def commutes(self, op1, op2):
+        return self.base.commutes(op1, op2)
+
+    def probe_ops(self):
+        return self.base.probe_ops()
+
+    def footprint(self, method, args):
+        return self.base.footprint(method, args)
+
+    def is_mutator(self, method):
+        return self.base.is_mutator(method)
+
+    def call_commutes(self, method, args, op):
+        return self.base.call_commutes(method, args, op)
+
+
+class NondetSpec(SequentialSpec):
+    """Relational (nondeterministic) specification.
+
+    Subclasses implement :meth:`initial_states` and :meth:`apply_set`.
+    ``allowed`` is non-emptiness of the forward image; ``≼`` has no exact
+    shortcut and is handled by the bounded checker in
+    :mod:`repro.core.precongruence`.
+    """
+
+    @abstractmethod
+    def initial_states(self) -> FrozenSet[Any]:
+        """The set ``I`` of initial states."""
+
+    @abstractmethod
+    def apply_set(self, state: Any, op: Op) -> FrozenSet[Any]:
+        """``[[op]]`` at ``state``: the (possibly empty) successor set."""
+
+    def observe(self, state: Any) -> Any:
+        return state
+
+    def denote(self, ops: Sequence[Op]) -> FrozenSet[Any]:
+        states = self.initial_states()
+        for op in ops:
+            states = frozenset(s2 for s in states for s2 in self.apply_set(s, op))
+            if not states:
+                return frozenset()
+        return states
+
+    def allowed(self, ops: Sequence[Op]) -> bool:
+        return bool(self.denote(ops))
+
+    def result(self, ops: Sequence[Op], method: str, args: Tuple[Any, ...]) -> Any:
+        raise SpecError(
+            "NondetSpec cannot synthesise return values generically; "
+            "override result() in the concrete specification"
+        )
+
+    def commutes(self, op1: Op, op2: Op) -> bool:
+        raise SpecError(
+            f"{type(self).__name__} must override commutes() (no generic "
+            "decision procedure for relational specs)"
+        )
+
+
+class MemoizedMovers:
+    """Memoising wrapper for a spec's mover oracles.
+
+    Mover relations are functions of operation *payloads* (method, args,
+    ret), not ids, so results are cached on :class:`OpClass` pairs.  Machine
+    criteria check movers against every concurrent operation, making this
+    cache the difference between O(n) and O(n·cost-of-oracle) per step.
+    """
+
+    def __init__(self, spec: SequentialSpec):
+        self.spec = spec
+        self._left: dict = {}
+        self._comm: dict = {}
+
+    def left_mover(self, op1: Op, op2: Op) -> bool:
+        key = (OpClass.of(op1), OpClass.of(op2))
+        if key not in self._left:
+            self._left[key] = self.spec.left_mover(op1, op2)
+        return self._left[key]
+
+    def right_mover(self, op1: Op, op2: Op) -> bool:
+        return self.left_mover(op2, op1)
+
+    def commutes(self, op1: Op, op2: Op) -> bool:
+        key = frozenset((OpClass.of(op1), OpClass.of(op2)))
+        if key not in self._comm:
+            self._comm[key] = self.spec.commutes(op1, op2)
+        return self._comm[key]

@@ -1,0 +1,40 @@
+"""Execution runtime: schedulers, workloads, the experiment harness.
+
+The PUSH/PULL model is an interleaving semantics; this package supplies
+the interleavings.  :mod:`.scheduler` picks which in-flight transaction
+advances next (deterministic seeded choices, so every experiment is
+reproducible); :mod:`.workload` synthesises transaction programs
+(read/write mixes over zipfian keys, bank transfers, set churn);
+:mod:`.harness` wires a TM algorithm, a workload and a scheduler together,
+runs the fleet to completion, verifies serializability of the committed
+history and reports metrics.
+"""
+
+from repro.runtime.scheduler import RandomScheduler, RoundRobinScheduler, Scheduler
+from repro.runtime.workload import (
+    WorkloadConfig,
+    bank_transfer_workload,
+    counter_workload,
+    make_workload,
+    readwrite_workload,
+    set_churn_workload,
+)
+from repro.runtime.harness import ExperimentResult, run_experiment
+from repro.runtime.metrics import Distribution, RunMetrics, summarize
+
+__all__ = [
+    "Scheduler",
+    "RoundRobinScheduler",
+    "RandomScheduler",
+    "WorkloadConfig",
+    "make_workload",
+    "readwrite_workload",
+    "bank_transfer_workload",
+    "set_churn_workload",
+    "counter_workload",
+    "ExperimentResult",
+    "run_experiment",
+    "Distribution",
+    "RunMetrics",
+    "summarize",
+]

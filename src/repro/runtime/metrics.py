@@ -1,0 +1,119 @@
+"""Run-level metrics: distributions behind the harness's headline numbers.
+
+The headline rows (commits, aborts, throughput) hide tail behaviour —
+which transaction retried 12 times, how long commits took in scheduler
+quanta.  :func:`summarize` computes the distributions a TM paper's
+evaluation section normally plots:
+
+* **attempts per transaction** (1 = first-try commit) — the fairness/
+  starvation axis (E4's irrevocability story lives here);
+* **latency** in logical time units (the shared history clock advances on
+  every begin/end event) from first begin to final commit, including
+  retries;
+* **rule mix** — machine work decomposed by rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.history import History, TxRecord, TxStatus
+
+
+@dataclass(frozen=True)
+class Distribution:
+    """Order statistics of a sample."""
+
+    count: int
+    mean: float
+    p50: float
+    p95: float
+    maximum: float
+
+    @staticmethod
+    def of(samples: Sequence[float]) -> "Distribution":
+        if not samples:
+            return Distribution(0, 0.0, 0.0, 0.0, 0.0)
+        ordered = sorted(samples)
+
+        def percentile(q: float) -> float:
+            index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
+            return float(ordered[index])
+
+        return Distribution(
+            count=len(ordered),
+            mean=sum(ordered) / len(ordered),
+            p50=percentile(0.50),
+            p95=percentile(0.95),
+            maximum=float(ordered[-1]),
+        )
+
+    def row(self) -> str:
+        return (
+            f"n={self.count} mean={self.mean:.2f} p50={self.p50:.0f} "
+            f"p95={self.p95:.0f} max={self.maximum:.0f}"
+        )
+
+
+@dataclass
+class RunMetrics:
+    attempts: Distribution
+    latency: Distribution
+    cascade_ratio: float
+    rule_mix: Dict[str, int]
+
+    def report(self) -> str:
+        lines = [
+            f"attempts/tx : {self.attempts.row()}",
+            f"latency     : {self.latency.row()}",
+            f"cascades    : {self.cascade_ratio:.2%} of aborts",
+            "rule mix    : "
+            + "  ".join(f"{rule}={count}" for rule, count in sorted(self.rule_mix.items())),
+        ]
+        return "\n".join(lines)
+
+
+def _attempt_chains(history: History) -> List[List[TxRecord]]:
+    """Group records into retry chains via ``retries_of`` links."""
+    by_id = {record.tx_id: record for record in history.records}
+    successor: Dict[int, int] = {}
+    roots: List[TxRecord] = []
+    for record in history.records:
+        if record.retries_of is not None and record.retries_of in by_id:
+            successor[record.retries_of] = record.tx_id
+        else:
+            roots.append(record)
+    chains = []
+    for root in roots:
+        chain = [root]
+        cursor = root.tx_id
+        while cursor in successor:
+            cursor = successor[cursor]
+            chain.append(by_id[cursor])
+        chains.append(chain)
+    return chains
+
+
+def summarize(history: History, rule_counts: Optional[Dict[str, int]] = None) -> RunMetrics:
+    """Distributions for one harness run."""
+    chains = _attempt_chains(history)
+    attempt_counts: List[float] = []
+    latencies: List[float] = []
+    for chain in chains:
+        final = chain[-1]
+        if final.status is not TxStatus.COMMITTED:
+            continue
+        attempt_counts.append(float(len(chain)))
+        if final.end_time is not None:
+            latencies.append(float(final.end_time - chain[0].begin_time))
+    aborted = history.aborted_records()
+    cascades = sum(
+        1 for record in aborted if "cascad" in (record.abort_reason or "")
+    )
+    return RunMetrics(
+        attempts=Distribution.of(attempt_counts),
+        latency=Distribution.of(latencies),
+        cascade_ratio=(cascades / len(aborted)) if aborted else 0.0,
+        rule_mix=dict(rule_counts or {}),
+    )

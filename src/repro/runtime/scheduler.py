@@ -1,0 +1,69 @@
+"""Schedulers: who steps next.
+
+A scheduler owns a set of :class:`~repro.tm.base.TxStepper`\\ s and decides
+the interleaving.  Both schedulers are deterministic given their inputs
+(the random one is seeded), so experiment runs are exactly reproducible —
+a property the test-suite leans on heavily.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Optional, Sequence
+
+from repro.core.errors import MachineError
+from repro.tm.base import StepStatus, TxStepper
+
+
+class Scheduler(ABC):
+    """Drive a fleet of steppers until none is runnable."""
+
+    max_total_steps: int = 2_000_000
+
+    @abstractmethod
+    def pick(self, runnable: Sequence[TxStepper]) -> TxStepper:
+        """Choose the next stepper to advance."""
+
+    def run(self, steppers: Sequence[TxStepper]) -> None:
+        """Advance steppers until all have committed or permanently
+        aborted.  Raises :class:`MachineError` on livelock (step budget
+        exhausted — indicates a driver bug, e.g. a deadlock between
+        waiting transactions)."""
+        pending: List[TxStepper] = [
+            s for s in steppers if s.status is StepStatus.RUNNING
+        ]
+        total = 0
+        while pending:
+            stepper = self.pick(pending)
+            status = stepper.step()
+            total += 1
+            if total > self.max_total_steps:
+                raise MachineError(
+                    f"scheduler exceeded {self.max_total_steps} steps; "
+                    "probable livelock"
+                )
+            if status is not StepStatus.RUNNING:
+                pending = [s for s in pending if s.status is StepStatus.RUNNING]
+
+
+class RoundRobinScheduler(Scheduler):
+    """Cycle through runnable steppers in order."""
+
+    def __init__(self) -> None:
+        self._cursor = 0
+
+    def pick(self, runnable: Sequence[TxStepper]) -> TxStepper:
+        stepper = runnable[self._cursor % len(runnable)]
+        self._cursor += 1
+        return stepper
+
+
+class RandomScheduler(Scheduler):
+    """Uniformly random choice from a seeded PRNG."""
+
+    def __init__(self, seed: int = 0):
+        self._rng = random.Random(seed)
+
+    def pick(self, runnable: Sequence[TxStepper]) -> TxStepper:
+        return runnable[self._rng.randrange(len(runnable))]

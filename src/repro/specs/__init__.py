@@ -1,0 +1,44 @@
+"""Concrete sequential specifications (instances of Parameter 3.1).
+
+Each module defines a :class:`~repro.core.spec.StateSpec` for one abstract
+data type, together with *exact* mover decision procedures (realised either
+analytically or by enumerating a provably sufficient finite set of states
+for the operation pair — see each module's docstring).
+
+========================  ==================================================
+:mod:`.memory`            read/write registers (word-based STM substrate)
+:mod:`.counter`           an integer counter (inc/dec/add/get)
+:mod:`.setspec`           a mathematical set (add/remove/contains)
+:mod:`.kvmap`             a key→value map (the Fig. 2 hashtable)
+:mod:`.orderedset`        an ordered set (the §7 skip list, with min/max)
+:mod:`.queuespec`         a FIFO queue (enq/deq)
+:mod:`.stackspec`         a LIFO stack (push/pop)
+:mod:`.bank`              bank accounts (deposit/withdraw/balance)
+:mod:`.registry`          name-based lookup used by the harness
+========================  ==================================================
+"""
+
+from repro.specs.memory import MemorySpec
+from repro.specs.counter import CounterSpec
+from repro.specs.setspec import SetSpec
+from repro.specs.kvmap import KVMapSpec
+from repro.specs.queuespec import QueueSpec
+from repro.specs.stackspec import StackSpec
+from repro.specs.bank import BankSpec
+from repro.specs.orderedset import OrderedSetSpec
+from repro.specs.product import ProductSpec
+from repro.specs.registry import get_spec, spec_names
+
+__all__ = [
+    "MemorySpec",
+    "CounterSpec",
+    "SetSpec",
+    "KVMapSpec",
+    "QueueSpec",
+    "StackSpec",
+    "BankSpec",
+    "OrderedSetSpec",
+    "ProductSpec",
+    "get_spec",
+    "spec_names",
+]

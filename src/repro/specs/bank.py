@@ -1,0 +1,123 @@
+"""Bank accounts — the classic transactional workload (used by examples
+and the E2/E3 benchmarks as a "realistic scenario" with *conditional*
+commutativity).
+
+State is a map ``account ↦ balance`` (missing accounts have balance 0;
+balances never go negative).  Methods:
+
+* ``deposit(a, k) -> None`` (``k > 0``)
+* ``withdraw(a, k) -> bool`` — ``True`` iff the balance covered ``k``
+  (partial withdrawals do not happen);
+* ``balance(a) -> n``.
+
+Commutativity here is the paper's motivating *abstract-level* conflict
+notion: two successful withdrawals commute (success implies both orders
+succeed), deposits always commute, but a *failed* withdrawal conflicts
+with deposits — which only an abstract (boosting-style) TM can exploit,
+while a read/write STM sees every pair as a conflict on the balance word.
+
+Mover decision procedure
+------------------------
+Behaviour depends only on the balances of the (≤2) mentioned accounts, and
+all methods are translations/tests on those balances, so the relevant
+state basis is finite: per mentioned account, every partial sum of the
+pair's amounts and observed balances, offset by each amount (boundary
+cases), clipped at 0.  :meth:`BankSpec.mover_states` enumerates it.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Any, Iterable, Tuple
+
+from repro.core.errors import SpecError
+from repro.core.ops import Op
+from repro.core.spec import StateSpec
+
+
+def _freeze(mapping: dict) -> Tuple[Tuple[Any, int], ...]:
+    return tuple(sorted((k, v) for k, v in mapping.items() if v != 0))
+
+
+class BankSpec(StateSpec):
+    """Bank accounts with non-negative integer balances."""
+
+    def __init__(self, initial: Iterable[Tuple[Any, int]] = ()):
+        self.initial = _freeze(dict(initial))
+
+    def initial_state(self) -> Tuple[Tuple[Any, int], ...]:
+        return self.initial
+
+    def perform(self, state, method: str, args: Tuple) -> Tuple[Any, Any]:
+        balances = dict(state)
+        if method == "deposit":
+            account, amount = args
+            if amount <= 0:
+                raise SpecError("deposit amount must be positive")
+            balances[account] = balances.get(account, 0) + amount
+            return None, _freeze(balances)
+        if method == "withdraw":
+            account, amount = args
+            if amount <= 0:
+                raise SpecError("withdraw amount must be positive")
+            if balances.get(account, 0) >= amount:
+                balances[account] = balances[account] - amount
+                return True, _freeze(balances)
+            return False, state
+        if method == "balance":
+            (account,) = args
+            return balances.get(account, 0), state
+        raise SpecError(f"BankSpec has no method {method!r}")
+
+    @staticmethod
+    def _account(op: Op) -> Any:
+        return op.args[0]
+
+    def _amounts(self, op1: Op, op2: Op) -> Tuple[int, ...]:
+        amounts = set()
+        for op in (op1, op2):
+            if op.method in ("deposit", "withdraw"):
+                amounts.add(op.args[1])
+            if op.method == "balance":
+                amounts.add(op.ret)
+        return tuple(amounts)
+
+    def mover_states(self, op1: Op, op2: Op) -> Iterable:
+        accounts = sorted({self._account(op1), self._account(op2)}, key=repr)
+        amounts = self._amounts(op1, op2)
+        sums = {0}
+        for a in amounts:
+            sums |= {s + a for s in sums}
+        candidates = sorted(
+            {max(0, s + d) for s in sums for d in (-1, 0, 1)}
+            | {max(0, s1 - s2) for s1 in sums for s2 in sums}
+        )
+        states = []
+        for assignment in product(candidates, repeat=len(accounts)):
+            states.append(_freeze(dict(zip(accounts, assignment))))
+        return states
+
+    # -- driver metadata ---------------------------------------------------------
+
+    def footprint(self, method: str, args) -> frozenset:
+        return frozenset({("account", args[0])})
+
+    def is_mutator(self, method: str) -> bool:
+        return method in ("deposit", "withdraw")
+
+    def call_commutes(self, method: str, args, op) -> bool:
+        """Deposits to the same account always commute (they are
+        translations); everything else needs disjoint accounts."""
+        if self.footprint(method, args).isdisjoint(self.op_footprint(op)):
+            return True
+        return method == "deposit" and op.method == "deposit"
+
+    def probe_ops(self) -> Iterable[Op]:
+        from repro.core.ops import make_op
+
+        return (
+            make_op("deposit", ("p", 1), None),
+            make_op("withdraw", ("p", 1), True),
+            make_op("withdraw", ("p", 1), False),
+            make_op("balance", ("p",), 0),
+        )

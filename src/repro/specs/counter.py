@@ -1,0 +1,98 @@
+"""An integer counter — the ``size``/``x``/``y`` variables of §7.
+
+Methods:
+
+* ``inc() -> None``, ``dec() -> None`` — add ±1;
+* ``add(k) -> None`` — add ``k``;
+* ``get() -> value`` — observe the value.
+
+Mover decision procedure
+------------------------
+Every mutator is a *translation* of the state and ``get`` is an equality
+test, so the two-operation behaviour is translation-equivariant: a swap
+check at state ``s`` has the same outcome at ``s + c`` **unless** one of
+the operations is a ``get``, whose recorded return value pins the state.
+Hence Definition 4.1's quantifier over all logs collapses to the finite
+set of states at which the left-hand composition can be allowed at all:
+``{ r − d : r a get return value, d a partial sum of the pair's deltas }``
+(plus one arbitrary representative for the all-mutator case).  That set is
+what :meth:`CounterSpec.mover_states` returns, making the generic swap
+check exact.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple
+
+from repro.core.errors import SpecError
+from repro.core.ops import Op
+from repro.core.spec import StateSpec
+
+
+class CounterSpec(StateSpec):
+    """A single integer counter starting at ``initial``."""
+
+    def __init__(self, initial: int = 0):
+        self.initial = initial
+
+    def initial_state(self) -> int:
+        return self.initial
+
+    def perform(self, state: int, method: str, args: Tuple) -> Tuple[Any, int]:
+        if method == "inc":
+            return None, state + 1
+        if method == "dec":
+            return None, state - 1
+        if method == "add":
+            (k,) = args
+            return None, state + k
+        if method == "get":
+            return state, state
+        raise SpecError(f"CounterSpec has no method {method!r}")
+
+    @staticmethod
+    def _delta(op: Op) -> int:
+        if op.method == "inc":
+            return 1
+        if op.method == "dec":
+            return -1
+        if op.method == "add":
+            return op.args[0]
+        return 0
+
+    def mover_states(self, op1: Op, op2: Op) -> Iterable[int]:
+        d1, d2 = self._delta(op1), self._delta(op2)
+        partial_sums = {0, d1, d2, d1 + d2}
+        rets = {op.ret for op in (op1, op2) if op.method == "get"}
+        if not rets:
+            # All mutators: translation-equivariant, one state decides.
+            return (self.initial,)
+        return tuple(
+            {r - d for r in rets for d in partial_sums} | {self.initial}
+        )
+
+    # -- driver metadata ---------------------------------------------------------
+
+    def footprint(self, method: str, args) -> frozenset:
+        return frozenset({"counter"})
+
+    def is_mutator(self, method: str) -> bool:
+        return method in ("inc", "dec", "add")
+
+    def call_commutes(self, method: str, args, op) -> bool:
+        """Counter mutators commute with each other regardless of return
+        values (they are translations); observers never commute with a
+        mutator, and commute with each other."""
+        mine_mutates = self.is_mutator(method)
+        theirs_mutates = self.is_mutator(op.method)
+        return mine_mutates == theirs_mutates
+
+    def probe_ops(self) -> Iterable[Op]:
+        from repro.core.ops import make_op
+
+        return (
+            make_op("inc", (), None),
+            make_op("dec", (), None),
+            make_op("get", (), self.initial),
+            make_op("get", (), self.initial + 1),
+        )

@@ -1,0 +1,129 @@
+"""A key→value map — the boosted hashtable of Figure 2.
+
+Methods mirror the ``ConcurrentSkipListMap`` usage in the paper's boosting
+example, with Java-``Map`` return conventions (the old value, needed by
+boosting's inverse operations: the abort path of Fig. 2 re-``put``s the old
+value or ``remove``s the key, depending on whether the key was defined):
+
+* ``put(k, v) -> old`` — old bound value, or ``None`` if ``k`` was unbound;
+* ``get(k) -> v | None``;
+* ``remove(k) -> old | None``;
+* ``contains_key(k) -> bool``.
+
+Mover decision procedure
+------------------------
+Behaviour of a pair of operations depends only on the bindings of the
+(≤2) mentioned keys.  Candidate values per key: unbound, every value
+mentioned by either operation, and one fresh sentinel (any unmentioned
+value behaves like it).  :meth:`KVMapSpec.mover_states` enumerates that
+finite basis, so the generic swap check is exact and yields the boosting
+law: *operations on distinct keys commute* (``key1 ≠ key2`` in §2's
+proof-obligation example).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple
+
+from repro.core.errors import SpecError
+from repro.core.ops import Op
+from repro.core.spec import StateSpec
+from repro.specs.memory import DISTINCT
+
+
+class _Unbound:
+    """Marker distinct from every value, including ``None``."""
+
+    _instance = None
+
+    def __new__(cls):
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "<unbound>"
+
+
+UNBOUND = _Unbound()
+
+
+def _freeze(mapping: dict) -> Tuple[Tuple[Any, Any], ...]:
+    return tuple(sorted(mapping.items(), key=lambda kv: repr(kv[0])))
+
+
+class KVMapSpec(StateSpec):
+    """A finite map with Java-style ``put``/``get``/``remove``."""
+
+    def __init__(self, initial: Iterable[Tuple[Any, Any]] = ()):
+        self.initial = _freeze(dict(initial))
+
+    def initial_state(self) -> Tuple[Tuple[Any, Any], ...]:
+        return self.initial
+
+    def perform(self, state, method: str, args: Tuple) -> Tuple[Any, Any]:
+        store = dict(state)
+        if method == "put":
+            key, value = args
+            old = store.get(key)
+            store[key] = value
+            return old, _freeze(store)
+        if method == "get":
+            (key,) = args
+            return store.get(key), state
+        if method == "remove":
+            (key,) = args
+            old = store.pop(key, None)
+            return old, _freeze(store)
+        if method == "contains_key":
+            (key,) = args
+            return key in store, state
+        raise SpecError(f"KVMapSpec has no method {method!r}")
+
+    @staticmethod
+    def _key(op: Op) -> Any:
+        return op.args[0]
+
+    def _values_of_interest(self, op1: Op, op2: Op) -> Tuple[Any, ...]:
+        values = {UNBOUND, DISTINCT}
+        for op in (op1, op2):
+            if op.method == "put":
+                values.add(op.args[1])
+            # put/get/remove return an (optional) stored value; contains_key
+            # returns a bool that is *not* a candidate stored value.
+            if op.method in ("put", "get", "remove") and op.ret is not None:
+                values.add(op.ret)
+        return tuple(values)
+
+    def mover_states(self, op1: Op, op2: Op) -> Iterable:
+        keys = sorted({self._key(op1), self._key(op2)}, key=repr)
+        values = self._values_of_interest(op1, op2)
+        states = [dict()]
+        for key in keys:
+            extended = []
+            for state in states:
+                for value in values:
+                    candidate = dict(state)
+                    if value is not UNBOUND:
+                        candidate[key] = value
+                    extended.append(candidate)
+            states = extended
+        return [_freeze(s) for s in states]
+
+    # -- driver metadata ---------------------------------------------------------
+
+    def footprint(self, method: str, args) -> frozenset:
+        return frozenset({("key", args[0])})
+
+    def is_mutator(self, method: str) -> bool:
+        return method in ("put", "remove")
+
+    def probe_ops(self) -> Iterable[Op]:
+        from repro.core.ops import make_op
+
+        return (
+            make_op("put", ("probe", 1), None),
+            make_op("get", ("probe",), None),
+            make_op("get", ("probe",), 1),
+            make_op("remove", ("probe",), 1),
+        )

@@ -1,0 +1,123 @@
+"""An ordered set — the boosted ``ConcurrentSkipList`` of §7, with the
+order-sensitive observers a skip list actually offers.
+
+Methods:
+
+* ``add(x) -> bool``, ``remove(x) -> bool``, ``contains(x) -> bool`` —
+  as :class:`~repro.specs.setspec.SetSpec`;
+* ``min() -> x | None``, ``max() -> x | None`` — order observers;
+* ``size() -> n``.
+
+The interesting commutativity structure (why this spec exists): plain
+element operations on distinct elements commute, but **order observers
+conflict with mutations on the relevant side of the order** — ``min()``
+commutes with ``add(x)`` only when ``x`` is not smaller than the observed
+minimum.  The *exact* mover oracle captures this fine structure; the
+*footprints* cannot (footprints must be ret-independent), so mutators
+carry a whole-structure ``"order"`` key alongside their element key.
+Consequences: relevance-based PULLs stay sound (an order observer's value
+depends on every mutation), and footprint-based coordination (boosting
+locks, HTM sets) is conservative — mutators serialise against each other
+whenever order observers may run, the price a lock-table approximation
+pays for ``min``/``max``/``size``.  The E1-style benchmarks use the
+plain :class:`~repro.specs.setspec.SetSpec` when they want element-level
+lock parallelism.
+
+Mover decision procedure: behaviour depends on the membership bits of the
+mentioned elements *and*, for order observers, on whether any smaller/
+larger elements exist; :meth:`OrderedSetSpec.mover_states` therefore
+enumerates membership assignments over the mentioned elements plus two
+sentinels bracketing them (one below all mentioned values, one above),
+which is a sufficient basis: an unmentioned element influences ``min``/
+``max``/``size`` only through "is there something smaller / larger /
+anything else", each represented by a sentinel.
+
+Elements must be comparable; benchmarks use integers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, Tuple
+
+from repro.core.errors import SpecError
+from repro.core.ops import Op
+from repro.core.spec import StateSpec
+
+
+class OrderedSetSpec(StateSpec):
+    """An ordered set of mutually comparable elements."""
+
+    LOW_SENTINEL = float("-inf")
+    HIGH_SENTINEL = float("inf")
+
+    def __init__(self, initial: Iterable[Any] = ()):
+        self.initial = frozenset(initial)
+
+    def initial_state(self) -> FrozenSet[Any]:
+        return self.initial
+
+    def perform(self, state: FrozenSet, method: str, args: Tuple) -> Tuple[Any, FrozenSet]:
+        if method == "add":
+            (x,) = args
+            if x in state:
+                return False, state
+            return True, state | {x}
+        if method == "remove":
+            (x,) = args
+            if x in state:
+                return True, state - {x}
+            return False, state
+        if method == "contains":
+            (x,) = args
+            return x in state, state
+        if method == "min":
+            return (min(state) if state else None), state
+        if method == "max":
+            return (max(state) if state else None), state
+        if method == "size":
+            return len(state), state
+        raise SpecError(f"OrderedSetSpec has no method {method!r}")
+
+    @staticmethod
+    def _mentioned(op: Op) -> Tuple[Any, ...]:
+        values = []
+        if op.args:
+            values.append(op.args[0])
+        if op.method in ("min", "max") and op.ret is not None:
+            values.append(op.ret)
+        return tuple(values)
+
+    def mover_states(self, op1: Op, op2: Op) -> Iterable[FrozenSet]:
+        mentioned = sorted(
+            set(self._mentioned(op1)) | set(self._mentioned(op2)),
+            key=repr,
+        )
+        basis = list(mentioned) + [self.LOW_SENTINEL, self.HIGH_SENTINEL]
+        states = [frozenset()]
+        for x in basis:
+            states = states + [s | {x} for s in states]
+        return states
+
+    # -- driver metadata -----------------------------------------------------
+
+    def footprint(self, method: str, args) -> frozenset:
+        if method in ("min", "max", "size"):
+            return frozenset({"order"})
+        # element ops also take the order key when they can change what
+        # the order observers see (mutators do; contains does not).
+        if method in ("add", "remove"):
+            return frozenset({("elem", args[0]), "order"})
+        return frozenset({("elem", args[0])})
+
+    def is_mutator(self, method: str) -> bool:
+        return method in ("add", "remove")
+
+    def probe_ops(self) -> Iterable[Op]:
+        from repro.core.ops import make_op
+
+        return (
+            make_op("add", (1,), True),
+            make_op("remove", (1,), True),
+            make_op("min", (), None),
+            make_op("size", (), 0),
+        )

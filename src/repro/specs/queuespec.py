@@ -1,0 +1,112 @@
+"""A FIFO queue specification.
+
+Methods:
+
+* ``enq(x) -> None``
+* ``deq() -> x | None`` — ``None`` when empty (total, like ``poll()``).
+* ``peek() -> x | None``
+* ``size() -> n``
+
+Queues are included as a *low-commutativity* data type: almost no pair of
+operations commutes (two ``enq``s are ordered by later ``deq``s; two
+``deq``s are ordered against each other), which stresses the PUSH criteria
+paths of the machine — pessimistic/boosted execution over a queue is
+nearly serial, and the benchmarks use this as the adversarial contrast to
+the highly commutative :class:`~repro.specs.setspec.SetSpec`.
+
+Mover decision procedure
+------------------------
+Unlike the other specs, a queue operation's behaviour depends on unbounded
+state (the whole contents).  :meth:`QueueSpec.mover_states` enumerates all
+queue contents up to length :data:`MOVER_STATE_BOUND` over the alphabet of
+mentioned values plus two fresh sentinels.  Two fresh symbols suffice to
+expose ordering differences a pair of operations can create (each operation
+mentions at most one value; a counterexample to Definition 4.1 either
+manifests in the observable return values — which only compare mentioned
+values — or in the resulting contents, where positions of at most two
+unmentioned elements matter).  Property tests validate the bound against
+longer enumerations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Tuple
+
+from repro.core.errors import SpecError
+from repro.core.ops import Op
+from repro.core.spec import StateSpec
+
+MOVER_STATE_BOUND = 3
+
+
+class _Fresh:
+    def __init__(self, tag: str):
+        self.tag = tag
+
+    def __repr__(self) -> str:
+        return f"<fresh:{self.tag}>"
+
+
+FRESH_A = _Fresh("a")
+FRESH_B = _Fresh("b")
+
+
+class QueueSpec(StateSpec):
+    """A FIFO queue, initially ``initial`` (front first)."""
+
+    def __init__(self, initial: Iterable[Any] = ()):
+        self.initial = tuple(initial)
+
+    def initial_state(self) -> Tuple[Any, ...]:
+        return self.initial
+
+    def perform(self, state: Tuple, method: str, args: Tuple) -> Tuple[Any, Tuple]:
+        if method == "enq":
+            (x,) = args
+            return None, state + (x,)
+        if method == "deq":
+            if not state:
+                return None, state
+            return state[0], state[1:]
+        if method == "peek":
+            return (state[0] if state else None), state
+        if method == "size":
+            return len(state), state
+        raise SpecError(f"QueueSpec has no method {method!r}")
+
+    @staticmethod
+    def _mentioned(op: Op) -> Tuple[Any, ...]:
+        values = []
+        if op.method == "enq":
+            values.append(op.args[0])
+        if op.method in ("deq", "peek") and op.ret is not None:
+            values.append(op.ret)
+        return tuple(values)
+
+    def mover_states(self, op1: Op, op2: Op) -> Iterable[Tuple]:
+        alphabet = tuple(
+            dict.fromkeys(self._mentioned(op1) + self._mentioned(op2))
+        ) + (FRESH_A, FRESH_B)
+        states = [()]
+        frontier = [()]
+        for _ in range(MOVER_STATE_BOUND):
+            frontier = [s + (x,) for s in frontier for x in alphabet]
+            states.extend(frontier)
+        return states
+
+    # -- driver metadata ---------------------------------------------------------
+
+    def footprint(self, method: str, args) -> frozenset:
+        return frozenset({"queue"})
+
+    def is_mutator(self, method: str) -> bool:
+        return method in ("enq", "deq")
+
+    def probe_ops(self) -> Iterable[Op]:
+        from repro.core.ops import make_op
+
+        return (
+            make_op("enq", ("p",), None),
+            make_op("deq", (), "p"),
+            make_op("deq", (), None),
+        )

@@ -1,0 +1,56 @@
+"""Name-based specification registry.
+
+The runtime harness and the benchmark drivers select data types by name
+(workload configurations are plain data), so the registry maps short names
+to zero-argument spec factories.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Tuple
+
+from repro.core.spec import SequentialSpec
+
+_REGISTRY: Dict[str, Callable[[], SequentialSpec]] = {}
+
+
+def register(name: str, factory: Callable[[], SequentialSpec]) -> None:
+    """Register a spec factory under ``name`` (last registration wins)."""
+    _REGISTRY[name] = factory
+
+
+def get_spec(name: str) -> SequentialSpec:
+    """Instantiate the spec registered under ``name``."""
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(sorted(_REGISTRY))
+        raise KeyError(f"unknown spec {name!r}; known: {known}")
+    return factory()
+
+
+def spec_names() -> Tuple[str, ...]:
+    return tuple(sorted(_REGISTRY))
+
+
+def _register_defaults() -> None:
+    from repro.specs.bank import BankSpec
+    from repro.specs.counter import CounterSpec
+    from repro.specs.kvmap import KVMapSpec
+    from repro.specs.memory import MemorySpec
+    from repro.specs.queuespec import QueueSpec
+    from repro.specs.setspec import SetSpec
+    from repro.specs.stackspec import StackSpec
+    from repro.specs.orderedset import OrderedSetSpec
+
+    register("memory", MemorySpec)
+    register("counter", CounterSpec)
+    register("set", SetSpec)
+    register("kvmap", KVMapSpec)
+    register("queue", QueueSpec)
+    register("stack", StackSpec)
+    register("bank", BankSpec)
+    register("orderedset", OrderedSetSpec)
+
+
+_register_defaults()

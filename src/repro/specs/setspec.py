@@ -1,0 +1,77 @@
+"""A mathematical set — the boosted ``Set`` of Figure 2's caption.
+
+Methods (Java-``Set``-style return values, as transactional boosting
+requires for its inverse operations):
+
+* ``add(x) -> bool`` — ``True`` iff ``x`` was absent (and is now present);
+* ``remove(x) -> bool`` — ``True`` iff ``x`` was present (and is now absent);
+* ``contains(x) -> bool``.
+
+Mover decision procedure
+------------------------
+An operation's behaviour depends only on the membership bit of the element
+it mentions, so for a pair of operations the state space relevant to
+Definition 4.1 is the ≤4 assignments of membership bits to the (≤2)
+mentioned elements.  :meth:`SetSpec.mover_states` enumerates exactly those,
+making the generic swap check exact.  This recovers the boosting
+commutativity law used throughout the paper: operations on distinct
+elements always commute; on the same element, reads commute and
+failed mutators (``add→False``, ``remove→False``) are state-preserving and
+commute with consistent observations.
+"""
+
+from __future__ import annotations
+
+from typing import Any, FrozenSet, Iterable, Tuple
+
+from repro.core.errors import SpecError
+from repro.core.ops import Op
+from repro.core.spec import StateSpec
+
+
+class SetSpec(StateSpec):
+    """A set of hashable elements, initially ``initial``."""
+
+    def __init__(self, initial: Iterable[Any] = ()):
+        self.initial = frozenset(initial)
+
+    def initial_state(self) -> FrozenSet[Any]:
+        return self.initial
+
+    def perform(self, state: FrozenSet, method: str, args: Tuple) -> Tuple[Any, FrozenSet]:
+        (x,) = args
+        if method == "add":
+            if x in state:
+                return False, state
+            return True, state | {x}
+        if method == "remove":
+            if x in state:
+                return True, state - {x}
+            return False, state
+        if method == "contains":
+            return x in state, state
+        raise SpecError(f"SetSpec has no method {method!r}")
+
+    def mover_states(self, op1: Op, op2: Op) -> Iterable[FrozenSet]:
+        elements = sorted({op1.args[0], op2.args[0]}, key=repr)
+        states = [frozenset()]
+        for x in elements:
+            states = [s for s in states] + [s | {x} for s in states]
+        return states
+
+    # -- driver metadata ---------------------------------------------------------
+
+    def footprint(self, method: str, args) -> frozenset:
+        return frozenset({("elem", args[0])})
+
+    def is_mutator(self, method: str) -> bool:
+        return method in ("add", "remove")
+
+    def probe_ops(self) -> Iterable[Op]:
+        from repro.core.ops import make_op
+
+        return (
+            make_op("add", ("probe",), True),
+            make_op("remove", ("probe",), True),
+            make_op("contains", ("probe",), False),
+        )

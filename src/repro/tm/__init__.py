@@ -1,0 +1,83 @@
+"""TM systems of §6/§7 as PUSH/PULL rule disciplines.
+
+Every algorithm here is a *driver*: it decides **when** to invoke the
+machine's APP/PUSH/PULL/... rules, and how to react when a rule's
+criterion fails (abort-and-retry, wait, detangle, ...).  Correctness never
+comes from the driver — the machine checks every Figure 5 criterion, so
+the paper's theorem guarantees any driver that runs to completion produced
+a serializable execution.  The drivers reproduce the *disciplines* the
+paper's evaluation attributes to each system:
+
+====================  =====================================================
+:mod:`.globallock`    baseline: one transaction at a time (never aborts)
+:mod:`.tl2`           §6.2 — optimistic, PUSH everything at commit (TL2)
+:mod:`.encounter`     §6.2 — optimistic with encounter-time (eager) PUSH of
+                      mutators (TinySTM-style early conflict detection)
+:mod:`.boosting`      §6.3/Fig. 2 — abstract locks + PUSH at linearization
+:mod:`.pessimistic`   §6.3 — Matveev–Shavit: writers delay PUSH to an
+                      uninterleaved commit; nobody aborts (they wait)
+:mod:`.irrevocable`   §6.4 — one irrevocable transaction among optimists
+:mod:`.dependent`     §6.5 — PULL uncommitted effects, commit dependencies,
+                      cascading detangle on producer abort
+:mod:`.htm`           simulated best-effort HTM (eager conflict detection,
+                      capacity limits, lazy publication)
+:mod:`.hybrid`        §7 — boosted objects + HTM words in one transaction,
+                      with selective UNPUSH/UNAPP on HTM conflicts
+:mod:`.checkpoint`    §6.2 — checkpoints/closed nesting: placemarkers so
+                      aborts UNAPP only a suffix (partial abort)
+:mod:`.earlyrelease`  §6.5 — DSTM early release: UNPUSH published reads the
+                      transaction no longer needs (non-abort UNPUSH)
+:mod:`.elastic`       §8 future work [9] — elastic transactions: cut into
+                      serializable pieces instead of aborting
+====================  =====================================================
+"""
+
+from repro.tm.base import Runtime, TMAlgorithm, TxStepper, StepStatus, LockTable
+from repro.tm.globallock import GlobalLockTM
+from repro.tm.tl2 import TL2TM
+from repro.tm.encounter import EncounterTM
+from repro.tm.boosting import BoostingTM
+from repro.tm.pessimistic import PessimisticTM
+from repro.tm.irrevocable import IrrevocableTM
+from repro.tm.dependent import DependentTM
+from repro.tm.htm import HTM
+from repro.tm.hybrid import HybridTM
+from repro.tm.checkpoint import CheckpointTM
+from repro.tm.earlyrelease import EarlyReleaseTM
+from repro.tm.elastic import ElasticTM
+
+ALL_ALGORITHMS = {
+    "globallock": GlobalLockTM,
+    "tl2": TL2TM,
+    "encounter": EncounterTM,
+    "boosting": BoostingTM,
+    "pessimistic": PessimisticTM,
+    "irrevocable": IrrevocableTM,
+    "dependent": DependentTM,
+    "htm": HTM,
+    "hybrid": HybridTM,
+    "checkpoint": CheckpointTM,
+    "earlyrelease": EarlyReleaseTM,
+    "elastic": ElasticTM,
+}
+
+__all__ = [
+    "Runtime",
+    "TMAlgorithm",
+    "TxStepper",
+    "StepStatus",
+    "LockTable",
+    "GlobalLockTM",
+    "TL2TM",
+    "EncounterTM",
+    "BoostingTM",
+    "PessimisticTM",
+    "IrrevocableTM",
+    "DependentTM",
+    "HTM",
+    "HybridTM",
+    "CheckpointTM",
+    "EarlyReleaseTM",
+    "ElasticTM",
+    "ALL_ALGORITHMS",
+]

@@ -1,0 +1,581 @@
+"""Driver infrastructure shared by every TM algorithm.
+
+:class:`Runtime` owns the (immutable) machine state, the history recorder
+and the driver-level coordination structures (abstract lock table, tokens,
+dependency registry).  Drivers mutate the runtime by *replacing* its
+machine with the successor state a rule returns.
+
+:class:`TxStepper` wraps one transaction attempt as a resumable generator:
+the scheduler calls :meth:`TxStepper.step` repeatedly; each call advances
+the attempt by one scheduling quantum (the code between two ``yield``\\ s of
+the algorithm's :meth:`TMAlgorithm.attempt` generator — everything between
+yields is uninterleaved, which is how drivers realise the paper's
+"uninterleaved moment" at commit time).  :class:`~repro.core.errors.TMAbort`
+raised inside an attempt triggers the generic rollback (UNPULL / UNPUSH /
+UNAPP right-to-left — always criterion-clean, see :meth:`Runtime.rollback`)
+and a retry with the same machine thread.
+
+The stepper also exposes per-attempt counters (rule applications, aborts,
+waits) that the harness aggregates into experiment metrics.
+"""
+
+from __future__ import annotations
+
+import collections
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.core.errors import CriterionViolation, MachineError, SpecError, TMAbort
+from repro.core.history import History, TxRecord
+from repro.core.language import Call, Code, Tx, step as lang_step
+from repro.core.logs import NotPushed, Pulled, Pushed
+from repro.core.machine import Machine
+from repro.core.ops import Op
+from repro.core.spec import RebasedStateSpec, SequentialSpec, StateSpec
+
+
+class LockTable:
+    """Abstract locks keyed by footprint keys (transactional boosting).
+
+    Two modes per key, as in real boosted data structures:
+
+    * **exclusive** — required by mutators; conflicts with everything;
+    * **shared** — sufficient for observers (``contains``, ``get``);
+      multiple owners may hold a key shared simultaneously, and an owner
+      may *upgrade* its own shared hold to exclusive if no one else
+      shares it.
+
+    Non-blocking acquire: :meth:`try_acquire` returns ``False`` (taking
+    nothing) when any requested key is unavailable.  Re-entrant per owner.
+    """
+
+    def __init__(self) -> None:
+        self._exclusive: Dict[Any, int] = {}
+        self._shared: Dict[Any, Set[int]] = collections.defaultdict(set)
+        self._held: Dict[int, Set[Any]] = collections.defaultdict(set)
+
+    def _can_take(self, owner: int, key: Any, shared: bool) -> bool:
+        holder = self._exclusive.get(key)
+        if holder is not None and holder != owner:
+            return False
+        if not shared:
+            others = self._shared.get(key, set()) - {owner}
+            if others:
+                return False
+        return True
+
+    def try_acquire(
+        self, owner: int, keys: frozenset, shared: bool = False
+    ) -> bool:
+        for key in keys:
+            if not self._can_take(owner, key, shared):
+                return False
+        for key in keys:
+            if shared:
+                if self._exclusive.get(key) != owner:
+                    self._shared[key].add(owner)
+            else:
+                self._exclusive[key] = owner
+                self._shared[key].discard(owner)  # upgrade
+            self._held[owner].add(key)
+        return True
+
+    def release_all(self, owner: int) -> None:
+        for key in self._held.pop(owner, ()):
+            if self._exclusive.get(key) == owner:
+                del self._exclusive[key]
+            self._shared.get(key, set()).discard(owner)
+
+    def holder(self, key: Any) -> Optional[int]:
+        return self._exclusive.get(key)
+
+    def shared_holders(self, key: Any) -> frozenset:
+        return frozenset(self._shared.get(key, ()))
+
+    def held_by(self, owner: int) -> frozenset:
+        return frozenset(self._held.get(owner, ()))
+
+
+class DependencyRegistry:
+    """Producer→consumer commit dependencies (§6.5).
+
+    A consumer that PULLs an uncommitted operation of a producer registers
+    the dependency; the producer's abort cascades (the dependent driver
+    consults :meth:`doomed` before continuing)."""
+
+    def __init__(self) -> None:
+        self._consumers_of: Dict[int, Set[int]] = collections.defaultdict(set)
+        self._producers_of: Dict[int, Set[int]] = collections.defaultdict(set)
+        self._doomed: Set[int] = set()
+
+    def depend(self, consumer_tid: int, producer_tid: int) -> None:
+        self._consumers_of[producer_tid].add(consumer_tid)
+        self._producers_of[consumer_tid].add(producer_tid)
+
+    def would_cycle(self, consumer_tid: int, producer_tid: int) -> bool:
+        """Would adding consumer→producer close a dependency cycle?  A
+        cycle means neither party can ever satisfy CMT criterion (iii)
+        (each waits for the other to commit first), so drivers must refuse
+        to create one."""
+        frontier = [producer_tid]
+        seen = set()
+        while frontier:
+            current = frontier.pop()
+            if current == consumer_tid:
+                return True
+            if current in seen:
+                continue
+            seen.add(current)
+            frontier.extend(self._producers_of.get(current, ()))
+        return False
+
+    def producers(self, consumer_tid: int) -> frozenset:
+        return frozenset(self._producers_of.get(consumer_tid, ()))
+
+    def on_abort(self, producer_tid: int) -> None:
+        """Doom every (transitive) consumer of ``producer_tid``."""
+        frontier = [producer_tid]
+        while frontier:
+            current = frontier.pop()
+            for consumer in self._consumers_of.pop(current, ()):
+                if consumer not in self._doomed:
+                    self._doomed.add(consumer)
+                    frontier.append(consumer)
+
+    def on_commit(self, producer_tid: int) -> None:
+        for consumer in self._consumers_of.pop(producer_tid, ()):
+            self._producers_of[consumer].discard(producer_tid)
+
+    def doomed(self, tid: int) -> bool:
+        return tid in self._doomed
+
+    def clear(self, tid: int) -> None:
+        self._doomed.discard(tid)
+        for producers in (self._producers_of.pop(tid, set()),):
+            for producer in producers:
+                self._consumers_of[producer].discard(tid)
+
+
+class Runtime:
+    """Shared driver state: the machine, the history, coordination."""
+
+    def __init__(
+        self,
+        spec: SequentialSpec,
+        check_gray_criteria: bool = True,
+        compact_every: Optional[int] = 64,
+        record_trace: bool = False,
+    ):
+        self.spec = spec
+        self.machine = Machine(spec, check_gray_criteria=check_gray_criteria)
+        self.history = History()
+        #: optional rule trace (repro.checking.trace.TraceEvent per applied
+        #: rule) — lets a driver run be rendered in Figure-7 style.
+        self.record_trace = record_trace
+        self.trace: list = []
+        self.locks = LockTable()
+        self.dependencies = DependencyRegistry()
+        self.tokens: Dict[str, Optional[int]] = {}
+        self.active_tids: Set[int] = set()
+        self.rule_counts: collections.Counter = collections.Counter()
+        self.compact_every = compact_every
+        self._commits_since_compaction = 0
+
+    # -- machine stepping -----------------------------------------------------
+
+    def apply(self, rule: str, *args) -> Machine:
+        """Invoke machine rule ``rule`` with ``args``; commit the successor
+        state and count the application."""
+        previous = self.machine
+        successor = getattr(self.machine, rule)(*args)
+        self.machine = successor
+        self.rule_counts[rule.upper()] += 1
+        if self.record_trace:
+            self._record(rule, previous, successor, args)
+        return successor
+
+    def _record(self, rule: str, previous: Machine, successor: Machine, args) -> None:
+        from repro.checking.trace import TraceEvent
+
+        tid = args[0] if args else -1
+        op = None
+        if rule in ("push", "unpush", "pull", "unpull") and len(args) > 1:
+            op = args[1]
+        elif rule == "app":
+            op = successor.thread(tid).local[-1].op
+        elif rule == "unapp":
+            op = previous.thread(tid).local[-1].op
+        if op is not None:
+            self.trace.append(
+                TraceEvent(rule.upper(), tid, op.method, op.args, op.ret)
+            )
+        else:
+            self.trace.append(TraceEvent(rule.upper(), tid))
+
+    # -- tokens (single-holder flags: write token, irrevocability, ...) --------
+
+    def try_token(self, name: str, tid: int) -> bool:
+        holder = self.tokens.get(name)
+        if holder is None or holder == tid:
+            self.tokens[name] = tid
+            return True
+        return False
+
+    def release_token(self, name: str, tid: int) -> None:
+        if self.tokens.get(name) == tid:
+            self.tokens[name] = None
+
+    def token_holder(self, name: str) -> Optional[int]:
+        return self.tokens.get(name)
+
+    # -- generic rollback -------------------------------------------------------
+
+    def rollback(self, tid: int) -> None:
+        """Undo a transaction completely: walk the local log right-to-left,
+        UNPULLing pulled entries, UNPUSH+UNAPPing pushed entries and
+        UNAPPing unpushed ones.  Right-to-left order makes every criterion
+        hold (each removal leaves an allowed prefix), except UNPUSH when
+        *another* transaction pushed work depending on ours — the §6.5
+        driver dooms its dependents first, so by the time rollback runs the
+        shared log no longer depends on our operations."""
+        thread = self.machine.thread(tid)
+        while len(thread.local) > 0:
+            entry = thread.local[-1]
+            if isinstance(entry.flag, Pulled):
+                self.apply("unpull", tid, entry.op)
+            elif isinstance(entry.flag, Pushed):
+                self.apply("unpush", tid, entry.op)
+                self.apply("unapp", tid)
+            else:
+                self.apply("unapp", tid)
+            thread = self.machine.thread(tid)
+
+    # -- relevance-based pulling --------------------------------------------------
+
+    def relevant_committed(
+        self, tid: int, keys: frozenset
+    ) -> List[Op]:
+        """Committed global-log mutator operations whose footprint
+        intersects ``keys`` and which the thread has not pulled (and does
+        not own), in global-log order — the set a driver must PULL for its
+        local view to return correct values for a call with footprint
+        ``keys``."""
+        thread = self.machine.thread(tid)
+        have = thread.local.ids()
+        wanted: List[Op] = []
+        for entry in self.machine.global_log:
+            if not entry.is_committed:
+                continue
+            op = entry.op
+            if op.op_id in have:
+                continue
+            if not self.spec.is_mutator(op.method):
+                continue
+            if self.spec.op_footprint(op) & keys:
+                wanted.append(op)
+        return wanted
+
+    def pull_relevant(self, tid: int, keys: frozenset) -> List[Op]:
+        """PULL everything :meth:`relevant_committed` returns; on a
+        criterion failure raise :class:`TMAbort` (stale view)."""
+        pulled = []
+        for op in self.relevant_committed(tid, keys):
+            try:
+                self.apply("pull", tid, op)
+            except CriterionViolation as exc:
+                raise TMAbort(f"pull conflict: {exc}")
+            pulled.append(op)
+        return pulled
+
+    # -- log compaction -------------------------------------------------------------
+
+    def maybe_compact(self) -> bool:
+        """When quiescent (no active transactions, every global entry
+        committed), replay the global log into a rebased spec and restart
+        with an empty log.  Keeps ``allowed`` checks O(transaction), not
+        O(run).  Only available for :class:`StateSpec`."""
+        if self.compact_every is None:
+            return False
+        self._commits_since_compaction += 1
+        if self._commits_since_compaction < self.compact_every:
+            return False
+        if self.active_tids:
+            return False
+        if any(t.local.entries for t in self.machine.threads):
+            return False
+        if any(not e.is_committed for e in self.machine.global_log):
+            return False
+        base = self.spec
+        if not isinstance(base, StateSpec):
+            return False
+        state = base.replay(self.machine.global_log.all_ops())
+        if state is None:  # pragma: no cover - would be a machine bug
+            raise MachineError("committed global log is not allowed")
+        rebased = RebasedStateSpec(base, state)
+        self.spec = rebased
+        live_threads = self.machine.threads
+        self.machine = Machine(
+            rebased,
+            threads=live_threads,
+            ids=self.machine.ids,
+            check_gray_criteria=self.machine.check_gray_criteria,
+        )
+        self._commits_since_compaction = 0
+        return True
+
+
+class StepStatus(Enum):
+    RUNNING = "running"
+    COMMITTED = "committed"
+    ABORTED = "aborted"  # permanently (retries exhausted)
+
+
+@dataclass
+class StepperStats:
+    attempts: int = 0
+    aborts: int = 0
+    waits: int = 0
+    steps: int = 0
+
+
+class TMAlgorithm(ABC):
+    """A TM system as a PUSH/PULL discipline.
+
+    Subclasses implement :meth:`attempt`: a generator that drives one
+    attempt of ``program`` on machine thread ``tid`` to CMT, yielding at
+    every point where other transactions may interleave, and raising
+    :class:`TMAbort` on conflicts.  The surrounding :class:`TxStepper`
+    handles rollback, history recording and retries.
+    """
+
+    name: str = "abstract"
+    #: whether the discipline stays inside the opaque fragment (§6.1)
+    opaque: bool = True
+
+    @abstractmethod
+    def attempt(
+        self, rt: Runtime, tid: int, record: TxRecord, program: Code
+    ) -> Iterator[None]:
+        """Drive one attempt; generator yields are preemption points."""
+
+    def prepare_program(self, program: Code) -> Code:
+        """Hook: transform the submitted program before the machine thread
+        is spawned.  The default is the identity; elastic transactions use
+        it to declare their cut points (``skip +`` choices), which changes
+        the transaction's *meaning* exactly the way elasticity does."""
+        return program
+
+    # -- shared helpers -----------------------------------------------------------
+
+    @staticmethod
+    def resolve_steps(program: Code) -> List[Call]:
+        """Flatten a *straight-line* transaction into its calls.  Workload
+        programs are straight-line; algorithms that support nondeterminism
+        resolve ``step`` choices themselves."""
+        body = program.body if isinstance(program, Tx) else program
+        calls: List[Call] = []
+        code = body
+        while True:
+            choices = lang_step(code)
+            if not choices:
+                break
+            if len(choices) != 1:
+                raise MachineError(
+                    "resolve_steps only handles straight-line programs; "
+                    f"{code!r} has {len(choices)} next steps"
+                )
+            ((call_node, continuation),) = choices
+            calls.append(call_node)
+            code = continuation
+        return calls
+
+    def app_call(self, rt: Runtime, tid: int, index: int) -> Op:
+        """APP the ``index``-th remaining step choice of ``tid`` (0 =
+        deterministic next).  Returns the new operation.  Criterion
+        failures become :class:`TMAbort`."""
+        machine = rt.machine
+        choices = sorted(machine.app_choices(tid), key=repr)
+        if not choices:
+            raise MachineError(f"thread {tid} has no next step")
+        choice = choices[min(index, len(choices) - 1)]
+        try:
+            rt.apply("app", tid, choice)
+        except CriterionViolation as exc:
+            raise TMAbort(f"app conflict: {exc}")
+        return rt.machine.thread(tid).local[-1].op
+
+    def push_op(self, rt: Runtime, tid: int, op: Op) -> None:
+        try:
+            rt.apply("push", tid, op)
+        except CriterionViolation as exc:
+            raise TMAbort(f"push conflict: {exc}")
+
+    def push_all_unpushed(self, rt: Runtime, tid: int) -> None:
+        """PUSH the thread's ``npshd`` operations in local-log order
+        (criterion (i) trivially satisfied — §4's observation that all
+        existing implementations push in APP order)."""
+        for op in rt.machine.thread(tid).local.not_pushed_ops():
+            self.push_op(rt, tid, op)
+
+    def validate_then_push_all(self, rt: Runtime, tid: int) -> None:
+        """§6.2's commit sequence: *check* the PUSH conditions on all
+        effects first, then publish.  The dry run exploits machine
+        immutability (pushes applied to a scratch successor that is
+        discarded); a validation failure raises :class:`TMAbort` with
+        nothing published, so the subsequent rollback is pure UNAPPs —
+        TL2 "needn't UNPUSH".  On success the same pushes are replayed on
+        the runtime within the same quantum, so they cannot fail."""
+        scratch = rt.machine
+        for op in scratch.thread(tid).local.not_pushed_ops():
+            try:
+                scratch = scratch.push(tid, op)
+            except CriterionViolation as exc:
+                raise TMAbort(f"commit validation failed: {exc}")
+        self.push_all_unpushed(rt, tid)
+
+    def commit(self, rt: Runtime, tid: int) -> None:
+        try:
+            rt.apply("cmt", tid)
+        except CriterionViolation as exc:
+            raise TMAbort(f"commit refused: {exc}")
+
+
+class TxStepper:
+    """One logical transaction: attempts, rollbacks, retries, recording."""
+
+    def __init__(
+        self,
+        algorithm: TMAlgorithm,
+        runtime: Runtime,
+        program: Code,
+        max_retries: int = 50,
+        job_id: Optional[int] = None,
+        backoff: bool = True,
+        backoff_cap: int = 64,
+    ):
+        self.algorithm = algorithm
+        self.runtime = runtime
+        self.program = program
+        self.max_retries = max_retries
+        self.job_id = job_id
+        self.backoff = backoff
+        self.backoff_cap = backoff_cap
+        self.status = StepStatus.RUNNING
+        self.stats = StepperStats()
+        self.record: Optional[TxRecord] = None
+        self._generator: Optional[Iterator[None]] = None
+        self._tid: Optional[int] = None
+        self._previous_record_id: Optional[int] = None
+        self._backoff_remaining = 0
+
+    @property
+    def tid(self) -> Optional[int]:
+        return self._tid
+
+    def _begin_attempt(self) -> None:
+        rt = self.runtime
+        if self._tid is None:
+            rt.machine, self._tid = rt.machine.spawn(
+                self.algorithm.prepare_program(self.program)
+            )
+        self.record = rt.history.begin(self._tid, retries_of=self._previous_record_id)
+        self._previous_record_id = self.record.tx_id
+        rt.active_tids.add(self._tid)
+        self.stats.attempts += 1
+        self._generator = self.algorithm.attempt(rt, self._tid, self.record, self.program)
+
+    def _observed_view(self) -> Tuple[Tuple[Op, ...], Tuple[Op, ...], Tuple[Op, ...]]:
+        """(own ops, full observed view, pulled-uncommitted) of the thread."""
+        thread = self.runtime.machine.thread(self._tid)
+        own = thread.local.own_ops()
+        observed = thread.local.all_ops()
+        pulled_uncommitted = tuple(
+            op
+            for op in thread.local.pulled_ops()
+            if (entry := self.runtime.machine.global_log.entry_for(op)) is not None
+            and not entry.is_committed
+        )
+        return own, observed, pulled_uncommitted
+
+    def step(self) -> StepStatus:
+        """Advance one scheduling quantum."""
+        if self.status is not StepStatus.RUNNING:
+            return self.status
+        rt = self.runtime
+        if self._backoff_remaining > 0:
+            # Contention management: a freshly aborted transaction sits out
+            # an exponentially growing number of quanta before retrying, so
+            # symmetric conflicts cannot livelock (the TinySTM/TL2
+            # contention-manager role).
+            self._backoff_remaining -= 1
+            self.stats.waits += 1
+            self.stats.steps += 1
+            return self.status
+        if self._generator is None:
+            self._begin_attempt()
+        try:
+            self.stats.steps += 1
+            next(self._generator)
+            return self.status
+        except StopIteration:
+            # Attempt generator finished: it must have committed.
+            own, observed, pulled_uncommitted = (), (), ()
+            rt.history.commit(self.record, *self._finished_ops())
+            rt.active_tids.discard(self._tid)
+            rt.dependencies.on_commit(self._tid)
+            rt.machine = rt.machine.end_thread(self._tid)
+            self._tid = None
+            self._generator = None
+            self.status = StepStatus.COMMITTED
+            rt.maybe_compact()
+            return self.status
+        except TMAbort as abort:
+            self.stats.aborts += 1
+            own, observed, pulled_uncommitted = self._observed_view()
+            rt.dependencies.on_abort(self._tid)
+            rt.dependencies.clear(self._tid)
+            rt.locks.release_all(self._tid)
+            for token, holder in list(rt.tokens.items()):
+                if holder == self._tid:
+                    rt.tokens[token] = None
+            rt.rollback(self._tid)
+            rt.history.abort(
+                self.record, abort.reason, observed, pulled_uncommitted
+            )
+            rt.active_tids.discard(self._tid)
+            self._generator = None
+            if self.stats.aborts > self.max_retries:
+                self.status = StepStatus.ABORTED
+            elif self.backoff:
+                self._backoff_remaining = min(
+                    self.backoff_cap, 2 ** min(self.stats.aborts, 16)
+                ) * (1 + (self.job_id or 0) % 3) // 2
+            return self.status
+
+    def _finished_ops(self):
+        """Operation views recorded at commit: the attempt generator stashes
+        them on the record before CMT clears the local log (see
+        ``TMAlgorithm.attempt`` implementations, which call
+        ``record_commit_view``); fall back to empty views."""
+        record = self.record
+        own = getattr(record, "_commit_own", ())
+        observed = getattr(record, "_commit_observed", own)
+        pulled_uncommitted = getattr(record, "_commit_pulled_uncommitted", ())
+        return own, observed, pulled_uncommitted
+
+
+def record_commit_view(rt: Runtime, tid: int, record: TxRecord) -> None:
+    """Stash the thread's local view on the history record.  Must be called
+    by every algorithm immediately *before* CMT (which clears the local
+    log)."""
+    thread = rt.machine.thread(tid)
+    record._commit_own = thread.local.own_ops()
+    record._commit_observed = thread.local.all_ops()
+    record._commit_pulled_uncommitted = tuple(
+        op
+        for op in thread.local.pulled_ops()
+        if (entry := rt.machine.global_log.entry_for(op)) is not None
+        and not entry.is_committed
+    )

@@ -1,0 +1,87 @@
+"""CLI surface and documentation-snippet fidelity."""
+
+import pytest
+
+from repro.cli import build_parser, main as cli_main
+
+
+class TestCLIParser:
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.workload == "readwrite"
+        assert args.transactions == 40
+
+    def test_modelcheck_flags(self):
+        args = build_parser().parse_args(
+            ["modelcheck", "--max-states", "1000", "--cmtpres"]
+        )
+        assert args.max_states == 1000
+        assert args.cmtpres is True
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCLIRuns:
+    def test_compare_bank(self, capsys):
+        exit_code = cli_main([
+            "compare", "--workload", "bank", "--transactions", "6",
+            "--ops", "2", "--keys", "3", "--seed", "1", "--concurrency", "2",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert out.count("serializable=yes") >= 8
+
+    @pytest.mark.slow
+    def test_evaluate(self, capsys):
+        exit_code = cli_main(["evaluate"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "E8" in out
+        assert "VIOLATION" not in out
+
+
+class TestReadmeSnippets:
+    def test_quickstart_snippet(self):
+        """The README's first code block, executed verbatim-equivalent."""
+        from repro.core import CriterionViolation, Machine, call, tx
+        from repro.specs import KVMapSpec
+
+        spec = KVMapSpec()
+        m = Machine(spec)
+        m, t0 = m.spawn(tx(call("put", "a", 5), call("get", "a")))
+        m, t1 = m.spawn(tx(call("put", "a", 7)))
+        m = m.app(t0)
+        op = m.thread(t0).local[0].op
+        m = m.push(t0, op)
+        m = m.app(t1)
+        with pytest.raises(CriterionViolation):
+            m.push(t1, m.thread(t1).local[0].op)
+
+    def test_harness_snippet(self):
+        from repro.runtime import WorkloadConfig, make_workload, run_experiment
+        from repro.specs import MemorySpec
+        from repro.tm import TL2TM
+
+        programs = make_workload(
+            "readwrite", WorkloadConfig(transactions=10, keys=8)
+        )
+        result = run_experiment(TL2TM(), MemorySpec(), programs, concurrency=4)
+        assert "serializable=yes" in result.summary_row()
+
+    def test_design_doc_mentions_every_experiment_bench(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        design = (root / "DESIGN.md").read_text()
+        for bench in sorted((root / "benchmarks").glob("bench_*.py")):
+            assert bench.name in design, f"{bench.name} missing from DESIGN.md"
+
+    def test_experiments_doc_covers_all_eleven(self):
+        from pathlib import Path
+
+        root = Path(__file__).resolve().parent.parent
+        text = (root / "EXPERIMENTS.md").read_text()
+        for exp in [f"E{i}" for i in range(1, 12)]:
+            assert f"## {exp}" in text, exp

@@ -1,0 +1,63 @@
+"""DOT export of machine states and conflict graphs."""
+
+import pytest
+
+from repro.checking.dotexport import conflict_graph_to_dot, machine_to_dot
+from repro.core import Machine, call, tx
+from repro.core.conflictgraph import ConflictGraph
+from repro.core.ops import make_op
+from repro.specs import KVMapSpec
+
+
+class TestMachineDot:
+    def build(self):
+        machine = Machine(KVMapSpec())
+        machine, t0 = machine.spawn(tx(call("put", "a", 1)))
+        machine, t1 = machine.spawn(tx(call("get", "a")))
+        machine = machine.app(t0)
+        op = machine.thread(t0).local[0].op
+        machine = machine.push(t0, op)
+        machine = machine.pull(t1, op)
+        return machine
+
+    def test_structure(self):
+        dot = machine_to_dot(self.build(), title="demo")
+        assert dot.startswith("digraph pushpull")
+        assert dot.rstrip().endswith("}")
+        assert "shared log" in dot
+        assert "thread 0" in dot and "thread 1" in dot
+
+    def test_push_and_pull_edges(self):
+        dot = machine_to_dot(self.build())
+        assert 'label="push"' in dot
+        assert 'label="pull"' in dot
+        assert "gUCmt" in dot
+
+    def test_empty_machine(self):
+        dot = machine_to_dot(Machine(KVMapSpec()))
+        assert "(empty)" in dot
+
+    def test_quotes_escaped(self):
+        machine = Machine(KVMapSpec())
+        machine, tid = machine.spawn(tx(call("put", 'weird"key', 1)))
+        machine = machine.app(tid)
+        dot = machine_to_dot(machine)
+        assert '\\"' in dot
+
+
+class TestConflictGraphDot:
+    def test_edges_with_reasons(self):
+        graph = ConflictGraph()
+        a = make_op("inc", (), None)
+        b = make_op("get", (), 1)
+        graph.add_edge(1, 2, (a, b))
+        graph.add_node(3)
+        dot = conflict_graph_to_dot(graph)
+        assert "tx1 -> tx2" in dot
+        assert "inc→get" in dot
+        assert "tx3" in dot
+
+    def test_valid_shape(self):
+        dot = conflict_graph_to_dot(ConflictGraph(), title="empty")
+        assert dot.startswith("digraph conflicts")
+        assert dot.rstrip().endswith("}")

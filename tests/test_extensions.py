@@ -1,0 +1,170 @@
+"""Extensions beyond the core reproduction: checkpoints (§6.2), the trace
+recorder/replayer, and the CLI."""
+
+import pytest
+
+from repro.checking.trace import TraceRecorder, format_figure7, replay
+from repro.cli import main as cli_main
+from repro.core import Machine, call, choice, tx
+from repro.runtime import WorkloadConfig, make_workload, run_experiment
+from repro.specs import CounterSpec, KVMapSpec, MemorySpec
+from repro.tm import CheckpointTM, TL2TM
+
+
+class TestCheckpointTM:
+    def test_commits_workload(self):
+        config = WorkloadConfig(transactions=20, ops_per_tx=5, keys=4,
+                                read_ratio=0.5, seed=1)
+        algorithm = CheckpointTM(checkpoint_every=2)
+        result = run_experiment(
+            algorithm, MemorySpec(), make_workload("readwrite", config),
+            concurrency=4, seed=1,
+        )
+        assert result.commits == 20
+        assert result.serialization.serializable
+
+    def test_partial_rewinds_under_contention(self):
+        config = WorkloadConfig(transactions=24, ops_per_tx=6, keys=3,
+                                read_ratio=0.5, seed=2)
+        algorithm = CheckpointTM(checkpoint_every=2)
+        result = run_experiment(
+            algorithm, MemorySpec(), make_workload("readwrite", config),
+            concurrency=5, seed=2,
+        )
+        assert result.commits == 24
+        # the whole point: some conflicts were absorbed by partial rewind
+        assert algorithm.partial_rewinds > 0
+
+    def test_never_unpushes(self):
+        # checkpoints don't share effects until commit (§6.2): rollback is
+        # UNAPP/UNPULL only, except a failed *commit* which pushes nothing
+        # thanks to validate-then-push.
+        config = WorkloadConfig(transactions=20, ops_per_tx=4, keys=3,
+                                read_ratio=0.4, seed=3)
+        algorithm = CheckpointTM()
+        result = run_experiment(
+            algorithm, MemorySpec(), make_workload("readwrite", config),
+            concurrency=4, seed=3,
+        )
+        assert "UNPUSH" not in result.rule_counts
+
+    def test_checkpoint_frequency_tradeoff(self):
+        # more frequent checkpoints ⇒ at least as many partial rewind
+        # opportunities (weak check: both commit everything).
+        config = WorkloadConfig(transactions=20, ops_per_tx=6, keys=3,
+                                read_ratio=0.5, seed=4)
+        programs = make_workload("readwrite", config)
+        fine = CheckpointTM(checkpoint_every=1)
+        coarse = CheckpointTM(checkpoint_every=6)
+        r_fine = run_experiment(fine, MemorySpec(), programs, concurrency=4, seed=4)
+        r_coarse = run_experiment(coarse, MemorySpec(), programs, concurrency=4, seed=4)
+        assert r_fine.commits == r_coarse.commits == 20
+
+
+class TestTraceRecorder:
+    def run_traced(self):
+        spec = KVMapSpec()
+        rec = TraceRecorder(Machine(spec))
+        rec, t0 = rec.spawn(tx(call("put", "a", 1), call("get", "a")))
+        rec = rec.app(t0)
+        rec = rec.push(t0, rec.thread(t0).local[0].op)
+        rec = rec.app(t0)
+        rec = rec.push(t0, rec.thread(t0).local[1].op)
+        rec = rec.cmt(t0)
+        return spec, rec
+
+    def test_records_rules_in_order(self):
+        _, rec = self.run_traced()
+        rules = [e.rule for e in rec.trace]
+        assert rules == ["SPAWN", "APP", "PUSH", "APP", "PUSH", "CMT"]
+
+    def test_histogram(self):
+        _, rec = self.run_traced()
+        assert rec.histogram()["PUSH"] == 2
+
+    def test_format_figure7(self):
+        _, rec = self.run_traced()
+        text = format_figure7(rec.trace)
+        assert "APP(put('a', 1))" in text
+        assert "CMT" in text
+        assert "SPAWN" not in text
+
+    def test_replay_reproduces_state(self):
+        spec, rec = self.run_traced()
+        machine = replay(KVMapSpec(), rec.trace, [tx(call("put", "a", 1), call("get", "a"))])
+        assert [e.op.method for e in machine.global_log] == ["put", "get"]
+        assert all(e.is_committed for e in machine.global_log)
+
+    def test_replay_rejects_wrong_program(self):
+        spec, rec = self.run_traced()
+        with pytest.raises(ValueError):
+            replay(KVMapSpec(), rec.trace, [tx(call("put", "b", 1), call("get", "b"))])
+
+    def test_replay_with_nondeterminism(self):
+        spec = CounterSpec()
+        rec = TraceRecorder(Machine(spec))
+        rec, t = rec.spawn(tx(choice(call("inc"), call("dec"))))
+        dec_choice = next(
+            c for c in rec.app_choices(t) if c[0].method == "dec"
+        )
+        rec = rec.app(t, dec_choice)
+        rec = rec.push(t, rec.thread(t).local[0].op)
+        rec = rec.cmt(t)
+        machine = replay(
+            CounterSpec(), rec.trace, [tx(choice(call("inc"), call("dec")))]
+        )
+        assert machine.global_log[0].op.method == "dec"  # the chosen branch
+
+
+class TestRuntimeTrace:
+    def test_driver_run_produces_replayable_style_trace(self):
+        from repro.checking.trace import format_figure7
+        from repro.core.language import call, tx
+        from repro.specs import MemorySpec
+        from repro.tm.base import Runtime, StepStatus, TxStepper
+
+        rt = Runtime(MemorySpec(), record_trace=True)
+        stepper = TxStepper(TL2TM(), rt, tx(call("write", "x", 1), call("read", "x")))
+        while stepper.step() is StepStatus.RUNNING:
+            pass
+        rules = [event.rule for event in rt.trace]
+        assert rules == ["APP", "APP", "PUSH", "PUSH", "CMT"]
+        text = format_figure7(rt.trace)
+        assert "APP(write('x', 1))" in text
+
+    def test_trace_histogram_matches_rule_counts(self):
+        import collections
+
+        from repro.core.language import call, tx
+        from repro.specs import MemorySpec
+        from repro.tm.base import Runtime, StepStatus, TxStepper
+
+        rt = Runtime(MemorySpec(), record_trace=True)
+        steppers = [
+            TxStepper(TL2TM(), rt, tx(call("write", ("k", i % 2), i)))
+            for i in range(6)
+        ]
+        from repro.runtime import RoundRobinScheduler
+
+        RoundRobinScheduler().run(steppers)
+        histogram = collections.Counter(event.rule for event in rt.trace)
+        assert histogram == rt.rule_counts
+
+
+class TestCLI:
+    def test_compare(self, capsys):
+        exit_code = cli_main([
+            "compare", "--workload", "counter", "--transactions", "8",
+            "--ops", "2", "--seed", "3", "--concurrency", "3",
+        ])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "tl2" in out and "boosting" in out
+        assert "serializable=yes" in out
+
+    def test_modelcheck(self, capsys):
+        exit_code = cli_main(["modelcheck", "--max-states", "50000"])
+        out = capsys.readouterr().out
+        assert exit_code == 0
+        assert "mem-ww" in out and "OK" in out
+        assert "VIOLATION" not in out

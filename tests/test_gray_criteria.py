@@ -1,0 +1,65 @@
+"""The gray criteria (Figure 5's grayed-out side conditions).
+
+The paper marks PULL criterion (iii) and UNPUSH criterion (i) gray — "not
+strictly necessary" for serializability.  These tests measure exactly
+that: with the gray checks disabled the machine admits *more* states,
+some of the §5.3 *proof* invariants can fail on them, and yet the
+simulation with the atomic machine (Theorem 5.17's content) holds on the
+whole enlarged space.
+"""
+
+import pytest
+
+from repro.checking import explore
+from repro.checking.model_checker import ExploreOptions
+from repro.core.language import call, tx
+from repro.specs import CounterSpec, MemorySpec
+
+
+class TestGrayOffStillSerializable:
+    @pytest.mark.parametrize("spec_cls,programs", [
+        (MemorySpec, [tx(call("write", "x", 1), call("read", "x")),
+                      tx(call("write", "x", 2))]),
+        (CounterSpec, [tx(call("inc"), call("get")), tx(call("inc"))]),
+    ])
+    def test_cover_holds_without_gray_checks(self, spec_cls, programs):
+        report = explore(
+            spec_cls(), programs,
+            ExploreOptions(check_gray_criteria=False, check_invariants=False),
+        )
+        assert report.cover_violations == []
+
+    def test_gray_off_admits_more_states(self):
+        programs = [tx(call("write", "x", 1), call("read", "x")),
+                    tx(call("write", "x", 2))]
+        on = explore(MemorySpec(), programs, ExploreOptions())
+        off = explore(
+            MemorySpec(), programs,
+            ExploreOptions(check_gray_criteria=False, check_invariants=False),
+        )
+        assert off.states > on.states
+
+
+class TestGrayUnpushIsLoadBearingForInvariants:
+    """The one-thread get;dec scope: push both in order, then UNPUSH the
+    get — legal without the gray mover check — leaving a pushed ``dec``
+    after an unpushed ``get`` that is no left mover past it: the exact
+    ``I_localOrder`` pattern of Lemma 5.12."""
+
+    PROGRAMS = [tx(call("get"), call("dec"))]
+
+    def test_invariants_hold_with_gray_on(self):
+        report = explore(CounterSpec(), self.PROGRAMS, ExploreOptions())
+        assert report.invariant_violations == []
+        assert report.cover_violations == []
+
+    def test_invariant_breaks_with_gray_off_but_cover_survives(self):
+        report = explore(
+            CounterSpec(), self.PROGRAMS,
+            ExploreOptions(check_gray_criteria=False),
+        )
+        assert any(
+            "I_localOrder" in violation
+            for violation in report.invariant_violations
+        )
+        assert report.cover_violations == []  # serializability unharmed

@@ -1,0 +1,175 @@
+"""The §5.3 invariants on hand-built and machine-reached states."""
+
+import pytest
+
+from repro.core import Machine, call, tx
+from repro.core.invariants import (
+    check_all_invariants,
+    check_I_LG,
+    check_I_chronPush,
+    check_I_localOrder,
+    check_I_localReorder,
+    check_I_reorderPUSH,
+    check_I_slidePushed,
+    check_I_slideR,
+)
+from repro.core.logs import EMPTY_GLOBAL, EMPTY_LOCAL, NotPushed, Pushed, UNCOMMITTED
+from repro.core.machine import Thread
+from repro.core.ops import make_op
+from repro.specs import CounterSpec, KVMapSpec, MemorySpec
+
+
+def machine_after(spec, script):
+    """Build a machine by running `script`, a list of (rule, tid, args...)"""
+    m = Machine(spec)
+    tids = {}
+    for entry in script:
+        if entry[0] == "spawn":
+            _, name, program = entry
+            m, tid = m.spawn(program)
+            tids[name] = tid
+        else:
+            rule, name, *args = entry
+            resolved = []
+            for a in args:
+                resolved.append(a(m, tids) if callable(a) else a)
+            m = getattr(m, rule)(tids[name], *resolved)
+    return m, tids
+
+
+def last_op(name):
+    return lambda m, tids: m.thread(tids[name]).local[-1].op
+
+
+class TestILG:
+    def test_holds_on_normal_run(self):
+        m, _ = machine_after(
+            MemorySpec(),
+            [
+                ("spawn", "a", tx(call("write", "x", 1))),
+                ("app", "a"),
+                ("push", "a", last_op("a")),
+            ],
+        )
+        assert check_I_LG(m) == []
+
+    def test_detects_phantom_pushed_flag(self):
+        # Hand-build a corrupt state: pshd entry not in G.
+        spec = MemorySpec()
+        op = make_op("write", ("x", 1), None)
+        thread = Thread(0, tx(call("write", "x", 1)).body, None,
+                        EMPTY_LOCAL.append(op, Pushed()), None)
+        m = Machine(spec, [thread], EMPTY_GLOBAL)
+        violations = check_I_LG(m)
+        assert violations and "pshd" in violations[0]
+
+    def test_detects_npshd_in_global(self):
+        spec = MemorySpec()
+        op = make_op("write", ("x", 1), None)
+        thread = Thread(0, tx(call("write", "x", 1)).body, None,
+                        EMPTY_LOCAL.append(op, NotPushed()), None)
+        m = Machine(spec, [thread], EMPTY_GLOBAL.append(op, UNCOMMITTED))
+        violations = check_I_LG(m)
+        assert violations and "npshd" in violations[0]
+
+
+class TestSlideR:
+    def test_holds_with_commuting_concurrency(self):
+        m, _ = machine_after(
+            KVMapSpec(),
+            [
+                ("spawn", "a", tx(call("put", "k1", 1))),
+                ("spawn", "b", tx(call("put", "k2", 2))),
+                ("app", "a"),
+                ("push", "a", last_op("a")),
+                ("app", "b"),
+                ("push", "b", last_op("b")),
+            ],
+        )
+        assert check_I_slideR(m) == []
+
+    def test_detects_fabricated_conflict(self):
+        # Corrupt state: two conflicting uncommitted ops of different
+        # threads both in G (the machine would never allow it).
+        spec = CounterSpec()
+        inc = make_op("inc", (), None)
+        get = make_op("get", (), 0)
+        t0 = Thread(0, tx(call("inc")).body, None,
+                    EMPTY_LOCAL.append(inc, Pushed()), None)
+        t1 = Thread(1, tx(call("get")).body, None,
+                    EMPTY_LOCAL.append(get, Pushed()), None)
+        g = EMPTY_GLOBAL.append(inc, UNCOMMITTED).append(get, UNCOMMITTED)
+        m = Machine(spec, [t0, t1], g)
+        assert check_I_slideR(m)  # inc before get, inc ◁ get fails
+
+
+class TestLocalOrderAndReorder:
+    def test_out_of_order_commuting_push_ok(self):
+        m, _ = machine_after(
+            KVMapSpec(),
+            [
+                ("spawn", "a", tx(call("put", "k1", 1), call("put", "k2", 2))),
+                ("app", "a"),
+                ("app", "a"),
+                # push the second op first (out of order, commuting)
+                ("push", "a", lambda m, t: m.thread(t["a"]).local[1].op),
+            ],
+        )
+        assert check_I_localOrder(m) == []
+        assert check_I_reorderPUSH(m) == []
+
+    def test_full_run_all_invariants(self):
+        m, tids = machine_after(
+            KVMapSpec(),
+            [
+                ("spawn", "a", tx(call("put", "k1", 1), call("get", "k1"))),
+                ("spawn", "b", tx(call("put", "k2", 2))),
+                ("app", "a"),
+                ("push", "a", last_op("a")),
+                ("app", "b"),
+                ("push", "b", last_op("b")),
+                ("app", "a"),
+                ("push", "a", last_op("a")),
+                ("cmt", "a"),
+            ],
+        )
+        assert check_all_invariants(m) == []
+
+
+class TestPrecongruenceInvariants:
+    def test_slide_pushed_and_chron_push(self):
+        m, tids = machine_after(
+            KVMapSpec(),
+            [
+                ("spawn", "a", tx(call("put", "k1", 1), call("put", "k2", 2))),
+                ("spawn", "b", tx(call("put", "k3", 3))),
+                ("app", "a"),
+                ("app", "a"),
+                # interleave: b pushes between a's two pushes
+                ("push", "a", lambda m, t: m.thread(t["a"]).local[0].op),
+                ("push", "b", last_op("b")) if False else ("app", "b"),
+                ("push", "b", last_op("b")),
+                ("push", "a", lambda m, t: m.thread(t["a"]).local[1].op),
+            ],
+        )
+        for thread in m.threads:
+            assert check_I_slidePushed(m, thread) == []
+            assert check_I_chronPush(m, thread) == []
+            assert check_I_localReorder(m, thread) == []
+
+
+class TestInvariantsAcrossScheduledRuns:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random_tm_runs_preserve_invariants(self, seed):
+        """Invariants hold at the END of real TM runs (per-step checking
+        happens in the model checker)."""
+        from repro.runtime import RandomScheduler, WorkloadConfig, make_workload, run_experiment
+        from repro.specs import MemorySpec
+        from repro.tm import EncounterTM
+
+        config = WorkloadConfig(transactions=10, ops_per_tx=3, keys=4, seed=seed)
+        programs = make_workload("readwrite", config)
+        result = run_experiment(
+            EncounterTM(), MemorySpec(), programs, concurrency=3, seed=seed
+        )
+        assert check_all_invariants(result.runtime.machine) == []

@@ -1,0 +1,75 @@
+"""Lemma 5.15 (``I_⊆``), empirically: every self-rewind of a reachable
+thread state is realisable as a sequence of the machine's own backward
+rules (UNAPP / UNPUSH+UNAPP / UNPULL) — rewinds are not a bookkeeping
+fiction, they are transitions."""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import Machine
+from repro.core.logs import NotPushed, Pulled, Pushed
+from repro.core.rewind import self_rewinds
+from tests.test_properties_machine import SPEC_OF, random_programs, random_walk
+
+LEMMA_SETTINGS = settings(
+    max_examples=20, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def realise_rewind_via_rules(machine, tid, target_len):
+    """Peel the thread's local log down to ``target_len`` entries using
+    only machine rules; returns the machine, or None when a rule refuses
+    (which, for rewinds enumerated by ⟲self, must not happen unless the
+    peeled entry was pulled-and-depended-on)."""
+    thread = machine.thread(tid)
+    while len(thread.local) > target_len:
+        entry = thread.local[-1]
+        if isinstance(entry.flag, Pulled):
+            machine = machine.unpull(tid, entry.op)
+        elif isinstance(entry.flag, Pushed):
+            machine = machine.unpush(tid, entry.op)
+            machine = machine.unapp(tid)
+        else:
+            machine = machine.unapp(tid)
+        thread = machine.thread(tid)
+    return machine
+
+
+@pytest.mark.parametrize("spec_kind", sorted(SPEC_OF))
+@LEMMA_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=5_000))
+def test_self_rewinds_are_machine_transitions(spec_kind, seed):
+    rng = random.Random(seed)
+    spec = SPEC_OF[spec_kind]()
+    machine = Machine(spec)
+    tids = []
+    for program in random_programs(rng, spec_kind):
+        machine, tid = machine.spawn(program)
+        tids.append(tid)
+    machine, _ = random_walk(machine, rng, steps=25)
+
+    for tid in tids:
+        try:
+            thread = machine.thread(tid)
+        except Exception:
+            continue
+        for rewound_thread, rewound_global in self_rewinds(
+            thread, machine.global_log
+        ):
+            target_len = len(rewound_thread.local)
+            # ⟲self only peels suffixes whose pushed entries are
+            # uncommitted; UNPULL along the way can still be refused when
+            # the local remainder depends on the pulled op — but ⟲self
+            # also never peels an entry the surviving prefix depends on,
+            # because the prefix was allowed when the entry was appended.
+            realized = realise_rewind_via_rules(machine, tid, target_len)
+            assert realized is not None
+            realized_thread = realized.thread(tid)
+            assert len(realized_thread.local) == target_len
+            # Same surviving local log, same code, same shared log.
+            assert realized_thread.local == rewound_thread.local
+            assert realized_thread.code == rewound_thread.code
+            assert realized.global_log == rewound_global

@@ -1,0 +1,113 @@
+"""The §5.2 lemmas as hypothesis properties.
+
+Lemma 5.1: ``ℓ2 ◁ op ∧ allowed ℓ1·ℓ2·op ⇒ allowed ℓ1·op``.
+Lemma 5.4: ``(c,σ), ℓ1 ⇓ σ', ℓ1' ∧ ℓ2 ≼ ℓ1 ⇒ ∃ℓ2'. (c,σ), ℓ2 ⇓ σ', ℓ2'
+∧ ℓ2' ≼ ℓ1'`` — big-step runs transport along precongruence.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core.atomic import bigstep, payloads
+from repro.core.language import call, seq
+from repro.core.ops import IdGenerator, make_op
+from repro.core.precongruence import precongruent
+from repro.specs import CounterSpec, KVMapSpec, MemorySpec
+
+LEMMA_SETTINGS = settings(
+    max_examples=50, deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def memory_payloads():
+    return st.one_of(
+        st.sampled_from(["x", "y"]).map(lambda l: ("read", (l,))),
+        st.tuples(st.sampled_from(["x", "y"]), st.sampled_from([0, 1, 2])).map(
+            lambda t: ("write", t)
+        ),
+    )
+
+
+def realize(spec, raw, prefix=()):
+    ops = list(prefix)
+    for method, args in raw:
+        ret = spec.result(tuple(ops), method, args)
+        ops.append(make_op(method, args, ret))
+    return tuple(ops[len(prefix):])
+
+
+class TestLemma51:
+    @LEMMA_SETTINGS
+    @given(data=st.data())
+    def test_memory_instance(self, data):
+        spec = MemorySpec()
+        l1 = realize(spec, data.draw(st.lists(memory_payloads(), max_size=3)))
+        l2 = realize(spec, data.draw(st.lists(memory_payloads(), max_size=2)),
+                     prefix=l1)
+        raw_op = data.draw(memory_payloads())
+        op = make_op(raw_op[0], raw_op[1],
+                     spec.result(l1 + l2, raw_op[0], raw_op[1]))
+        # hypothesis of the lemma: every element of ℓ2 moves left of... the
+        # lemma's ℓ2 ◁ op means the LIST moves left of op: each element
+        # op' of ℓ2 satisfies op' ◁ op.
+        if not all(spec.left_mover(o, op) for o in l2):
+            return
+        if not spec.allowed(l1 + l2 + (op,)):
+            return
+        assert spec.allowed(l1 + (op,))
+
+    @LEMMA_SETTINGS
+    @given(data=st.data())
+    def test_counter_instance(self, data):
+        spec = CounterSpec()
+        mutators = st.sampled_from([("inc", ()), ("dec", ()), ("add", (2,))])
+        l1 = realize(spec, data.draw(st.lists(mutators, max_size=2)))
+        l2 = realize(spec, data.draw(st.lists(mutators, max_size=2)), prefix=l1)
+        raw = data.draw(st.sampled_from([("inc", ()), ("get", ())]))
+        op = make_op(raw[0], raw[1], spec.result(l1 + l2, raw[0], raw[1]))
+        if not all(spec.left_mover(o, op) for o in l2):
+            return
+        if not spec.allowed(l1 + l2 + (op,)):
+            return
+        assert spec.allowed(l1 + (op,))
+
+
+class TestLemma54:
+    @LEMMA_SETTINGS
+    @given(data=st.data())
+    def test_bigstep_transports_along_precongruence(self, data):
+        spec = MemorySpec()
+        # two precongruent logs: ℓ1 and an overwrite-collapsed variant.
+        loc = data.draw(st.sampled_from(["x", "y"]))
+        v1 = data.draw(st.sampled_from([1, 2]))
+        v2 = data.draw(st.sampled_from([1, 2]))
+        l1 = (make_op("write", (loc, v1), None), make_op("write", (loc, v2), None))
+        l2 = (make_op("write", (loc, v2), None),)
+        assert precongruent(spec, l2, l1) and precongruent(spec, l1, l2)
+        # a small program; run it from both logs.
+        program = seq(call("read", loc), call("write", "z", 9), call("read", "z"))
+        ids = IdGenerator()
+        runs_1 = {payloads(s) for s in bigstep(spec, program, l1, ids)}
+        runs_2 = {payloads(s) for s in bigstep(spec, program, l2, ids)}
+        # Lemma 5.4 (both directions, since ℓ1 ≈ ℓ2): identical completion
+        # behaviour, and the completed logs remain pairwise precongruent.
+        assert runs_1 == runs_2
+        for suffix in runs_1:
+            ops1 = l1 + tuple(
+                make_op(m, a, r) for m, a, r in suffix
+            )
+            ops2 = l2 + tuple(
+                make_op(m, a, r) for m, a, r in suffix
+            )
+            assert precongruent(spec, ops1, ops2)
+            assert precongruent(spec, ops2, ops1)
+
+    def test_disallowed_source_has_no_runs(self):
+        spec = MemorySpec()
+        bogus = (make_op("read", ("x",), 99),)
+        ids = IdGenerator()
+        runs = list(bigstep(spec, call("write", "x", 1), bogus, ids))
+        # BSSTEP requires allowedness; only the (non-fin) absence of BSFIN
+        # applies: no completions from a disallowed log.
+        assert runs == []

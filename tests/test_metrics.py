@@ -1,0 +1,93 @@
+"""Run metrics: attempt chains, latency distributions, cascade ratios."""
+
+import pytest
+
+from repro.core.history import History
+from repro.runtime import WorkloadConfig, make_workload, run_experiment
+from repro.runtime.metrics import Distribution, RunMetrics, summarize
+from repro.specs import MemorySpec
+from repro.tm import DependentTM, TL2TM
+
+
+class TestDistribution:
+    def test_empty(self):
+        d = Distribution.of([])
+        assert d.count == 0
+        assert d.mean == 0.0
+
+    def test_single(self):
+        d = Distribution.of([7.0])
+        assert (d.count, d.mean, d.p50, d.p95, d.maximum) == (1, 7.0, 7.0, 7.0, 7.0)
+
+    def test_percentiles_ordered(self):
+        d = Distribution.of(list(range(100)))
+        assert d.p50 <= d.p95 <= d.maximum
+        assert d.mean == pytest.approx(49.5)
+
+    def test_row_format(self):
+        assert "p95" in Distribution.of([1, 2, 3]).row()
+
+
+class TestAttemptChains:
+    def test_first_try_commit(self):
+        history = History()
+        record = history.begin(thread_tid=0)
+        history.commit(record, ())
+        metrics = summarize(history)
+        assert metrics.attempts.count == 1
+        assert metrics.attempts.mean == 1.0
+
+    def test_retry_chain_counts_attempts(self):
+        history = History()
+        first = history.begin(thread_tid=0)
+        history.abort(first, "conflict")
+        second = history.begin(thread_tid=0, retries_of=first.tx_id)
+        history.abort(second, "conflict")
+        third = history.begin(thread_tid=0, retries_of=second.tx_id)
+        history.commit(third, ())
+        metrics = summarize(history)
+        assert metrics.attempts.count == 1
+        assert metrics.attempts.mean == 3.0
+
+    def test_permanently_aborted_excluded(self):
+        history = History()
+        record = history.begin(thread_tid=0)
+        history.abort(record, "doomed")
+        metrics = summarize(history)
+        assert metrics.attempts.count == 0
+
+    def test_cascade_ratio(self):
+        history = History()
+        a = history.begin(thread_tid=0)
+        history.abort(a, "producer aborted (cascading detangle)")
+        b = history.begin(thread_tid=1)
+        history.abort(b, "push conflict")
+        metrics = summarize(history)
+        assert metrics.cascade_ratio == pytest.approx(0.5)
+
+
+class TestEndToEnd:
+    def test_metrics_over_real_run(self):
+        config = WorkloadConfig(transactions=20, ops_per_tx=3, keys=3,
+                                read_ratio=0.4, seed=21)
+        result = run_experiment(
+            TL2TM(), MemorySpec(), make_workload("readwrite", config),
+            concurrency=4, seed=21,
+        )
+        metrics = summarize(result.runtime.history, result.rule_counts)
+        assert metrics.attempts.count == result.commits
+        assert metrics.attempts.mean >= 1.0
+        assert metrics.latency.maximum >= metrics.latency.p50
+        assert metrics.rule_mix.get("APP", 0) > 0
+        report = metrics.report()
+        assert "attempts/tx" in report and "rule mix" in report
+
+    def test_dependent_run_reports_cascades(self):
+        config = WorkloadConfig(transactions=25, ops_per_tx=3, keys=2,
+                                read_ratio=0.5, seed=22)
+        result = run_experiment(
+            DependentTM(), MemorySpec(), make_workload("readwrite", config),
+            concurrency=6, seed=22,
+        )
+        metrics = summarize(result.runtime.history, result.rule_counts)
+        assert 0.0 <= metrics.cascade_ratio <= 1.0

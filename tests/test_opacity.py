@@ -1,0 +1,227 @@
+"""Opacity as a PUSH/PULL fragment (§6.1)."""
+
+import pytest
+
+from repro.core import Machine, call, tx
+from repro.core.errors import OpacityViolation
+from repro.core.history import History
+from repro.core.opacity import (
+    OpacityMonitor,
+    OpaqueMachine,
+    check_history_opaque,
+    check_view_consistent,
+    may_pull_uncommitted,
+)
+from repro.core.ops import make_op
+from repro.specs import BankSpec, CounterSpec, KVMapSpec, MemorySpec
+
+
+class TestOpaqueMachine:
+    def build(self):
+        spec = MemorySpec()
+        machine = OpaqueMachine(Machine(spec))
+        machine, t0 = machine.spawn(tx(call("write", "x", 1)))
+        machine, t1 = machine.spawn(tx(call("read", "x")))
+        return machine, t0, t1
+
+    def test_blocks_uncommitted_pull(self):
+        machine, t0, t1 = self.build()
+        machine = machine.app(t0)
+        w = machine.thread(t0).local[0].op
+        machine = machine.push(t0, w)
+        with pytest.raises(OpacityViolation):
+            machine.pull(t1, w)
+
+    def test_allows_committed_pull(self):
+        machine, t0, t1 = self.build()
+        machine = machine.app(t0)
+        w = machine.thread(t0).local[0].op
+        machine = machine.push(t0, w)
+        machine = machine.cmt(t0)
+        machine = machine.pull(t1, w)  # now fine
+        assert w in machine.thread(t1).local
+
+    def test_delegates_other_rules(self):
+        machine, t0, t1 = self.build()
+        machine = machine.app(t0)
+        machine = machine.unapp(t0)
+        assert len(machine.thread(t0).local) == 0
+
+    def test_full_opaque_commit_cycle(self):
+        from repro.core.errors import CriterionViolation
+
+        machine, t0, t1 = self.build()
+        machine = machine.app(t0)
+        machine = machine.push(t0, machine.thread(t0).local[0].op)
+        machine = machine.cmt(t0)
+        machine = machine.end_thread(t0)
+        machine = machine.app(t1)
+        r = machine.thread(t1).local[-1].op
+        assert r.ret == 0  # didn't pull: local view is empty
+        # pushing the stale read is rejected (PUSH criterion (iii)) — the
+        # opaque transaction must PULL the committed write first:
+        with pytest.raises(CriterionViolation):
+            machine.push(t1, r)
+        machine = machine.unapp(t1)
+        machine = machine.pull(t1, machine.global_log[0].op)
+        machine = machine.app(t1)
+        fresh = machine.thread(t1).local[-1].op
+        assert fresh.ret == 1
+        machine = machine.push(t1, fresh)
+        machine = machine.cmt(t1)
+
+
+class TestMayPullUncommitted:
+    def test_counter_mutator_only_transaction(self):
+        spec = CounterSpec()
+        machine = Machine(spec)
+        machine, producer = machine.spawn(tx(call("inc")))
+        machine, consumer = machine.spawn(tx(call("inc"), call("add", 5)))
+        machine = machine.app(producer)
+        op = machine.thread(producer).local[0].op
+        machine = machine.push(producer, op)
+        # all of the consumer's reachable methods are mutators — they
+        # commute with the pulled inc, so the pull keeps opacity.
+        assert may_pull_uncommitted(machine, consumer, op)
+
+    def test_observer_blocks_relaxation(self):
+        spec = CounterSpec()
+        machine = Machine(spec)
+        machine, producer = machine.spawn(tx(call("inc")))
+        machine, consumer = machine.spawn(tx(call("inc"), call("get")))
+        machine = machine.app(producer)
+        op = machine.thread(producer).local[0].op
+        machine = machine.push(producer, op)
+        assert not may_pull_uncommitted(machine, consumer, op)
+
+    def test_disjoint_footprints_allow(self):
+        spec = KVMapSpec()
+        machine = Machine(spec)
+        machine, producer = machine.spawn(tx(call("put", "a", 1)))
+        machine, consumer = machine.spawn(tx(call("put", "b", 2), call("get", "b")))
+        machine = machine.app(producer)
+        op = machine.thread(producer).local[0].op
+        machine = machine.push(producer, op)
+        assert may_pull_uncommitted(machine, consumer, op)
+
+    def test_bank_deposit_relaxation(self):
+        spec = BankSpec()
+        machine = Machine(spec)
+        machine, producer = machine.spawn(tx(call("deposit", "a", 5)))
+        machine, consumer = machine.spawn(tx(call("deposit", "a", 7)))
+        machine = machine.app(producer)
+        op = machine.thread(producer).local[0].op
+        machine = machine.push(producer, op)
+        assert may_pull_uncommitted(machine, consumer, op)
+
+
+class TestOpacityMonitor:
+    def test_flags_noncommuting_app_after_uncommitted_pull(self):
+        spec = CounterSpec()
+        machine = Machine(spec)
+        machine, producer = machine.spawn(tx(call("inc")))
+        machine, consumer = machine.spawn(tx(call("get")))
+        monitor = OpacityMonitor(machine)
+        machine = machine.app(producer)
+        op = machine.thread(producer).local[0].op
+        machine = machine.push(producer, op)
+        machine = machine.pull(consumer, op)
+        monitor.note_pull(consumer, op, machine)
+        machine = machine.app(consumer)  # get: does not commute with inc
+        new_op = machine.thread(consumer).local[-1].op
+        with pytest.raises(OpacityViolation):
+            monitor.note_app(consumer, new_op, machine)
+
+    def test_commuting_apps_pass(self):
+        spec = CounterSpec()
+        machine = Machine(spec)
+        machine, producer = machine.spawn(tx(call("inc")))
+        machine, consumer = machine.spawn(tx(call("inc")))
+        monitor = OpacityMonitor(machine)
+        machine = machine.app(producer)
+        op = machine.thread(producer).local[0].op
+        machine = machine.push(producer, op)
+        machine = machine.pull(consumer, op)
+        monitor.note_pull(consumer, op, machine)
+        machine = machine.app(consumer)
+        monitor.note_app(consumer, machine.thread(consumer).local[-1].op, machine)
+
+    def test_committed_producer_clears_tracking(self):
+        spec = CounterSpec()
+        machine = Machine(spec)
+        machine, producer = machine.spawn(tx(call("inc")))
+        machine, consumer = machine.spawn(tx(call("get")))
+        monitor = OpacityMonitor(machine)
+        machine = machine.app(producer)
+        op = machine.thread(producer).local[0].op
+        machine = machine.push(producer, op)
+        machine = machine.pull(consumer, op)
+        monitor.note_pull(consumer, op, machine)
+        machine = machine.cmt(producer)  # committed before consumer APPs
+        machine = machine.app(consumer)
+        monitor.note_app(consumer, machine.thread(consumer).local[-1].op, machine)
+
+
+class TestViewConsistency:
+    spec = MemorySpec()
+
+    def w(self, loc, v):
+        return make_op("write", (loc, v), None)
+
+    def r(self, loc, v):
+        return make_op("read", (loc,), v)
+
+    def test_consistent_view(self):
+        w = self.w("x", 1)
+        committed = [(w,)]
+        view = (w, self.r("x", 1))
+        assert check_view_consistent(self.spec, committed, view)
+
+    def test_snapshot_before_later_commit(self):
+        w1 = self.w("x", 1)
+        w2 = self.w("x", 2)
+        committed = [(w1,), (w2,)]
+        # viewer pulled only w1 and read 1: serialize it between the two.
+        view = (w1, self.r("x", 1))
+        assert check_view_consistent(self.spec, committed, view)
+
+    def test_mixed_snapshot_rejected(self):
+        wx = self.w("x", 1)
+        wy = self.w("y", 1)
+        # the two writes belong to ONE transaction; a viewer that *read*
+        # x=1 together with y=0 observed half of it — the classic opacity
+        # violation (no serial prefix assigns that pair of responses).
+        committed = [(wx, wy)]
+        view = (self.r("x", 1), self.r("y", 0))
+        assert not check_view_consistent(self.spec, committed, view)
+
+    def test_pulled_entries_are_not_observations(self):
+        # pulling one write of a committed transaction without ever
+        # *reading* through it observes nothing inconsistent.
+        wx = self.w("x", 1)
+        wy = self.w("y", 1)
+        committed = [(wx, wy)]
+        view = (wx, self.r("y", 0))  # wx pulled, only y actually read
+        assert check_view_consistent(self.spec, committed, view)
+
+    def test_too_many_transactions_raises(self):
+        committed = [(self.w("x", i),) for i in range(9)]
+        with pytest.raises(OpacityViolation):
+            check_view_consistent(self.spec, committed, (self.r("x", 0),),
+                                  max_exhaustive=6)
+
+
+class TestHistoryOpacity:
+    def test_opaque_driver_run_passes(self):
+        from repro.runtime import WorkloadConfig, make_workload, run_experiment
+        from repro.tm import TL2TM
+
+        config = WorkloadConfig(transactions=6, ops_per_tx=3, keys=3, seed=5)
+        programs = make_workload("readwrite", config)
+        result = run_experiment(
+            TL2TM(), MemorySpec(), programs, concurrency=3, seed=5
+        )
+        violations = check_history_opaque(
+            MemorySpec(), result.runtime.history, result.runtime.machine
+        )
+        assert violations == []

@@ -1,0 +1,181 @@
+"""Property-based tests: machine-level invariants under random rule play.
+
+A random walk over enabled rule instances must (a) never corrupt the §5.3
+invariants, (b) keep committed prefixes serializable, and (c) allow the
+generic rollback to restore any thread at any point.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.core import Machine, call, tx
+from repro.core.errors import CriterionViolation, MachineError, SpecError
+from repro.core.invariants import check_all_invariants
+from repro.core.language import Skip
+from repro.specs import CounterSpec, KVMapSpec, MemorySpec, SetSpec
+
+WALK_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def random_programs(rng, spec_kind):
+    """Two or three small straight-line transactions for the spec."""
+    programs = []
+    for _ in range(rng.randint(2, 3)):
+        calls = []
+        for _ in range(rng.randint(1, 3)):
+            if spec_kind == "memory":
+                loc = rng.choice(["x", "y"])
+                if rng.random() < 0.5:
+                    calls.append(call("read", loc))
+                else:
+                    calls.append(call("write", loc, rng.randint(0, 2)))
+            elif spec_kind == "counter":
+                calls.append(call(rng.choice(["inc", "dec", "get"])))
+            elif spec_kind == "set":
+                calls.append(
+                    call(rng.choice(["add", "remove", "contains"]),
+                         rng.choice(["a", "b"]))
+                )
+            else:  # kvmap
+                key = rng.choice(["a", "b"])
+                if rng.random() < 0.5:
+                    calls.append(call("get", key))
+                else:
+                    calls.append(call("put", key, rng.randint(0, 2)))
+        programs.append(tx(*calls))
+    return programs
+
+
+SPEC_OF = {
+    "memory": MemorySpec,
+    "counter": CounterSpec,
+    "set": SetSpec,
+    "kvmap": KVMapSpec,
+}
+
+
+def random_walk(machine, rng, steps):
+    """Apply up to `steps` random enabled rule instances."""
+    applied = []
+    for _ in range(steps):
+        moves = []
+        for thread in machine.threads:
+            tid = thread.tid
+            for choice_pair in machine.app_choices(tid):
+                moves.append(("app", tid, choice_pair))
+            for entry in thread.local:
+                if entry.is_not_pushed:
+                    moves.append(("push", tid, entry.op))
+                if entry.is_pushed:
+                    moves.append(("unpush", tid, entry.op))
+                if entry.is_pulled:
+                    moves.append(("unpull", tid, entry.op))
+            if len(thread.local) and thread.local[-1].is_not_pushed:
+                moves.append(("unapp", tid))
+            for g_entry in machine.global_log:
+                if g_entry.op not in thread.local and len(thread.local.pulled_ops()) < 4:
+                    moves.append(("pull", tid, g_entry.op))
+            if not isinstance(thread.code, Skip):
+                moves.append(("cmt", tid))
+        if not moves:
+            break
+        rule, tid, *args = rng.choice(moves)
+        try:
+            machine = getattr(machine, rule)(tid, *args)
+            applied.append(rule)
+        except (CriterionViolation, MachineError, SpecError):
+            continue
+    return machine, applied
+
+
+@pytest.mark.parametrize("spec_kind", sorted(SPEC_OF))
+@WALK_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_random_walks_preserve_invariants(spec_kind, seed):
+    rng = random.Random(seed)
+    spec = SPEC_OF[spec_kind]()
+    machine = Machine(spec)
+    for program in random_programs(rng, spec_kind):
+        machine, _ = machine.spawn(program)
+    machine, applied = random_walk(machine, rng, steps=30)
+    assert check_all_invariants(machine) == [], applied
+
+
+@pytest.mark.parametrize("spec_kind", sorted(SPEC_OF))
+@WALK_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_committed_log_always_allowed(spec_kind, seed):
+    """⌊G⌋_gCmt is an allowed log at every reachable state (a corollary of
+    the simulation: the atomic machine's log is always allowed)."""
+    rng = random.Random(seed)
+    spec = SPEC_OF[spec_kind]()
+    machine = Machine(spec)
+    for program in random_programs(rng, spec_kind):
+        machine, _ = machine.spawn(program)
+    machine, _ = random_walk(machine, rng, steps=30)
+    assert spec.allowed(machine.global_log.committed_ops())
+    # the full global log (committed + uncommitted) is allowed as well —
+    # PUSH criterion (iii) maintains it.
+    assert spec.allowed(machine.global_log.all_ops())
+
+
+@pytest.mark.parametrize("spec_kind", sorted(SPEC_OF))
+@WALK_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_rollback_always_possible(spec_kind, seed):
+    """From any reachable state, every thread whose operations nobody else
+    pulled can fully roll back via the generic right-to-left rollback."""
+    from repro.tm.base import Runtime
+
+    rng = random.Random(seed)
+    spec = SPEC_OF[spec_kind]()
+    rt = Runtime(spec)
+    tids = []
+    for program in random_programs(rng, spec_kind):
+        rt.machine, tid = rt.machine.spawn(program)
+        tids.append(tid)
+    rt.machine, _ = random_walk(rt.machine, rng, steps=25)
+    # Pick a live thread with no foreign pullers of its ops.
+    for tid in tids:
+        try:
+            thread = rt.machine.thread(tid)
+        except MachineError:
+            continue  # ended
+        own_ids = thread.own_op_ids()
+        pulled_elsewhere = any(
+            own_id in other.local.ids()
+            for other in rt.machine.threads
+            if other.tid != tid
+            for own_id in own_ids
+        )
+        has_committed = any(
+            (entry := rt.machine.global_log.entry_for(op)) is not None
+            and entry.is_committed
+            for op in thread.local.pushed_ops()
+        )
+        if pulled_elsewhere or has_committed:
+            continue
+        rt.rollback(tid)
+        assert len(rt.machine.thread(tid).local) == 0
+
+
+@WALK_SETTINGS
+@given(seed=st.integers(min_value=0, max_value=10_000))
+def test_walk_determinism(seed):
+    """Same seed ⇒ identical walk (payload-level)."""
+    def run():
+        rng = random.Random(seed)
+        spec = MemorySpec()
+        machine = Machine(spec)
+        for program in random_programs(rng, "memory"):
+            machine, _ = machine.spawn(program)
+        machine, applied = random_walk(machine, rng, steps=20)
+        return machine.state_key(), tuple(applied)
+
+    assert run() == run()

@@ -1,0 +1,184 @@
+"""Partial rewind relations and the commit-preservation invariant (§5.4)."""
+
+import pytest
+
+from repro.core import Machine, call, tx
+from repro.core.language import Skip
+from repro.core.rewind import (
+    check_cmtpres,
+    check_cmtpres_all,
+    otx,
+    self_rewinds,
+    shared_rewinds,
+)
+from repro.specs import CounterSpec, KVMapSpec, MemorySpec
+
+
+def build(spec, program):
+    m = Machine(spec)
+    m, tid = m.spawn(program)
+    return m, tid
+
+
+class TestSelfRewind:
+    def test_reflexive_always_included(self):
+        m, tid = build(MemorySpec(), tx(call("write", "x", 1)))
+        thread = m.thread(tid)
+        rewinds = list(self_rewinds(thread, m.global_log))
+        assert (thread, m.global_log) == rewinds[0]
+
+    def test_pru_restores_code(self):
+        m, tid = build(MemorySpec(), tx(call("write", "x", 1)))
+        original_code = m.thread(tid).code
+        m = m.app(tid)
+        rewinds = list(self_rewinds(m.thread(tid), m.global_log))
+        assert len(rewinds) == 2  # reflexive + PRU
+        rewound_thread, rewound_g = rewinds[1]
+        assert rewound_thread.code == original_code
+        assert len(rewound_thread.local) == 0
+
+    def test_prm_removes_global_entry(self):
+        m, tid = build(MemorySpec(), tx(call("write", "x", 1)))
+        m = m.app(tid)
+        op = m.thread(tid).local[0].op
+        m = m.push(tid, op)
+        rewinds = list(self_rewinds(m.thread(tid), m.global_log))
+        assert len(rewinds) == 2
+        _, rewound_g = rewinds[1]
+        assert op not in rewound_g
+
+    def test_prm_blocked_after_commit(self):
+        m, tid = build(MemorySpec(), tx(call("write", "x", 1)))
+        m = m.app(tid)
+        m = m.push(tid, m.thread(tid).local[0].op)
+        m = m.cmt(tid)
+        # committed ops cannot be rewound — but the local log is empty
+        # after CMT anyway, so only the reflexive rewind remains.
+        rewinds = list(self_rewinds(m.thread(tid), m.global_log))
+        assert len(rewinds) == 1
+
+    def test_passes_over_pulled(self):
+        spec = MemorySpec()
+        m = Machine(spec)
+        m, t0 = m.spawn(tx(call("write", "x", 1)))
+        m, t1 = m.spawn(tx(call("read", "x")))
+        m = m.app(t0)
+        w = m.thread(t0).local[0].op
+        m = m.push(t0, w)
+        m = m.pull(t1, w)
+        rewinds = list(self_rewinds(m.thread(t1), m.global_log))
+        assert len(rewinds) == 2
+        rewound_thread, rewound_g = rewinds[1]
+        assert len(rewound_thread.local) == 0
+        assert w in rewound_g  # pulled ops stay in the shared log
+
+    def test_deep_rewind_enumerates_all_prefixes(self):
+        m, tid = build(CounterSpec(), tx(call("inc"), call("inc"), call("inc")))
+        m = m.app(tid)
+        m = m.app(tid)
+        m = m.app(tid)
+        rewinds = list(self_rewinds(m.thread(tid), m.global_log))
+        lengths = sorted(len(t.local) for t, _ in rewinds)
+        assert lengths == [0, 1, 2, 3]
+
+
+class TestSharedRewind:
+    def test_drops_subsets_of_others_uncommitted(self):
+        spec = KVMapSpec()
+        m = Machine(spec)
+        m, t0 = m.spawn(tx(call("put", "k1", 1)))
+        m, t1 = m.spawn(tx(call("put", "k2", 2)))
+        m = m.app(t0)
+        m = m.push(t0, m.thread(t0).local[0].op)
+        m = m.app(t1)
+        m = m.push(t1, m.thread(t1).local[0].op)
+        # From t0's viewpoint: t1's op is droppable.
+        drops = list(shared_rewinds(m.global_log, m.thread(t0).local, spec=spec))
+        assert len(drops) == 2  # keep or drop t1's op
+        sizes = sorted(len(d) for d in drops)
+        assert sizes == [1, 2]
+
+    def test_committed_never_dropped(self):
+        spec = KVMapSpec()
+        m = Machine(spec)
+        m, t0 = m.spawn(tx(call("put", "k1", 1)))
+        m, t1 = m.spawn(tx(call("put", "k2", 2)))
+        m = m.app(t1)
+        m = m.push(t1, m.thread(t1).local[0].op)
+        m = m.cmt(t1)
+        drops = list(shared_rewinds(m.global_log, m.thread(t0).local, spec=spec))
+        assert len(drops) == 1
+
+    def test_disallowed_drops_pruned(self):
+        # G = [w(x,1), r(x)->1] both by another thread: dropping only the
+        # write leaves a disallowed log and must be pruned.
+        spec = MemorySpec()
+        m = Machine(spec)
+        m, t0 = m.spawn(tx(call("write", "x", 1), call("read", "x")))
+        m, t1 = m.spawn(tx(call("write", "y", 9)))
+        m = m.app(t0)
+        m = m.push(t0, m.thread(t0).local[0].op)
+        m = m.app(t0)
+        m = m.push(t0, m.thread(t0).local[1].op)
+        drops = list(shared_rewinds(m.global_log, m.thread(t1).local, spec=spec))
+        # keep both / drop both / drop only the read — NOT drop only write.
+        assert len(drops) == 3
+
+
+class TestOtx:
+    def test_otx_of_fresh_thread_is_current_code(self):
+        m, tid = build(MemorySpec(), tx(call("write", "x", 1)))
+        thread = m.thread(tid)
+        assert otx(thread) == (thread.code, thread.stack)
+
+    def test_otx_recovers_start_after_apps(self):
+        m, tid = build(CounterSpec(), tx(call("inc"), call("get")))
+        start_code = m.thread(tid).code
+        m = m.app(tid)
+        m = m.app(tid)
+        code, _ = otx(m.thread(tid))
+        assert code == start_code
+
+    def test_otx_of_committed_thread_is_skip(self):
+        m, tid = build(MemorySpec(), tx(call("write", "x", 1)))
+        m = m.app(tid)
+        m = m.push(tid, m.thread(tid).local[0].op)
+        m = m.cmt(tid)
+        code, _ = otx(m.thread(tid))
+        assert isinstance(code, Skip)
+
+
+class TestCmtpres:
+    def test_holds_on_fresh_machine(self):
+        m, tid = build(MemorySpec(), tx(call("write", "x", 1)))
+        assert check_cmtpres(m, m.thread(tid)) == []
+
+    def test_holds_mid_transaction(self):
+        m, tid = build(MemorySpec(), tx(call("write", "x", 1), call("read", "x")))
+        m = m.app(tid)
+        m = m.push(tid, m.thread(tid).local[0].op)
+        assert check_cmtpres(m, m.thread(tid)) == []
+
+    def test_holds_with_concurrency(self):
+        spec = KVMapSpec()
+        m = Machine(spec)
+        m, t0 = m.spawn(tx(call("put", "k1", 1)))
+        m, t1 = m.spawn(tx(call("put", "k2", 2), call("get", "k2")))
+        m = m.app(t0)
+        m = m.push(t0, m.thread(t0).local[0].op)
+        m = m.app(t1)
+        m = m.push(t1, m.thread(t1).local[0].op)
+        m = m.app(t1)
+        assert check_cmtpres_all(m) == []
+
+    def test_holds_with_dependency(self):
+        spec = MemorySpec()
+        m = Machine(spec)
+        m, t0 = m.spawn(tx(call("write", "x", 1)))
+        m, t1 = m.spawn(tx(call("read", "x")))
+        m = m.app(t0)
+        w = m.thread(t0).local[0].op
+        m = m.push(t0, w)
+        m = m.pull(t1, w)
+        m = m.app(t1)
+        assert check_cmtpres_all(m) == []

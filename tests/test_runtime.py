@@ -1,0 +1,209 @@
+"""Schedulers, workload generators and the experiment harness."""
+
+import pytest
+
+from repro.core.errors import MachineError
+from repro.core.language import Call, Tx, methods_of
+from repro.runtime import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    WorkloadConfig,
+    bank_transfer_workload,
+    counter_workload,
+    make_workload,
+    readwrite_workload,
+    run_experiment,
+    set_churn_workload,
+)
+from repro.runtime.workload import WORKLOADS, map_workload
+from repro.specs import BankSpec, CounterSpec, KVMapSpec, MemorySpec, SetSpec
+from repro.tm import TL2TM
+from repro.tm.base import Runtime, StepStatus, TxStepper
+
+
+class TestWorkloads:
+    def test_counts(self):
+        config = WorkloadConfig(transactions=17, ops_per_tx=5)
+        programs = readwrite_workload(config)
+        assert len(programs) == 17
+        assert all(isinstance(p, Tx) for p in programs)
+        # straight-line length (methods_of is a set and may collapse
+        # repeated identical accesses):
+        assert all(len(TL2TM.resolve_steps(p)) == 5 for p in programs)
+
+    def test_determinism_by_seed(self):
+        config = WorkloadConfig(transactions=10, seed=42)
+        assert readwrite_workload(config) == readwrite_workload(config)
+        other = WorkloadConfig(transactions=10, seed=43)
+        assert readwrite_workload(config) != readwrite_workload(other)
+
+    def test_read_ratio_extremes(self):
+        all_reads = readwrite_workload(
+            WorkloadConfig(transactions=5, ops_per_tx=4, read_ratio=1.0)
+        )
+        assert all(
+            c.method == "read" for p in all_reads for c in methods_of(p)
+        )
+        all_writes = readwrite_workload(
+            WorkloadConfig(transactions=5, ops_per_tx=4, read_ratio=0.0)
+        )
+        assert all(
+            c.method == "write" for p in all_writes for c in methods_of(p)
+        )
+
+    def test_skew_concentrates_keys(self):
+        import collections
+
+        def key_histogram(skew):
+            config = WorkloadConfig(
+                transactions=200, ops_per_tx=1, keys=16, skew=skew, seed=1,
+                read_ratio=1.0,
+            )
+            counts = collections.Counter()
+            for p in readwrite_workload(config):
+                for c in methods_of(p):
+                    counts[c.args[0]] += 1
+            return counts
+
+        uniform = key_histogram(0.0)
+        skewed = key_histogram(2.0)
+        assert skewed.most_common(1)[0][1] > uniform.most_common(1)[0][1]
+
+    def test_bank_workload_shape(self):
+        config = WorkloadConfig(transactions=30, ops_per_tx=2, read_ratio=0.5, seed=2)
+        programs = bank_transfer_workload(config)
+        methods = {c.method for p in programs for c in methods_of(p)}
+        assert methods <= {"withdraw", "deposit", "balance"}
+
+    def test_set_churn_methods(self):
+        config = WorkloadConfig(transactions=20, ops_per_tx=3, seed=3)
+        programs = set_churn_workload(config)
+        methods = {c.method for p in programs for c in methods_of(p)}
+        assert methods <= {"add", "remove", "contains"}
+
+    def test_component_prefixing(self):
+        config = WorkloadConfig(transactions=4, ops_per_tx=2, component="tbl", seed=4)
+        programs = map_workload(config)
+        assert all(
+            c.method.startswith("tbl.") for p in programs for c in methods_of(p)
+        )
+
+    def test_multiobject_workload(self):
+        from repro.runtime.workload import multiobject_workload
+        from repro.specs import CounterSpec, KVMapSpec, MemorySpec, ProductSpec
+        from repro.tm import TL2TM as _TL2
+
+        config = WorkloadConfig(transactions=12, keys=4, read_ratio=0.5, seed=11)
+        programs = multiobject_workload(config)
+        methods = {c.method for p in programs for c in methods_of(p)}
+        assert methods <= {"table.get", "table.put", "tally.inc",
+                           "cache.read", "cache.write"}
+        spec = ProductSpec({
+            "table": KVMapSpec(), "tally": CounterSpec(), "cache": MemorySpec(),
+        })
+        result = run_experiment(_TL2(), spec, programs, concurrency=4, seed=11)
+        assert result.commits == 12
+        assert result.serialization.serializable
+
+    def test_dispatch(self):
+        config = WorkloadConfig(transactions=3)
+        for name in WORKLOADS:
+            assert len(make_workload(name, config)) == 3
+        with pytest.raises(KeyError):
+            make_workload("nope", config)
+
+
+class TestSchedulers:
+    def test_round_robin_cycles(self):
+        scheduler = RoundRobinScheduler()
+        picks = [scheduler.pick(["a", "b", "c"]) for _ in range(6)]
+        assert picks == ["a", "b", "c", "a", "b", "c"]
+
+    def test_random_seeded(self):
+        s1 = RandomScheduler(7)
+        s2 = RandomScheduler(7)
+        items = list(range(10))
+        assert [s1.pick(items) for _ in range(20)] == [
+            s2.pick(items) for _ in range(20)
+        ]
+
+    def test_run_completes_all(self):
+        rt = Runtime(MemorySpec())
+        from repro.core.language import call, tx
+
+        steppers = [
+            TxStepper(TL2TM(), rt, tx(call("write", ("k", i), i)))
+            for i in range(5)
+        ]
+        RoundRobinScheduler().run(steppers)
+        assert all(s.status is StepStatus.COMMITTED for s in steppers)
+
+    def test_livelock_guard(self):
+        class Stuck(TL2TM):
+            def attempt(self, rt, tid, record, program):
+                while True:
+                    yield
+
+        rt = Runtime(MemorySpec())
+        from repro.core.language import call, tx
+
+        scheduler = RoundRobinScheduler()
+        scheduler.max_total_steps = 100
+        stepper = TxStepper(Stuck(), rt, tx(call("write", "x", 1)))
+        with pytest.raises(MachineError):
+            scheduler.run([stepper])
+
+
+class TestHarness:
+    def test_result_fields(self):
+        config = WorkloadConfig(transactions=8, ops_per_tx=2, keys=4, seed=6)
+        result = run_experiment(
+            TL2TM(), MemorySpec(), make_workload("readwrite", config),
+            concurrency=3, seed=6,
+        )
+        assert result.algorithm == "tl2"
+        assert result.commits == 8
+        assert 0 <= result.abort_rate <= 1
+        assert result.throughput > 0
+        assert result.serialization is not None
+        assert "APP" in result.rule_counts
+        assert "tl2" in result.summary_row()
+
+    def test_verify_false_skips_checker_and_compacts(self):
+        config = WorkloadConfig(transactions=70, ops_per_tx=2, keys=10, seed=7)
+        result = run_experiment(
+            TL2TM(), MemorySpec(), make_workload("readwrite", config),
+            concurrency=3, seed=7, verify=False,
+        )
+        assert result.serialization is None
+        # compaction kicked in (70 commits > compact_every=64):
+        assert len(result.runtime.machine.global_log) < 70 * 2
+
+    def test_concurrency_one_is_serial(self):
+        config = WorkloadConfig(transactions=10, ops_per_tx=3, keys=2,
+                                read_ratio=0.0, seed=8)
+        result = run_experiment(
+            TL2TM(), MemorySpec(), make_workload("readwrite", config),
+            concurrency=1, seed=8,
+        )
+        assert result.aborts == 0  # nothing to conflict with
+
+    def test_bank_invariant_preserved(self):
+        # Money conservation: transfers preserve the total balance.
+        initial = [(("acct", i), 10) for i in range(4)]
+        config = WorkloadConfig(transactions=25, ops_per_tx=2, keys=4,
+                                read_ratio=0.3, seed=9)
+        programs = bank_transfer_workload(config)
+        spec = BankSpec(initial)
+        result = run_experiment(TL2TM(), spec, programs, concurrency=4, seed=9)
+        final = spec.replay(result.runtime.machine.global_log.committed_ops())
+        assert sum(v for _, v in final) == 40
+
+    def test_set_final_state_matches_serial_replay(self):
+        config = WorkloadConfig(transactions=20, ops_per_tx=3, keys=6,
+                                read_ratio=0.4, seed=10)
+        programs = set_churn_workload(config)
+        spec = SetSpec()
+        result = run_experiment(TL2TM(), spec, programs, concurrency=4, seed=10)
+        # the committed log replays to a valid state (allowed).
+        assert spec.replay(result.runtime.machine.global_log.committed_ops()) is not None

@@ -1,0 +1,182 @@
+"""History-level serializability checking (the Theorem 5.17 toolchain)."""
+
+import pytest
+
+from repro.core import Machine, call, tx
+from repro.core.errors import SerializabilityViolation
+from repro.core.history import History, TxStatus
+from repro.core.ops import make_op
+from repro.core.serializability import (
+    assert_serializable,
+    atomic_cover_exists,
+    check_history,
+    find_serialization,
+)
+from repro.specs import CounterSpec, MemorySpec
+
+
+def ops(*triples):
+    return tuple(make_op(m, a, r) for m, a, r in triples)
+
+
+class TestFindSerialization:
+    spec = MemorySpec()
+
+    def test_commit_order_witness(self):
+        t1 = ops(("write", ("x", 1), None))
+        t2 = ops(("read", ("x",), 1))
+        committed = t1 + t2
+        result = find_serialization(self.spec, [t1, t2], committed)
+        assert result.serializable
+        assert result.order == (0, 1)
+
+    def test_requires_permutation(self):
+        t1 = ops(("write", ("x", 1), None))
+        t2 = ops(("read", ("x",), 0))  # must serialize BEFORE the write
+        committed = t2 + t1  # actual commit order: read first... flip it:
+        result = find_serialization(self.spec, [t1, t2], committed)
+        assert result.serializable
+        assert result.order == (1, 0)
+
+    def test_no_witness(self):
+        t1 = ops(("write", ("x", 1), None))
+        t2 = ops(("read", ("x",), 99))
+        result = find_serialization(self.spec, [t1, t2], t1 + t2)
+        assert not result.serializable
+        assert result.exhaustive  # small n: conclusive
+
+    def test_real_time_constraint_blocks_reorder(self):
+        t1 = ops(("write", ("x", 1), None))
+        t2 = ops(("read", ("x",), 0))
+        committed = t2 + t1
+        # without constraints: serializable as (t2, t1)
+        assert find_serialization(self.spec, [t1, t2], committed).serializable
+        # constrain t1 (index 0) before t2 (index 1): now impossible.
+        result = find_serialization(
+            self.spec, [t1, t2], committed, real_time=[(0, 1)]
+        )
+        assert not result.serializable
+
+    def test_large_history_inconclusive(self):
+        txs = [ops(("write", ("x", i), None)) for i in range(12)]
+        # an allowed committed log no permutation of the writes matches:
+        committed = ops(("write", ("x", 999), None))
+        result = find_serialization(self.spec, txs, committed, max_exhaustive=5)
+        assert not result.serializable
+        assert not result.exhaustive  # too many to enumerate
+
+    def test_empty_history(self):
+        result = find_serialization(self.spec, [], ())
+        assert result.serializable
+        assert result.order == ()
+
+
+class TestCheckHistory:
+    def test_sorted_by_commit_time(self):
+        spec = CounterSpec()
+        machine = Machine(spec)
+        history = History()
+        # Transaction B begins first but commits second.
+        rec_b = history.begin(thread_tid=1)
+        rec_a = history.begin(thread_tid=0)
+        op_a = make_op("inc", (), None)
+        op_b = make_op("get", (), 1)
+        history.commit(rec_a, [op_a])
+        history.commit(rec_b, [op_b])
+        # Build a machine whose committed log matches commit order a;b.
+        from repro.core.logs import EMPTY_GLOBAL, COMMITTED
+
+        g = EMPTY_GLOBAL.append(op_a, COMMITTED).append(op_b, COMMITTED)
+        machine = Machine(spec, [], g)
+        result = check_history(spec, history, machine)
+        assert result.serializable
+        assert result.order == (0, 1)  # commit order, despite begin order
+
+    def test_assert_raises_on_conclusive_failure(self):
+        spec = MemorySpec()
+        history = History()
+        rec = history.begin(thread_tid=0)
+        bogus = make_op("read", ("x",), 123)
+        history.commit(rec, [bogus])
+        from repro.core.logs import EMPTY_GLOBAL, COMMITTED
+
+        machine = Machine(spec, [], EMPTY_GLOBAL.append(bogus, COMMITTED))
+        with pytest.raises(SerializabilityViolation):
+            assert_serializable(spec, history, machine)
+
+
+class TestAtomicCover:
+    def test_cover_exists(self):
+        spec = CounterSpec()
+        committed = ops(("inc", (), None), ("inc", (), None))
+        programs = [tx(call("inc")), tx(call("inc"))]
+        assert atomic_cover_exists(spec, programs, committed)
+
+    def test_cover_missing(self):
+        spec = CounterSpec()
+        # an allowed committed log the atomic machine cannot reproduce:
+        # two inc programs always leave the counter at 2, not 1.
+        committed = ops(("inc", (), None),)
+        programs = [tx(call("inc")), tx(call("inc"))]
+        assert not atomic_cover_exists(spec, programs, committed)
+
+    def test_cover_vacuous_for_disallowed_committed_log(self):
+        # ≼'s first clause is an implication: a disallowed committed log
+        # is covered by anything (it constrains no observation).
+        spec = CounterSpec()
+        committed = ops(("inc", (), None), ("get", (), 5))
+        programs = [tx(call("inc")), tx(call("get"))]
+        assert atomic_cover_exists(spec, programs, committed)
+
+    def test_cover_up_to_reordering(self):
+        spec = MemorySpec()
+        # committed log: r->0 then w(x,1) — only the order r;w works, and
+        # the atomic machine can produce it.
+        committed = ops(("read", ("x",), 0), ("write", ("x", 1), None))
+        programs = [tx(call("write", "x", 1)), tx(call("read", "x"))]
+        assert atomic_cover_exists(spec, programs, committed)
+
+
+class TestHistoryRecorder:
+    def test_lifecycle(self):
+        history = History()
+        record = history.begin(thread_tid=3)
+        assert record.status is TxStatus.ACTIVE
+        history.commit(record, ops(("inc", (), None)))
+        assert record.committed
+        assert history.commit_count() == 1
+        assert history.abort_count() == 0
+
+    def test_abort_records_reason_and_view(self):
+        history = History()
+        record = history.begin(thread_tid=1)
+        view = ops(("read", ("x",), 0))
+        history.abort(record, "push conflict", observed=view)
+        assert record.status is TxStatus.ABORTED
+        assert record.abort_reason == "push conflict"
+        assert record.observed == view
+
+    def test_real_time_pairs(self):
+        history = History()
+        a = history.begin(thread_tid=0)
+        history.commit(a, ())
+        b = history.begin(thread_tid=1)  # begins after a ended
+        history.commit(b, ())
+        pairs = set(history.real_time_pairs())
+        assert (a.tx_id, b.tx_id) in pairs
+        assert (b.tx_id, a.tx_id) not in pairs
+
+    def test_overlapping_no_precedence(self):
+        history = History()
+        a = history.begin(thread_tid=0)
+        b = history.begin(thread_tid=1)
+        history.commit(a, ())
+        history.commit(b, ())
+        assert set(history.real_time_pairs()) == set()
+
+    def test_retries_chain(self):
+        history = History()
+        first = history.begin(thread_tid=0)
+        history.abort(first, "conflict")
+        second = history.begin(thread_tid=0, retries_of=first.tx_id)
+        assert second.retries_of == first.tx_id

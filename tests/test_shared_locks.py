@@ -1,0 +1,90 @@
+"""Shared/exclusive abstract locks (boosting's read locks)."""
+
+import pytest
+
+from repro.runtime import WorkloadConfig, run_experiment
+from repro.runtime.workload import map_workload
+from repro.specs import KVMapSpec
+from repro.tm import BoostingTM
+from repro.tm.base import LockTable
+
+
+class TestLockTableModes:
+    def test_shared_holders_coexist(self):
+        table = LockTable()
+        assert table.try_acquire(1, frozenset({"k"}), shared=True)
+        assert table.try_acquire(2, frozenset({"k"}), shared=True)
+        assert table.shared_holders("k") == frozenset({1, 2})
+
+    def test_exclusive_blocks_shared(self):
+        table = LockTable()
+        assert table.try_acquire(1, frozenset({"k"}))
+        assert not table.try_acquire(2, frozenset({"k"}), shared=True)
+
+    def test_shared_blocks_exclusive(self):
+        table = LockTable()
+        assert table.try_acquire(1, frozenset({"k"}), shared=True)
+        assert not table.try_acquire(2, frozenset({"k"}))
+
+    def test_upgrade_when_sole_sharer(self):
+        table = LockTable()
+        assert table.try_acquire(1, frozenset({"k"}), shared=True)
+        assert table.try_acquire(1, frozenset({"k"}))  # upgrade
+        assert table.holder("k") == 1
+        assert not table.try_acquire(2, frozenset({"k"}), shared=True)
+
+    def test_upgrade_blocked_by_other_sharer(self):
+        table = LockTable()
+        table.try_acquire(1, frozenset({"k"}), shared=True)
+        table.try_acquire(2, frozenset({"k"}), shared=True)
+        assert not table.try_acquire(1, frozenset({"k"}))
+
+    def test_release_clears_both_modes(self):
+        table = LockTable()
+        table.try_acquire(1, frozenset({"a"}), shared=True)
+        table.try_acquire(1, frozenset({"b"}))
+        table.release_all(1)
+        assert table.try_acquire(2, frozenset({"a", "b"}))
+
+    def test_exclusive_reentrant_after_upgrade(self):
+        table = LockTable()
+        table.try_acquire(1, frozenset({"k"}))
+        assert table.try_acquire(1, frozenset({"k"}), shared=True)
+        assert table.holder("k") == 1  # exclusive hold survives
+
+    def test_failed_acquire_takes_nothing_mixed(self):
+        table = LockTable()
+        table.try_acquire(1, frozenset({"b"}))
+        assert not table.try_acquire(2, frozenset({"a", "b"}), shared=True)
+        assert table.shared_holders("a") == frozenset()
+
+
+class TestBoostingWithSharedLocks:
+    def run(self, shared, seed=17):
+        config = WorkloadConfig(transactions=30, ops_per_tx=3, keys=3,
+                                read_ratio=0.9, seed=seed)
+        programs = map_workload(config)
+        algorithm = BoostingTM(max_waits=16, shared_read_locks=shared)
+        return run_experiment(algorithm, KVMapSpec(), programs,
+                              concurrency=6, seed=seed)
+
+    def test_read_heavy_workload_benefits(self):
+        with_shared = self.run(shared=True)
+        without = self.run(shared=False)
+        assert with_shared.commits == without.commits == 30
+        assert with_shared.serialization.serializable
+        # shared read locks wait less on a read-heavy hot-key workload:
+        shared_waits = sum(s.stats.waits for s in with_shared.steppers)
+        exclusive_waits = sum(s.stats.waits for s in without.steppers)
+        assert shared_waits <= exclusive_waits
+
+    def test_still_serializable_with_mixed_modes(self):
+        config = WorkloadConfig(transactions=24, ops_per_tx=3, keys=2,
+                                read_ratio=0.5, seed=18)
+        programs = map_workload(config)
+        result = run_experiment(
+            BoostingTM(max_waits=8), KVMapSpec(), programs,
+            concurrency=6, seed=18,
+        )
+        assert result.commits == 24
+        assert result.serialization.serializable

@@ -1,0 +1,114 @@
+"""Figure 6's structural rules as an execution path.
+
+The machine's APP/CMT already resolve nondeterminism through ``step`` and
+``fin`` (as the paper's rules do), but Figure 6's NONDETL/NONDETR/LOOP/
+SEMI/SEMISKIP reductions are part of the model; these tests drive real
+executions through them and confirm the two styles agree.
+"""
+
+import pytest
+
+from repro.core import Machine, call, choice, seq, tx
+from repro.core.language import Choice, Seq, Skip, SKIP, Star
+from repro.specs import CounterSpec, MemorySpec
+
+
+def run_structurally(machine, tid, branch_picker):
+    """Execute a thread to a committable state using structural rules to
+    peel nondeterminism and APP only on bare calls."""
+    from repro.core.language import Call, step
+
+    while True:
+        thread = machine.thread(tid)
+        code = thread.code
+        # unwrap Seq to find the active redex
+        redex = code
+        while isinstance(redex, Seq):
+            redex = redex.first
+        if isinstance(redex, (Choice, Star)) or (
+            isinstance(code, Seq) and isinstance(code.first, Skip)
+        ):
+            options = list(machine.structural_steps(tid))
+            rule, successor = branch_picker(options)
+            machine = successor
+            continue
+        if isinstance(redex, Call):
+            machine = machine.app(tid)
+            op = machine.thread(tid).local[-1].op
+            machine = machine.push(tid, op)
+            continue
+        break  # Skip: done
+    return machine.cmt(tid)
+
+
+class TestStructuralExecution:
+    def test_choice_left_branch(self):
+        spec = CounterSpec()
+        machine, tid = Machine(spec).spawn(tx(choice(call("inc"), call("dec"))))
+
+        def pick_left(options):
+            for rule, successor in options:
+                if rule.endswith("NONDETL"):
+                    return rule, successor
+            return options[0]
+
+        machine = run_structurally(machine, tid, pick_left)
+        assert [e.op.method for e in machine.global_log] == ["inc"]
+
+    def test_choice_right_branch(self):
+        spec = CounterSpec()
+        machine, tid = Machine(spec).spawn(tx(choice(call("inc"), call("dec"))))
+
+        def pick_right(options):
+            for rule, successor in options:
+                if rule.endswith("NONDETR"):
+                    return rule, successor
+            return options[0]
+
+        machine = run_structurally(machine, tid, pick_right)
+        assert [e.op.method for e in machine.global_log] == ["dec"]
+
+    def test_loop_unrolled_twice(self):
+        spec = CounterSpec()
+        machine, tid = Machine(spec).spawn(Star(call("inc")))
+        iterations = [0]
+
+        def unroll_twice(options):
+            # LOOP produces (body;star) + skip; take the body twice, then
+            # exit via the skip branch.
+            for rule, successor in options:
+                if rule.endswith("LOOP"):
+                    return rule, successor
+            want = "NONDETL" if iterations[0] < 2 else "NONDETR"
+            for rule, successor in options:
+                if rule.endswith(want):
+                    if want == "NONDETL":
+                        iterations[0] += 1
+                    return rule, successor
+            return options[0]
+
+        machine = run_structurally(machine, tid, unroll_twice)
+        assert len(machine.global_log) == 2
+
+    def test_structural_and_step_agree(self):
+        """The same program executed (a) via APP's step()-resolution and
+        (b) via structural peeling reaches the same committed log."""
+        spec = MemorySpec()
+        program = tx(seq(call("write", "x", 1), call("read", "x")))
+
+        # (a) step()-based
+        m1, t1 = Machine(spec).spawn(program)
+        m1 = m1.app(t1)
+        m1 = m1.push(t1, m1.thread(t1).local[0].op)
+        m1 = m1.app(t1)
+        m1 = m1.push(t1, m1.thread(t1).local[1].op)
+        m1 = m1.cmt(t1)
+
+        # (b) structural
+        m2, t2 = Machine(spec).spawn(program)
+        m2 = run_structurally(m2, t2, lambda options: options[0])
+
+        payload = lambda m: [
+            (e.op.method, e.op.args, e.op.ret) for e in m.global_log
+        ]
+        assert payload(m1) == payload(m2)

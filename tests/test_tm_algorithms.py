@@ -1,0 +1,299 @@
+"""Per-algorithm behaviour: the §6 disciplines, observable in rule usage,
+abort behaviour and history shape.  Every run is verified serializable by
+the harness."""
+
+import pytest
+
+from repro.core.errors import SerializabilityViolation
+from repro.runtime import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    WorkloadConfig,
+    make_workload,
+    run_experiment,
+)
+from repro.runtime.workload import map_workload
+from repro.specs import BankSpec, CounterSpec, KVMapSpec, MemorySpec, SetSpec
+from repro.specs.product import ProductSpec
+from repro.tm import (
+    ALL_ALGORITHMS,
+    BoostingTM,
+    DependentTM,
+    EncounterTM,
+    GlobalLockTM,
+    HTM,
+    HybridTM,
+    IrrevocableTM,
+    PessimisticTM,
+    TL2TM,
+)
+
+
+RW_CONFIG = WorkloadConfig(transactions=24, ops_per_tx=3, keys=5, read_ratio=0.5, seed=11)
+
+
+def rw_run(algorithm, seed=7, **kw):
+    programs = make_workload("readwrite", RW_CONFIG)
+    return run_experiment(algorithm, MemorySpec(), programs, concurrency=4,
+                          seed=seed, **kw)
+
+
+class TestGlobalLock:
+    def test_never_aborts(self):
+        result = rw_run(GlobalLockTM())
+        assert result.aborts == 0
+        assert result.commits == RW_CONFIG.transactions
+
+    def test_no_unpush_or_unapp(self):
+        result = rw_run(GlobalLockTM())
+        assert "UNPUSH" not in result.rule_counts
+        assert "UNAPP" not in result.rule_counts
+
+
+class TestTL2:
+    def test_commits_all(self):
+        result = rw_run(TL2TM())
+        assert result.commits == RW_CONFIG.transactions
+
+    def test_aborts_never_unpush(self):
+        # "If a transaction discovers a conflict, it can simply perform
+        # UNAPP repeatedly and needn't UNPUSH" (§6.2).
+        result = rw_run(TL2TM())
+        assert result.aborts > 0  # contention exists at these settings
+        assert "UNPUSH" not in result.rule_counts
+        assert result.rule_counts.get("UNAPP", 0) > 0
+
+    def test_gray_off_defers_validation_to_commit(self):
+        eager = rw_run(TL2TM(), check_gray_criteria=True)
+        lazy = rw_run(TL2TM(), check_gray_criteria=False)
+        assert eager.commits == lazy.commits == RW_CONFIG.transactions
+        # both serializable; abort *points* differ (recorded reasons).
+        lazy_reasons = {
+            r.abort_reason.split(":")[0]
+            for r in lazy.runtime.history.aborted_records()
+        }
+        if lazy_reasons:
+            assert "commit validation failed" in lazy_reasons
+
+
+class TestEncounter:
+    def test_uses_unpush_on_abort(self):
+        result = rw_run(EncounterTM())
+        assert result.commits == RW_CONFIG.transactions
+        if result.aborts:
+            assert result.rule_counts.get("UNPUSH", 0) > 0
+
+    def test_conflicts_detected_before_commit(self):
+        # encounter-time publication ⇒ some aborted attempt never reached
+        # its full op count.
+        result = rw_run(EncounterTM())
+        aborted = result.runtime.history.aborted_records()
+        if aborted:
+            assert any(len(r.observed) <= RW_CONFIG.ops_per_tx for r in aborted)
+
+
+class TestBoosting:
+    def test_map_workload(self):
+        config = WorkloadConfig(transactions=20, ops_per_tx=3, keys=8,
+                                read_ratio=0.5, seed=3)
+        programs = map_workload(config)
+        result = run_experiment(BoostingTM(), KVMapSpec(), programs,
+                                concurrency=4, seed=3)
+        assert result.commits == 20
+
+    def test_pushes_track_apps(self):
+        # Eager discipline: every APP is immediately PUSHed, so on a
+        # conflict-free workload counts match exactly.
+        config = WorkloadConfig(transactions=10, ops_per_tx=2, keys=40,
+                                read_ratio=0.0, seed=4)
+        programs = map_workload(config)
+        result = run_experiment(BoostingTM(), KVMapSpec(), programs,
+                                concurrency=4, seed=4)
+        assert result.aborts == 0
+        assert result.rule_counts["APP"] == result.rule_counts["PUSH"]
+
+    def test_lock_timeout_aborts_and_recovers(self):
+        # Single hot key: transactions serialize on the abstract lock;
+        # waiting ones may time out, abort (UNPUSH+UNAPP) and retry.
+        config = WorkloadConfig(transactions=12, ops_per_tx=2, keys=1,
+                                read_ratio=0.0, seed=5)
+        programs = map_workload(config)
+        result = run_experiment(BoostingTM(max_waits=2), KVMapSpec(), programs,
+                                concurrency=6, seed=5)
+        assert result.commits == 12
+
+    def test_counter_boosting_scales_without_aborts(self):
+        # All counter mutators commute: abstract locking... conflicts on
+        # the single lock key still serialize, but with pure-inc
+        # transactions every interleaving is conflict-free at PUSH level.
+        config = WorkloadConfig(transactions=15, ops_per_tx=2, read_ratio=0.0,
+                                seed=6)
+        programs = make_workload("counter", config)
+        result = run_experiment(BoostingTM(max_waits=100), CounterSpec(),
+                                programs, concurrency=5, seed=6)
+        assert result.commits == 15
+
+
+class TestPessimistic:
+    def test_never_aborts(self):
+        result = rw_run(PessimisticTM())
+        assert result.aborts == 0
+        assert result.commits == RW_CONFIG.transactions
+
+    def test_readers_publish_eagerly(self):
+        config = WorkloadConfig(transactions=16, ops_per_tx=3, keys=4,
+                                read_ratio=1.0, seed=8)
+        programs = make_workload("readwrite", config)
+        result = run_experiment(PessimisticTM(), MemorySpec(), programs,
+                                concurrency=4, seed=8)
+        assert result.aborts == 0
+        assert result.commits == 16
+
+    def test_writers_wait_for_readers(self):
+        # Mixed workload: writers must sometimes retract publication.
+        config = WorkloadConfig(transactions=30, ops_per_tx=3, keys=2,
+                                read_ratio=0.6, seed=9)
+        programs = make_workload("readwrite", config)
+        result = run_experiment(PessimisticTM(), MemorySpec(), programs,
+                                concurrency=6, seed=9)
+        assert result.aborts == 0
+        assert result.commits == 30
+
+
+class TestIrrevocable:
+    def test_all_commit(self):
+        result = rw_run(IrrevocableTM(irrevocable_after=1))
+        assert result.commits == RW_CONFIG.transactions
+
+    def test_irrevocable_mode_reached_under_contention(self):
+        config = WorkloadConfig(transactions=20, ops_per_tx=3, keys=2,
+                                read_ratio=0.2, seed=10)
+        programs = make_workload("readwrite", config)
+        algorithm = IrrevocableTM(irrevocable_after=1)
+        result = run_experiment(algorithm, MemorySpec(), programs,
+                                concurrency=5, seed=10)
+        assert result.commits == 20
+        # at least one transaction went irrevocable:
+        assert any(count >= 1 for count in algorithm._abort_counts.values())
+
+
+class TestDependent:
+    def test_commits_and_reads_uncommitted(self):
+        config = WorkloadConfig(transactions=24, ops_per_tx=3, read_ratio=0.3,
+                                seed=12)
+        programs = make_workload("counter", config)
+        result = run_experiment(DependentTM(), CounterSpec(), programs,
+                                concurrency=5, seed=12)
+        assert result.commits == 24
+        dependent_commits = [
+            r for r in result.runtime.history.committed_records()
+            if r.pulled_uncommitted
+        ]
+        assert dependent_commits  # some transaction actually used the feature
+
+    def test_not_opaque(self):
+        assert DependentTM.opaque is False
+
+    def test_cascading_abort_on_producer_failure(self):
+        # Force producer aborts with a conflicting mix; any doomed consumer
+        # records the cascade reason.
+        config = WorkloadConfig(transactions=30, ops_per_tx=3, keys=2,
+                                read_ratio=0.5, seed=13)
+        programs = make_workload("readwrite", config)
+        result = run_experiment(DependentTM(), MemorySpec(), programs,
+                                concurrency=6, seed=13)
+        assert result.commits == 30
+
+
+class TestHTM:
+    def test_capacity_aborts(self):
+        config = WorkloadConfig(transactions=6, ops_per_tx=6, keys=30,
+                                read_ratio=0.5, seed=14)
+        programs = make_workload("readwrite", config)
+        algorithm = HTM(capacity=3, fallback_after=2)
+        result = run_experiment(algorithm, MemorySpec(), programs,
+                                concurrency=3, seed=14)
+        assert result.commits == 6  # fallback path rescues capacity victims
+        reasons = {r.abort_reason for r in result.runtime.history.aborted_records()}
+        assert "capacity" in reasons
+
+    def test_conflict_aborts_requester(self):
+        result = rw_run(HTM())
+        assert result.commits == RW_CONFIG.transactions
+        if result.aborts:
+            reasons = {
+                r.abort_reason for r in result.runtime.history.aborted_records()
+            }
+            assert "htm conflict" in reasons or reasons
+
+
+class TestHybrid:
+    def make_spec(self):
+        return ProductSpec({
+            "table": KVMapSpec(),
+            "size": CounterSpec(),
+            "mem": MemorySpec(),
+        })
+
+    def make_programs(self, n=16, seed=1):
+        import random
+
+        from repro.core.language import call, tx
+
+        rng = random.Random(seed)
+        programs = []
+        for i in range(n):
+            programs.append(tx(
+                call("table.put", ("k", rng.randrange(6)), i),
+                call("size.inc"),
+                call("mem.write", ("w", rng.randrange(3)), i),
+            ))
+        return programs
+
+    def test_commits_all(self):
+        spec = self.make_spec()
+        algorithm = HybridTM(htm_components=frozenset({"size", "mem"}))
+        result = run_experiment(algorithm, spec, self.make_programs(),
+                                concurrency=4, seed=2)
+        assert result.commits == 16
+
+    def test_selective_unpush_leaves_boosted_effects(self):
+        # Force HTM publication conflicts via a hot mem location; the
+        # partial-recovery path UNPUSHes only HTM ops.
+        spec = self.make_spec()
+        algorithm = HybridTM(htm_components=frozenset({"size", "mem"}))
+        result = run_experiment(algorithm, spec, self.make_programs(24, seed=3),
+                                concurrency=6, seed=3)
+        assert result.commits == 24
+
+
+class TestAllAlgorithmsRoster:
+    @pytest.mark.parametrize("name", sorted(set(ALL_ALGORITHMS) - {"hybrid"}))
+    def test_small_run_serializable(self, name):
+        algorithm_cls = ALL_ALGORITHMS[name]
+        algorithm = algorithm_cls() if name != "hybrid" else None
+        config = WorkloadConfig(transactions=12, ops_per_tx=3, keys=4,
+                                read_ratio=0.5, seed=21)
+        programs = make_workload("readwrite", config)
+        result = run_experiment(algorithm, MemorySpec(), programs,
+                                concurrency=4, seed=21)
+        assert result.commits + result.permanently_aborted == 12
+        assert result.serialization.serializable
+
+    @pytest.mark.parametrize("scheduler_cls", [RoundRobinScheduler, RandomScheduler])
+    def test_schedulers_interchangeable(self, scheduler_cls):
+        scheduler = scheduler_cls() if scheduler_cls is RoundRobinScheduler else scheduler_cls(5)
+        config = WorkloadConfig(transactions=10, ops_per_tx=2, keys=4, seed=22)
+        programs = make_workload("readwrite", config)
+        result = run_experiment(TL2TM(), MemorySpec(), programs,
+                                concurrency=3, scheduler=scheduler)
+        assert result.commits == 10
+
+    def test_determinism(self):
+        config = WorkloadConfig(transactions=15, ops_per_tx=3, keys=4, seed=23)
+        programs = make_workload("readwrite", config)
+        r1 = run_experiment(TL2TM(), MemorySpec(), programs, concurrency=4, seed=23)
+        r2 = run_experiment(TL2TM(), MemorySpec(), programs, concurrency=4, seed=23)
+        assert r1.commits == r2.commits
+        assert r1.aborts == r2.aborts
+        assert r1.total_steps == r2.total_steps

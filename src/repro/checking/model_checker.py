@@ -45,6 +45,7 @@ from repro.core.ops import IdGenerator, Op
 from repro.core.precongruence import precongruent
 from repro.core.rewind import check_cmtpres_all
 from repro.core.spec import SequentialSpec
+from repro.obs.tracer import CAT_MC, NULL_TRACER, Tracer
 
 
 @dataclass
@@ -75,6 +76,15 @@ class ExploreOptions:
     check_gray_criteria: bool = True
     max_states: int = 100_000
     bigstep_fuel: int = 12
+    #: observability: exploration statistics (states / frontier / dedup
+    #: hits / depth) are emitted as ``mc`` counter events on this tracer
+    #: every ``trace_stats_every`` visited states and once at the end.
+    tracer: Tracer = NULL_TRACER
+    trace_stats_every: int = 1000
+    #: additionally trace every machine rule application *inside* the
+    #: exploration (very high volume — one span per attempted transition);
+    #: off by default even when a tracer is given.
+    trace_rules: bool = False
 
 
 @dataclass
@@ -83,6 +93,12 @@ class ExplorationReport:
     transitions: int = 0
     final_states: int = 0
     stuck_states: int = 0
+    #: successor keys already in the visited set (memoisation effectiveness)
+    dedup_hits: int = 0
+    #: deepest rule chain from the initial state along the DFS tree
+    max_depth: int = 0
+    #: high-water mark of the DFS stack
+    peak_frontier: int = 0
     rule_counts: Dict[str, int] = field(default_factory=dict)
     invariant_violations: List[str] = field(default_factory=list)
     cover_violations: List[str] = field(default_factory=list)
@@ -207,7 +223,12 @@ def explore(
             "max_pulled_per_thread": total_methods,
         })
     report = ExplorationReport()
-    machine = Machine(spec, check_gray_criteria=options.check_gray_criteria)
+    tracer = options.tracer
+    machine = Machine(
+        spec,
+        check_gray_criteria=options.check_gray_criteria,
+        tracer=tracer if options.trace_rules else NULL_TRACER,
+    )
     tids = []
     for program in programs:
         machine, tid = machine.spawn(program)
@@ -216,12 +237,21 @@ def explore(
 
     initial = _Node(machine, ())
     seen: Set[Tuple] = {initial.key()}
-    stack: List[_Node] = [initial]
+    stack: List[Tuple[_Node, int]] = [(initial, 0)]
     cover_cache: Dict[FrozenSet[int], FrozenSet] = {}
 
+    # Exploration stats tracked in locals (attribute stores per visited
+    # state are measurable at 400k-state scopes); folded into the report
+    # after the loop.
+    tracing = tracer.enabled
+    max_depth = 0
+    dedup_hits = 0
+    peak_frontier = 1
     while stack:
-        node = stack.pop()
+        node, depth = stack.pop()
         report.states += 1
+        if depth > max_depth:
+            max_depth = depth
         if report.states > options.max_states:
             raise MemoryError(
                 f"model checker exceeded {options.max_states} states"
@@ -253,7 +283,39 @@ def explore(
             key = successor.key()
             if key not in seen:
                 seen.add(key)
-                stack.append(successor)
+                stack.append((successor, depth + 1))
+            else:
+                dedup_hits += 1
+        if len(stack) > peak_frontier:
+            peak_frontier = len(stack)
+        if tracing and report.states % options.trace_stats_every == 0:
+            tracer.counter(
+                "mc.explore",
+                CAT_MC,
+                {
+                    "states": report.states,
+                    "frontier": len(stack),
+                    "dedup_hits": dedup_hits,
+                    "depth": depth,
+                },
+            )
+    report.max_depth = max_depth
+    report.dedup_hits = dedup_hits
+    report.peak_frontier = peak_frontier
+    if tracer.enabled:
+        tracer.instant(
+            "mc.done",
+            CAT_MC,
+            args={
+                "states": report.states,
+                "transitions": report.transitions,
+                "finals": report.final_states,
+                "stuck": report.stuck_states,
+                "dedup_hits": report.dedup_hits,
+                "max_depth": report.max_depth,
+                "peak_frontier": report.peak_frontier,
+            },
+        )
     return report
 
 
@@ -295,7 +357,7 @@ def _check_cover(
             for method, args, ret in payload_log
         )
         if spec.allowed(candidate) and precongruent(
-            spec, committed_ops, candidate
+            spec, committed_ops, candidate, tracer=options.tracer
         ):
             return
     report.cover_violations.append(

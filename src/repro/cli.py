@@ -13,6 +13,15 @@ Commands
 ``evaluate``
     Regenerate the whole evaluation summary used by EXPERIMENTS.md: the
     E1–E7 qualitative rows plus E8's model-checking scopes.
+
+``trace``
+    Run one workload under one TM strategy with the tracer enabled and
+    export the structured event stream (JSONL, Chrome ``trace_event`` or
+    a summary table — see docs/OBSERVABILITY.md).
+
+``compare``/``modelcheck`` additionally accept ``--trace PATH`` to record
+the same event stream while doing their normal job (``.json`` paths get
+the Chrome format, everything else JSONL).
 """
 
 from __future__ import annotations
@@ -25,7 +34,14 @@ from typing import List, Optional
 from repro.checking import explore
 from repro.checking.model_checker import ExploreOptions
 from repro.core.language import call, choice, tx
-from repro.runtime import WorkloadConfig, make_workload, run_experiment
+from repro.obs import (
+    NULL_TRACER,
+    RecordingTracer,
+    summary_table,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.runtime import WorkloadConfig, make_workload, run_experiment, summarize
 from repro.specs import CounterSpec, KVMapSpec, MemorySpec, get_spec
 from repro.tm import ALL_ALGORITHMS
 
@@ -40,6 +56,18 @@ def _spec_for(workload: str):
     }[workload]
 
 
+def _export_trace(tracer: RecordingTracer, path: str) -> None:
+    """Write ``tracer``'s events to ``path`` — Chrome ``trace_event`` JSON
+    for ``.json`` paths, JSONL otherwise."""
+    if path.endswith(".json"):
+        count = write_chrome_trace(tracer, path)
+        fmt = "chrome-trace"
+    else:
+        count = write_jsonl(tracer, path)
+        fmt = "jsonl"
+    print(f"trace: {count} events ({fmt}) -> {path}")
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     config = WorkloadConfig(
         transactions=args.transactions,
@@ -49,6 +77,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     programs = make_workload(args.workload, config)
+    tracer = RecordingTracer() if getattr(args, "trace", None) else NULL_TRACER
     print(
         f"workload={args.workload} txns={config.transactions} "
         f"ops/tx={config.ops_per_tx} keys={config.keys} "
@@ -61,9 +90,48 @@ def cmd_compare(args: argparse.Namespace) -> int:
         spec = get_spec(_spec_for(args.workload))
         result = run_experiment(
             algorithm, spec, programs, concurrency=args.concurrency,
-            seed=args.seed,
+            seed=args.seed, tracer=tracer,
         )
         print(result.summary_row())
+    if tracer.enabled:
+        _export_trace(tracer, args.trace)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    """One traced run: workload × strategy → event-stream export."""
+    config = WorkloadConfig(
+        transactions=args.transactions,
+        ops_per_tx=args.ops,
+        keys=args.keys,
+        read_ratio=args.read_ratio,
+        seed=args.seed,
+    )
+    programs = make_workload(args.workload, config)
+    algorithm = ALL_ALGORITHMS[args.strategy]()
+    spec = get_spec(_spec_for(args.workload))
+    tracer = RecordingTracer()
+    result = run_experiment(
+        algorithm, spec, programs, concurrency=args.concurrency,
+        seed=args.seed, verify=not args.no_verify, tracer=tracer,
+    )
+    print(result.summary_row())
+    metrics = summarize(result.runtime.history, result.rule_counts)
+    print(metrics.report())
+    print()
+    if args.fmt == "summary" or (args.fmt == "auto" and args.out is None):
+        print(summary_table(tracer))
+    if args.out is not None:
+        if args.fmt == "chrome" or (args.fmt == "auto" and args.out.endswith(".json")):
+            count = write_chrome_trace(tracer, args.out)
+            print(f"trace: {count} events (chrome-trace) -> {args.out}")
+        elif args.fmt == "summary":
+            with open(args.out, "w", encoding="utf-8") as handle:
+                handle.write(summary_table(tracer) + "\n")
+            print(f"trace: summary table -> {args.out}")
+        else:
+            count = write_jsonl(tracer, args.out)
+            print(f"trace: {count} events (jsonl) -> {args.out}")
     return 0
 
 
@@ -86,19 +154,22 @@ SCOPES = {
 
 def cmd_modelcheck(args: argparse.Namespace) -> int:
     failures = 0
+    tracer = RecordingTracer() if getattr(args, "trace", None) else NULL_TRACER
     for name, (spec_cls, programs) in SCOPES.items():
         start = time.time()
         report = explore(
             spec_cls(), programs,
             ExploreOptions(max_states=args.max_states,
-                           check_cmtpres=args.cmtpres),
+                           check_cmtpres=args.cmtpres,
+                           tracer=tracer),
         )
         verdict = "OK" if report.ok else "VIOLATION"
         print(
             f"{name:<14} states={report.states:<7} "
             f"transitions={report.transitions:<8} "
-            f"finals={report.final_states:<3} {verdict} "
-            f"({time.time()-start:.1f}s)"
+            f"finals={report.final_states:<3} "
+            f"dedup={report.dedup_hits:<7} depth={report.max_depth:<4} "
+            f"{verdict} ({time.time()-start:.1f}s)"
         )
         if not report.ok:
             failures += 1
@@ -106,6 +177,8 @@ def cmd_modelcheck(args: argparse.Namespace) -> int:
                 report.invariant_violations + report.cover_violations
             )[:3]:
                 print("   !!", violation)
+    if tracer.enabled:
+        _export_trace(tracer, args.trace)
     return 1 if failures else 0
 
 
@@ -143,13 +216,42 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="read_ratio")
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--concurrency", type=int, default=4)
+    compare.add_argument("--trace", metavar="PATH",
+                         help="record a trace of every run to PATH "
+                              "(.json = Chrome trace, else JSONL)")
     compare.set_defaults(func=cmd_compare)
 
     modelcheck = sub.add_parser("modelcheck", help="verify Theorem 5.17")
     modelcheck.add_argument("--max-states", type=int, default=400_000,
                             dest="max_states")
     modelcheck.add_argument("--cmtpres", action="store_true")
+    modelcheck.add_argument("--trace", metavar="PATH",
+                            help="record exploration stats to PATH "
+                                 "(.json = Chrome trace, else JSONL)")
     modelcheck.set_defaults(func=cmd_modelcheck)
+
+    trace = sub.add_parser(
+        "trace", help="run one workload with the tracer on and export events"
+    )
+    trace.add_argument("workload",
+                       choices=["readwrite", "map", "set", "counter", "bank"])
+    trace.add_argument("--strategy", default="tl2",
+                       choices=sorted(ALL_ALGORITHMS))
+    trace.add_argument("--out", metavar="PATH",
+                       help="export path (default: print summary table only)")
+    trace.add_argument("--format", dest="fmt", default="auto",
+                       choices=["auto", "jsonl", "chrome", "summary"])
+    trace.add_argument("--transactions", type=int, default=40)
+    trace.add_argument("--ops", type=int, default=4)
+    trace.add_argument("--keys", type=int, default=8)
+    trace.add_argument("--read-ratio", type=float, default=0.6,
+                       dest="read_ratio")
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--concurrency", type=int, default=4)
+    trace.add_argument("--no-verify", action="store_true", dest="no_verify",
+                       help="skip the serializability check (lets the "
+                            "runtime compact its log)")
+    trace.set_defaults(func=cmd_trace)
 
     evaluate = sub.add_parser("evaluate", help="regenerate the evaluation")
     evaluate.set_defaults(func=cmd_evaluate)

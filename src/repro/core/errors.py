@@ -10,6 +10,34 @@ pin down *which* condition a misbehaving schedule trips.
 
 from __future__ import annotations
 
+import enum
+
+
+class AbortKind(enum.Enum):
+    """Structured classification of transaction aborts.
+
+    Drivers attach a kind to every :class:`TMAbort`; the stepper copies it
+    onto the history's :class:`~repro.core.history.TxRecord`, so metrics
+    and traces can aggregate aborts without parsing reason strings.
+    """
+
+    #: a rule criterion failed against concurrent work (the generic
+    #: optimistic-conflict abort: APP/PUSH/PULL refused)
+    CONFLICT = "conflict"
+    #: commit-time validation failed (TL2-style dry-run PUSH, CMT refusal)
+    VALIDATION = "validation"
+    #: a producer this transaction pulled uncommitted work from aborted
+    #: (§6.5 cascading detangle)
+    CASCADE = "cascade"
+    #: a wait budget was exhausted (lock timeout, dependency/publication
+    #: starvation)
+    STARVATION = "starvation"
+    #: a simulated hardware capacity limit was exceeded (retrying the same
+    #: transaction in hardware cannot succeed)
+    CAPACITY = "capacity"
+    #: driver-requested abort that fits no category above
+    EXPLICIT = "explicit"
+
 
 class ReproError(Exception):
     """Base class for all errors raised by this library."""
@@ -61,10 +89,12 @@ class CriterionViolation(MachineError):
 
 class TMAbort(ReproError):
     """Raised inside a TM algorithm to signal that the current transaction
-    must abort (and typically retry).  Carries the reason for statistics."""
+    must abort (and typically retry).  Carries a human-readable reason for
+    messages plus a structured :class:`AbortKind` for statistics."""
 
-    def __init__(self, reason: str = "conflict"):
+    def __init__(self, reason: str = "conflict", kind: AbortKind = AbortKind.CONFLICT):
         self.reason = reason
+        self.kind = kind
         super().__init__(f"transaction aborted: {reason}")
 
 

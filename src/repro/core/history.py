@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
+from repro.core.errors import AbortKind
 from repro.core.ops import Op
 
 
@@ -37,6 +38,10 @@ class TxRecord:
     ``observed`` additionally interleaves pulled operations (the local view
     used by the opacity checker); ``pulled_uncommitted`` records
     dependencies on other transactions' uncommitted work (§6.5).
+
+    ``abort_reason`` is the free-text message for humans; ``abort_kind``
+    is the structured classification metrics aggregate on (never parse the
+    reason string).
     """
 
     tx_id: int
@@ -48,6 +53,7 @@ class TxRecord:
     observed: Tuple[Op, ...] = ()
     pulled_uncommitted: Tuple[Op, ...] = ()
     abort_reason: Optional[str] = None
+    abort_kind: Optional[AbortKind] = None
     retries_of: Optional[int] = None
 
     @property
@@ -96,12 +102,14 @@ class History:
         reason: str,
         observed: Sequence[Op] = (),
         pulled_uncommitted: Sequence[Op] = (),
+        kind: AbortKind = AbortKind.EXPLICIT,
     ) -> None:
         record.status = TxStatus.ABORTED
         record.end_time = self.now()
         record.observed = tuple(observed)
         record.pulled_uncommitted = tuple(pulled_uncommitted)
         record.abort_reason = reason
+        record.abort_kind = kind
 
     # -- views ---------------------------------------------------------------
 

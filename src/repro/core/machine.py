@@ -35,6 +35,7 @@ and CMT rules do.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
@@ -53,6 +54,40 @@ from repro.core.logs import (
 )
 from repro.core.ops import IdGenerator, Op
 from repro.core.spec import MemoizedMovers, SequentialSpec
+from repro.obs.tracer import CAT_CRITERION, CAT_RULE, NULL_TRACER, Tracer
+
+
+def _traced_rule(rule_name: str):
+    """Instrument a Figure 5 rule method: a ``rule`` span per application
+    (successful or not) and a ``criterion`` check event recording whether
+    the rule's side-conditions held.  With the default disabled tracer the
+    wrapper is one attribute load and one branch."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(self, tid, *args):
+            tracer = self.tracer
+            if not tracer.enabled:
+                return fn(self, tid, *args)
+            start = tracer.now()
+            try:
+                successor = fn(self, tid, *args)
+            except CriterionViolation as exc:
+                tracer.span(rule_name, CAT_RULE, start, tid=tid, args={"ok": False})
+                tracer.instant(
+                    f"{rule_name}.check",
+                    CAT_CRITERION,
+                    tid=tid,
+                    args={"ok": False, "criterion": exc.criterion, "detail": exc.detail},
+                )
+                raise
+            tracer.span(rule_name, CAT_RULE, start, tid=tid, args={"ok": True})
+            tracer.instant(f"{rule_name}.check", CAT_CRITERION, tid=tid, args={"ok": True})
+            return successor
+
+        return wrapper
+
+    return decorate
 
 
 @dataclass(frozen=True)
@@ -90,13 +125,15 @@ class Machine:
         ids: Optional[IdGenerator] = None,
         check_gray_criteria: bool = True,
         movers: Optional[MemoizedMovers] = None,
+        tracer: Tracer = NULL_TRACER,
     ):
         self.spec = spec
         self.threads: Tuple[Thread, ...] = tuple(threads)
         self.global_log = global_log
         self.ids = ids or IdGenerator()
         self.check_gray_criteria = check_gray_criteria
-        self.movers = movers or MemoizedMovers(spec)
+        self.tracer = tracer
+        self.movers = movers or MemoizedMovers(spec, tracer=tracer)
         self._by_tid: Dict[int, int] = {t.tid: i for i, t in enumerate(self.threads)}
         if len(self._by_tid) != len(self.threads):
             raise MachineError("duplicate thread ids")
@@ -111,6 +148,7 @@ class Machine:
             ids=self.ids,
             check_gray_criteria=self.check_gray_criteria,
             movers=self.movers,
+            tracer=self.tracer,
         )
 
     def thread(self, tid: int) -> Thread:
@@ -155,6 +193,7 @@ class Machine:
         """The ``step(c)`` choices available to APP for thread ``tid``."""
         return step(self.thread(tid).code)
 
+    @_traced_rule("APP")
     def app(self, tid: int, choice: Optional[Tuple[Call, Code]] = None) -> "Machine":
         """APP: apply a next reachable method locally.
 
@@ -196,6 +235,7 @@ class Machine:
 
     # ----------------------------------------------------------------- UNAPP
 
+    @_traced_rule("UNAPP")
     def unapp(self, tid: int) -> "Machine":
         """UNAPP: rewind the last local-log entry, which must be ``npshd``;
         restores the code and stack saved at APP time."""
@@ -217,6 +257,7 @@ class Machine:
 
     # ------------------------------------------------------------------ PUSH
 
+    @_traced_rule("PUSH")
     def push(self, tid: int, op: Op) -> "Machine":
         """PUSH: publish a local ``npshd`` operation to the global log.
 
@@ -288,6 +329,7 @@ class Machine:
 
     # ---------------------------------------------------------------- UNPUSH
 
+    @_traced_rule("UNPUSH")
     def unpush(self, tid: int, op: Op) -> "Machine":
         """UNPUSH: withdraw a pushed, still-uncommitted operation.
 
@@ -357,6 +399,7 @@ class Machine:
 
     # ------------------------------------------------------------------ PULL
 
+    @_traced_rule("PULL")
     def pull(self, tid: int, op: Op) -> "Machine":
         """PULL: import a published operation into the local view.
 
@@ -388,6 +431,7 @@ class Machine:
 
     # ---------------------------------------------------------------- UNPULL
 
+    @_traced_rule("UNPULL")
     def unpull(self, tid: int, op: Op) -> "Machine":
         """UNPULL: discard a pulled operation.
 
@@ -408,6 +452,7 @@ class Machine:
 
     # ------------------------------------------------------------------- CMT
 
+    @_traced_rule("CMT")
     def cmt(self, tid: int) -> "Machine":
         """CMT: the instantaneous commit.
 

@@ -35,6 +35,7 @@ from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.ops import Op
 from repro.core.spec import NondetSpec, SequentialSpec, StateSpec
+from repro.obs.tracer import CAT_MOVER, NULL_TRACER, Tracer
 
 
 # ---------------------------------------------------------------------------
@@ -47,11 +48,38 @@ def precongruent(
     l1: Sequence[Op],
     l2: Sequence[Op],
     depth: int = 3,
+    tracer: Tracer = NULL_TRACER,
 ) -> bool:
-    """``ℓ1 ≼ ℓ2`` — exact for :class:`StateSpec`, bounded otherwise."""
-    if isinstance(spec, StateSpec):
-        return spec.precongruent(l1, l2)
-    return precongruent_bounded(spec, l1, l2, depth)
+    """``ℓ1 ≼ ℓ2`` — exact for :class:`StateSpec`, bounded otherwise.
+
+    With an enabled tracer each query becomes a ``precongruent`` span in
+    the ``mover`` category (the oracle family the paper's criteria and the
+    simulation check both lean on), tagged with the log lengths and the
+    strategy used — the data needed to see whether ``≼`` checks or mover
+    checks dominate a model-checking run.
+    """
+    if not tracer.enabled:
+        if isinstance(spec, StateSpec):
+            return spec.precongruent(l1, l2)
+        return precongruent_bounded(spec, l1, l2, depth)
+    start = tracer.now()
+    exact = isinstance(spec, StateSpec)
+    if exact:
+        result = spec.precongruent(l1, l2)
+    else:
+        result = precongruent_bounded(spec, l1, l2, depth)
+    tracer.span(
+        "precongruent",
+        CAT_MOVER,
+        start,
+        args={
+            "len1": len(l1),
+            "len2": len(l2),
+            "exact": exact,
+            "result": result,
+        },
+    )
+    return result
 
 
 def precongruent_bounded(

@@ -37,6 +37,7 @@ from typing import Any, FrozenSet, Iterable, Optional, Sequence, Tuple
 
 from repro.core.errors import SpecError
 from repro.core.ops import Op, OpClass
+from repro.obs.tracer import CAT_MOVER, NULL_TRACER, Tracer
 
 
 class SequentialSpec(ABC):
@@ -347,24 +348,56 @@ class MemoizedMovers:
     ret), not ids, so results are cached on :class:`OpClass` pairs.  Machine
     criteria check movers against every concurrent operation, making this
     cache the difference between O(n) and O(n·cost-of-oracle) per step.
+
+    With an enabled tracer, cache hits are aggregated as cheap counts
+    (``mover.left.hit`` / ``mover.commutes.hit``) and each actual oracle
+    evaluation (a cache miss) becomes a ``mover`` span — oracle cost is a
+    dominant machine expense, and this is where it becomes visible.
     """
 
-    def __init__(self, spec: SequentialSpec):
+    def __init__(self, spec: SequentialSpec, tracer: Tracer = NULL_TRACER):
         self.spec = spec
+        self.tracer = tracer
         self._left: dict = {}
         self._comm: dict = {}
 
     def left_mover(self, op1: Op, op2: Op) -> bool:
         key = (OpClass.of(op1), OpClass.of(op2))
-        if key not in self._left:
-            self._left[key] = self.spec.left_mover(op1, op2)
-        return self._left[key]
+        if key in self._left:
+            if self.tracer.enabled:
+                self.tracer.count("mover.left.hit")
+            return self._left[key]
+        if not self.tracer.enabled:
+            result = self._left[key] = self.spec.left_mover(op1, op2)
+            return result
+        start = self.tracer.now()
+        result = self._left[key] = self.spec.left_mover(op1, op2)
+        self.tracer.span(
+            "left_mover",
+            CAT_MOVER,
+            start,
+            args={"op1": op1.method, "op2": op2.method, "result": result},
+        )
+        return result
 
     def right_mover(self, op1: Op, op2: Op) -> bool:
         return self.left_mover(op2, op1)
 
     def commutes(self, op1: Op, op2: Op) -> bool:
         key = frozenset((OpClass.of(op1), OpClass.of(op2)))
-        if key not in self._comm:
-            self._comm[key] = self.spec.commutes(op1, op2)
-        return self._comm[key]
+        if key in self._comm:
+            if self.tracer.enabled:
+                self.tracer.count("mover.commutes.hit")
+            return self._comm[key]
+        if not self.tracer.enabled:
+            result = self._comm[key] = self.spec.commutes(op1, op2)
+            return result
+        start = self.tracer.now()
+        result = self._comm[key] = self.spec.commutes(op1, op2)
+        self.tracer.span(
+            "commutes",
+            CAT_MOVER,
+            start,
+            args={"op1": op1.method, "op2": op2.method, "result": result},
+        )
+        return result

@@ -1,0 +1,72 @@
+"""Observability: structured tracing and metrics for the whole stack.
+
+The paper's argument is that real TM systems are disciplined *usages* of
+seven rules; this package makes those usages *visible*.  Every layer —
+the PUSH/PULL machine, the mover oracles, the scheduler, the TM drivers
+and the model checker — is permanently plumbed with a :class:`Tracer`.
+The default :data:`NULL_TRACER` is disabled and near-free (call sites
+guard on ``tracer.enabled`` before formatting or allocating anything), so
+benchmarks pay nothing; switching in a :class:`RecordingTracer` turns the
+same run into a structured event stream that can be exported as
+
+* a JSONL event log (:func:`~repro.obs.exporters.write_jsonl`),
+* a Chrome ``trace_event`` file loadable in Perfetto / ``chrome://tracing``
+  (:func:`~repro.obs.exporters.write_chrome_trace`),
+* a human-readable summary table (:func:`~repro.obs.exporters.summary_table`).
+
+See ``docs/OBSERVABILITY.md`` for the event taxonomy.
+"""
+
+from repro.obs.tracer import (
+    CAT_CRITERION,
+    CAT_MC,
+    CAT_MOVER,
+    CAT_RULE,
+    CAT_RUNTIME,
+    CAT_SCHED,
+    CAT_TX,
+    NULL_TRACER,
+    NullTracer,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+)
+from repro.obs.metrics import (
+    CounterMetric,
+    HistogramMetric,
+    MetricsRegistry,
+    percentile_nearest_rank,
+)
+from repro.obs.exporters import (
+    events_from_jsonl,
+    read_jsonl,
+    summary_table,
+    to_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+
+__all__ = [
+    "Tracer",
+    "NullTracer",
+    "RecordingTracer",
+    "TraceEvent",
+    "NULL_TRACER",
+    "CAT_RULE",
+    "CAT_CRITERION",
+    "CAT_MOVER",
+    "CAT_TX",
+    "CAT_SCHED",
+    "CAT_RUNTIME",
+    "CAT_MC",
+    "CounterMetric",
+    "HistogramMetric",
+    "MetricsRegistry",
+    "percentile_nearest_rank",
+    "write_jsonl",
+    "read_jsonl",
+    "events_from_jsonl",
+    "to_chrome_trace",
+    "write_chrome_trace",
+    "summary_table",
+]

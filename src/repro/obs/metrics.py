@@ -1,0 +1,108 @@
+"""Counters and histograms: the aggregate side of observability.
+
+:mod:`repro.runtime.metrics` has a :class:`~repro.runtime.metrics.Distribution`
+purpose-built for harness summaries; this module generalizes the idea into
+a small registry any layer can write to without knowing who will read it.
+The percentile definition lives here (:func:`percentile_nearest_rank`) and
+is shared with ``Distribution`` so the two never disagree.
+
+Nearest-rank percentiles: the q-th percentile of ``n`` ordered samples is
+the sample at 1-based rank ``ceil(q * n)`` — the smallest value such that
+at least ``q`` of the mass is ≤ it.  Unlike interpolating definitions it
+always returns an actual sample, and unlike the previous ad-hoc
+``int(q*(n-1)+0.5)`` rounding it is exact at the edges (n=1, n=2, q→1).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+
+def percentile_nearest_rank(ordered: Sequence[float], q: float) -> float:
+    """The q-th (0 < q ≤ 1) nearest-rank percentile of ``ordered`` (which
+    must be sorted ascending).  Returns 0.0 for an empty sample."""
+    n = len(ordered)
+    if n == 0:
+        return 0.0
+    if q <= 0.0:
+        return float(ordered[0])
+    rank = math.ceil(q * n)  # 1-based; q ≤ 1 ⇒ rank ≤ n
+    return float(ordered[min(n, max(1, rank)) - 1])
+
+
+@dataclass
+class CounterMetric:
+    """A monotone named scalar."""
+
+    name: str
+    value: int = 0
+
+    def inc(self, delta: int = 1) -> None:
+        self.value += delta
+
+
+@dataclass
+class HistogramMetric:
+    """A sample accumulator with nearest-rank order statistics."""
+
+    name: str
+    samples: List[float] = field(default_factory=list)
+
+    def observe(self, value: float) -> None:
+        self.samples.append(float(value))
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    @property
+    def mean(self) -> float:
+        return sum(self.samples) / len(self.samples) if self.samples else 0.0
+
+    def percentile(self, q: float) -> float:
+        return percentile_nearest_rank(sorted(self.samples), q)
+
+    def summary(self) -> Dict[str, float]:
+        ordered = sorted(self.samples)
+        return {
+            "count": float(len(ordered)),
+            "mean": self.mean,
+            "p50": percentile_nearest_rank(ordered, 0.50),
+            "p95": percentile_nearest_rank(ordered, 0.95),
+            "max": float(ordered[-1]) if ordered else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """A flat namespace of counters and histograms.
+
+    Layers obtain instruments by name (created on first use); a report
+    consumer iterates :meth:`snapshot`.  Not thread-safe — the whole
+    library is a single-threaded simulation.
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, CounterMetric] = {}
+        self._histograms: Dict[str, HistogramMetric] = {}
+
+    def counter(self, name: str) -> CounterMetric:
+        metric = self._counters.get(name)
+        if metric is None:
+            metric = self._counters[name] = CounterMetric(name)
+        return metric
+
+    def histogram(self, name: str) -> HistogramMetric:
+        metric = self._histograms.get(name)
+        if metric is None:
+            metric = self._histograms[name] = HistogramMetric(name)
+        return metric
+
+    def snapshot(self) -> Dict[str, Dict[str, float]]:
+        out: Dict[str, Dict[str, float]] = {}
+        for name, counter in sorted(self._counters.items()):
+            out[name] = {"value": float(counter.value)}
+        for name, histogram in sorted(self._histograms.items()):
+            out[name] = histogram.summary()
+        return out

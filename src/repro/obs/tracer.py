@@ -1,0 +1,213 @@
+"""The tracing core: events, the tracer protocol, and its two implementations.
+
+Design constraints (ISSUE 1):
+
+* **zero dependencies** — stdlib only;
+* **near-zero disabled overhead** — every instrumentation site in the
+  library is written as ``if tracer.enabled: ...``, so with the default
+  :data:`NULL_TRACER` the cost per rule application is one attribute load
+  and one branch.  No event objects, strings or dicts are built when
+  tracing is off;
+* **structured events** — a :class:`TraceEvent` is close enough to the
+  Chrome ``trace_event`` format (``ph``/``ts``/``dur``/``pid``/``tid``)
+  that exporting is a field-rename, while staying pleasant to consume
+  from Python (`args` is a plain dict).
+
+Timestamps come from :func:`time.perf_counter` and are stored as
+**microseconds since the tracer's epoch** (its construction time), which
+is what ``trace_event`` viewers expect and keeps JSONL diffs small.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from time import perf_counter
+from typing import Any, Dict, List, Optional
+
+# Event categories (the taxonomy's top level; see docs/OBSERVABILITY.md).
+CAT_RULE = "rule"  # successful Figure 5 rule applications (spans)
+CAT_CRITERION = "criterion"  # criterion-check outcomes, pass or violation
+CAT_MOVER = "mover"  # mover/precongruence oracle evaluations
+CAT_TX = "tx"  # driver-level transaction lifecycle (begin/commit/abort)
+CAT_SCHED = "sched"  # scheduler quanta and retry/backoff decisions
+CAT_RUNTIME = "runtime"  # runtime events: rollback spans, log compaction
+CAT_MC = "mc"  # model-checker exploration statistics
+
+# Chrome trace_event phases used by this library.
+PH_COMPLETE = "X"  # a span with a duration
+PH_INSTANT = "i"  # a point event
+PH_COUNTER = "C"  # a sampled counter value
+
+
+@dataclass
+class TraceEvent:
+    """One structured event.
+
+    ``ts`` and ``dur`` are microseconds relative to the tracer epoch.
+    ``tid`` is the machine thread id (or stepper/job id at the scheduler
+    layer); ``pid`` distinguishes logical tracks (all events of one run
+    share a pid).
+    """
+
+    name: str
+    cat: str
+    ph: str
+    ts: float
+    dur: float = 0.0
+    tid: int = 0
+    pid: int = 0
+    args: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        data: Dict[str, Any] = {
+            "name": self.name,
+            "cat": self.cat,
+            "ph": self.ph,
+            "ts": self.ts,
+            "pid": self.pid,
+            "tid": self.tid,
+        }
+        if self.ph == PH_COMPLETE:
+            data["dur"] = self.dur
+        if self.args:
+            data["args"] = self.args
+        return data
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "TraceEvent":
+        return TraceEvent(
+            name=data["name"],
+            cat=data.get("cat", ""),
+            ph=data.get("ph", PH_INSTANT),
+            ts=data.get("ts", 0.0),
+            dur=data.get("dur", 0.0),
+            tid=data.get("tid", 0),
+            pid=data.get("pid", 0),
+            args=dict(data.get("args", {})),
+        )
+
+
+class Tracer:
+    """The tracer protocol every instrumented layer talks to.
+
+    ``enabled`` is the *only* attribute hot paths may read; all other
+    methods are reached solely behind an ``if tracer.enabled`` guard, so a
+    disabled tracer's methods are never called on hot paths.  The base
+    class doubles as the disabled implementation.
+    """
+
+    enabled: bool = False
+
+    # -- clock -------------------------------------------------------------
+
+    def now(self) -> float:
+        """Seconds on the span clock (``perf_counter``)."""
+        return perf_counter()
+
+    # -- event emission ----------------------------------------------------
+
+    def instant(self, name: str, cat: str, tid: int = 0, args: Optional[dict] = None) -> None:
+        """Record a point event."""
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        start: float,
+        tid: int = 0,
+        args: Optional[dict] = None,
+    ) -> None:
+        """Record a completed span that began at ``start`` (a :meth:`now`
+        value) and ends now."""
+
+    def counter(self, name: str, cat: str, values: Dict[str, float], tid: int = 0) -> None:
+        """Record a counter sample (a named group of numeric series)."""
+
+    # -- cheap aggregation -------------------------------------------------
+
+    def count(self, name: str, delta: int = 1) -> None:
+        """Bump a named scalar without allocating an event — for sites too
+        hot to emit per-occurrence events (mover cache hits, quanta)."""
+
+
+class NullTracer(Tracer):
+    """The permanently disabled tracer (the library-wide default)."""
+
+    enabled = False
+
+    __slots__ = ()
+
+
+class RecordingTracer(Tracer):
+    """In-memory recording tracer.
+
+    Collects :class:`TraceEvent` objects in ``events`` (append-only, in
+    emission order) and scalar aggregates in ``counts``.  A fresh instance
+    defines its own epoch; all timestamps are relative microseconds.
+    """
+
+    enabled = True
+
+    _pid_counter = itertools.count(1)
+
+    def __init__(self) -> None:
+        self._epoch = perf_counter()
+        self.pid = next(RecordingTracer._pid_counter)
+        self.events: List[TraceEvent] = []
+        self.counts: Dict[str, int] = {}
+
+    def _ts(self, at: float) -> float:
+        return (at - self._epoch) * 1e6
+
+    def instant(self, name: str, cat: str, tid: int = 0, args: Optional[dict] = None) -> None:
+        self.events.append(
+            TraceEvent(name, cat, PH_INSTANT, self._ts(perf_counter()), tid=tid,
+                       pid=self.pid, args=args or {})
+        )
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        start: float,
+        tid: int = 0,
+        args: Optional[dict] = None,
+    ) -> None:
+        end = perf_counter()
+        self.events.append(
+            TraceEvent(name, cat, PH_COMPLETE, self._ts(start), dur=(end - start) * 1e6,
+                       tid=tid, pid=self.pid, args=args or {})
+        )
+
+    def counter(self, name: str, cat: str, values: Dict[str, float], tid: int = 0) -> None:
+        self.events.append(
+            TraceEvent(name, cat, PH_COUNTER, self._ts(perf_counter()), tid=tid,
+                       pid=self.pid, args=dict(values))
+        )
+
+    def count(self, name: str, delta: int = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + delta
+
+    # -- convenience views -------------------------------------------------
+
+    def events_in(self, cat: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.cat == cat]
+
+    def names(self) -> Dict[str, int]:
+        """Event-name histogram (diagnostics and tests)."""
+        out: Dict[str, int] = {}
+        for event in self.events:
+            out[event.name] = out.get(event.name, 0) + 1
+        return out
+
+    def flush_counts(self) -> None:
+        """Materialise the scalar aggregates as one counter event each, so
+        exporters see them.  Idempotent-ish: call once at end of run."""
+        for name, value in sorted(self.counts.items()):
+            self.counter(name, CAT_RUNTIME, {"value": float(value)})
+        self.counts.clear()
+
+
+#: The shared disabled tracer every constructor defaults to.
+NULL_TRACER = NullTracer()

@@ -23,6 +23,7 @@ from repro.core.history import History
 from repro.core.language import Code
 from repro.core.serializability import SerializationResult, check_history
 from repro.core.spec import SequentialSpec
+from repro.obs.tracer import CAT_RUNTIME, NULL_TRACER, Tracer
 from repro.runtime.scheduler import RandomScheduler, Scheduler
 from repro.tm.base import Runtime, StepStatus, TMAlgorithm, TxStepper
 
@@ -74,6 +75,7 @@ def run_experiment(
     max_retries: int = 200,
     check_gray_criteria: bool = True,
     strict: bool = True,
+    tracer: Tracer = NULL_TRACER,
 ) -> ExperimentResult:
     """Run ``programs`` under ``algorithm`` with up to ``concurrency``
     transactions in flight.
@@ -81,13 +83,30 @@ def run_experiment(
     ``verify=True`` keeps the full global log (no compaction) and runs the
     serializability checker on the committed history; benchmarks that only
     measure throughput pass ``verify=False`` and let the runtime compact.
+
+    ``tracer`` is threaded through every layer (machine rules, mover
+    oracles, scheduler quanta, driver lifecycle); the default
+    :data:`~repro.obs.tracer.NULL_TRACER` records nothing and costs
+    (almost) nothing.
     """
     scheduler = scheduler or RandomScheduler(seed)
     runtime = Runtime(
         spec,
         check_gray_criteria=check_gray_criteria,
         compact_every=None if verify else 64,
+        tracer=tracer,
     )
+    if tracer.enabled:
+        tracer.instant(
+            "harness.run",
+            CAT_RUNTIME,
+            args={
+                "algorithm": algorithm.name,
+                "programs": len(programs),
+                "concurrency": concurrency,
+                "seed": seed,
+            },
+        )
     steppers = [
         TxStepper(algorithm, runtime, program, max_retries=max_retries, job_id=i)
         for i, program in enumerate(programs)
@@ -95,7 +114,7 @@ def run_experiment(
     # Admission control: release steppers in waves of `concurrency`.
     for start in range(0, len(steppers), max(1, concurrency)):
         wave = steppers[start : start + max(1, concurrency)]
-        scheduler.run(wave)
+        scheduler.run(wave, tracer=tracer)
 
     commits = sum(1 for s in steppers if s.status is StepStatus.COMMITTED)
     permanently_aborted = sum(
@@ -103,6 +122,17 @@ def run_experiment(
     )
     aborts = sum(s.stats.aborts for s in steppers)
     total_steps = sum(s.stats.steps for s in steppers)
+    if tracer.enabled:
+        tracer.instant(
+            "harness.done",
+            CAT_RUNTIME,
+            args={
+                "algorithm": algorithm.name,
+                "commits": commits,
+                "aborts": aborts,
+                "steps": total_steps,
+            },
+        )
 
     serialization = None
     if verify:

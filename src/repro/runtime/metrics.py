@@ -15,15 +15,18 @@ evaluation section normally plots:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.core.errors import AbortKind
 from repro.core.history import History, TxRecord, TxStatus
+from repro.obs.metrics import percentile_nearest_rank
 
 
 @dataclass(frozen=True)
 class Distribution:
-    """Order statistics of a sample."""
+    """Order statistics of a sample (nearest-rank percentiles, see
+    :func:`repro.obs.metrics.percentile_nearest_rank`)."""
 
     count: int
     mean: float
@@ -36,16 +39,11 @@ class Distribution:
         if not samples:
             return Distribution(0, 0.0, 0.0, 0.0, 0.0)
         ordered = sorted(samples)
-
-        def percentile(q: float) -> float:
-            index = min(len(ordered) - 1, int(q * (len(ordered) - 1) + 0.5))
-            return float(ordered[index])
-
         return Distribution(
             count=len(ordered),
             mean=sum(ordered) / len(ordered),
-            p50=percentile(0.50),
-            p95=percentile(0.95),
+            p50=percentile_nearest_rank(ordered, 0.50),
+            p95=percentile_nearest_rank(ordered, 0.95),
             maximum=float(ordered[-1]),
         )
 
@@ -62,6 +60,7 @@ class RunMetrics:
     latency: Distribution
     cascade_ratio: float
     rule_mix: Dict[str, int]
+    abort_kinds: Dict[str, int] = field(default_factory=dict)
 
     def report(self) -> str:
         lines = [
@@ -71,6 +70,13 @@ class RunMetrics:
             "rule mix    : "
             + "  ".join(f"{rule}={count}" for rule, count in sorted(self.rule_mix.items())),
         ]
+        if self.abort_kinds:
+            lines.append(
+                "abort kinds : "
+                + "  ".join(
+                    f"{kind}={count}" for kind, count in sorted(self.abort_kinds.items())
+                )
+            )
         return "\n".join(lines)
 
 
@@ -109,11 +115,16 @@ def summarize(history: History, rule_counts: Optional[Dict[str, int]] = None) ->
             latencies.append(float(final.end_time - chain[0].begin_time))
     aborted = history.aborted_records()
     cascades = sum(
-        1 for record in aborted if "cascad" in (record.abort_reason or "")
+        1 for record in aborted if record.abort_kind is AbortKind.CASCADE
     )
+    kinds: Dict[str, int] = {}
+    for record in aborted:
+        label = record.abort_kind.value if record.abort_kind else "unknown"
+        kinds[label] = kinds.get(label, 0) + 1
     return RunMetrics(
         attempts=Distribution.of(attempt_counts),
         latency=Distribution.of(latencies),
         cascade_ratio=(cascades / len(aborted)) if aborted else 0.0,
         rule_mix=dict(rule_counts or {}),
+        abort_kinds=kinds,
     )

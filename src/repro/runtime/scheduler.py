@@ -13,6 +13,7 @@ from abc import ABC, abstractmethod
 from typing import List, Optional, Sequence
 
 from repro.core.errors import MachineError
+from repro.obs.tracer import CAT_SCHED, NULL_TRACER, Tracer
 from repro.tm.base import StepStatus, TxStepper
 
 
@@ -25,18 +26,34 @@ class Scheduler(ABC):
     def pick(self, runnable: Sequence[TxStepper]) -> TxStepper:
         """Choose the next stepper to advance."""
 
-    def run(self, steppers: Sequence[TxStepper]) -> None:
+    def run(self, steppers: Sequence[TxStepper], tracer: Tracer = NULL_TRACER) -> None:
         """Advance steppers until all have committed or permanently
         aborted.  Raises :class:`MachineError` on livelock (step budget
         exhausted — indicates a driver bug, e.g. a deadlock between
-        waiting transactions)."""
+        waiting transactions).
+
+        With an enabled tracer every scheduling quantum becomes a
+        ``sched`` span on the chosen stepper's job track, so interleavings
+        are visible on a timeline."""
         pending: List[TxStepper] = [
             s for s in steppers if s.status is StepStatus.RUNNING
         ]
         total = 0
         while pending:
             stepper = self.pick(pending)
-            status = stepper.step()
+            if tracer.enabled:
+                start = tracer.now()
+                status = stepper.step()
+                tracer.span(
+                    "quantum",
+                    CAT_SCHED,
+                    start,
+                    tid=stepper.job_id if stepper.job_id is not None else -1,
+                    args={"status": status.value},
+                )
+                tracer.count("sched.quanta")
+            else:
+                status = stepper.step()
             total += 1
             if total > self.max_total_steps:
                 raise MachineError(

@@ -74,12 +74,16 @@ class BankSpec(StateSpec):
         return op.args[0]
 
     def _amounts(self, op1: Op, op2: Op) -> Tuple[int, ...]:
-        amounts = set()
+        # One entry PER OP, not a set: when both ops mention the same
+        # amount (e.g. withdraw(a, 2) vs balance(a) -> 2) the partial-sum
+        # basis must still reach 2+2=4 — deduping here once made the
+        # oracle miss the state where the swap fails.
+        amounts = []
         for op in (op1, op2):
             if op.method in ("deposit", "withdraw"):
-                amounts.add(op.args[1])
+                amounts.append(op.args[1])
             if op.method == "balance":
-                amounts.add(op.ret)
+                amounts.append(op.ret)
         return tuple(amounts)
 
     def mover_states(self, op1: Op, op2: Op) -> Iterable:

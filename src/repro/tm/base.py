@@ -27,13 +27,20 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
-from repro.core.errors import CriterionViolation, MachineError, SpecError, TMAbort
+from repro.core.errors import (
+    AbortKind,
+    CriterionViolation,
+    MachineError,
+    SpecError,
+    TMAbort,
+)
 from repro.core.history import History, TxRecord
 from repro.core.language import Call, Code, Tx, step as lang_step
 from repro.core.logs import NotPushed, Pulled, Pushed
 from repro.core.machine import Machine
 from repro.core.ops import Op
 from repro.core.spec import RebasedStateSpec, SequentialSpec, StateSpec
+from repro.obs.tracer import CAT_RUNTIME, CAT_TX, NULL_TRACER, Tracer
 
 
 class LockTable:
@@ -167,9 +174,13 @@ class Runtime:
         check_gray_criteria: bool = True,
         compact_every: Optional[int] = 64,
         record_trace: bool = False,
+        tracer: Tracer = NULL_TRACER,
     ):
         self.spec = spec
-        self.machine = Machine(spec, check_gray_criteria=check_gray_criteria)
+        self.tracer = tracer
+        self.machine = Machine(
+            spec, check_gray_criteria=check_gray_criteria, tracer=tracer
+        )
         self.history = History()
         #: optional rule trace (repro.checking.trace.TraceEvent per applied
         #: rule) — lets a driver run be rendered in Figure-7 style.
@@ -240,6 +251,16 @@ class Runtime:
         *another* transaction pushed work depending on ours — the §6.5
         driver dooms its dependents first, so by the time rollback runs the
         shared log no longer depends on our operations."""
+        tracer = self.tracer
+        if tracer.enabled:
+            start = tracer.now()
+            undone = len(self.machine.thread(tid).local)
+            self._rollback(tid)
+            tracer.span("rollback", CAT_RUNTIME, start, tid=tid, args={"entries": undone})
+            return
+        self._rollback(tid)
+
+    def _rollback(self, tid: int) -> None:
         thread = self.machine.thread(tid)
         while len(thread.local) > 0:
             entry = thread.local[-1]
@@ -285,7 +306,7 @@ class Runtime:
             try:
                 self.apply("pull", tid, op)
             except CriterionViolation as exc:
-                raise TMAbort(f"pull conflict: {exc}")
+                raise TMAbort(f"pull conflict: {exc}", AbortKind.CONFLICT)
             pulled.append(op)
         return pulled
 
@@ -316,13 +337,19 @@ class Runtime:
         rebased = RebasedStateSpec(base, state)
         self.spec = rebased
         live_threads = self.machine.threads
+        compacted = len(self.machine.global_log)
         self.machine = Machine(
             rebased,
             threads=live_threads,
             ids=self.machine.ids,
             check_gray_criteria=self.machine.check_gray_criteria,
+            tracer=self.tracer,
         )
         self._commits_since_compaction = 0
+        if self.tracer.enabled:
+            self.tracer.instant(
+                "compact", CAT_RUNTIME, args={"entries": compacted}
+            )
         return True
 
 
@@ -403,14 +430,14 @@ class TMAlgorithm(ABC):
         try:
             rt.apply("app", tid, choice)
         except CriterionViolation as exc:
-            raise TMAbort(f"app conflict: {exc}")
+            raise TMAbort(f"app conflict: {exc}", AbortKind.CONFLICT)
         return rt.machine.thread(tid).local[-1].op
 
     def push_op(self, rt: Runtime, tid: int, op: Op) -> None:
         try:
             rt.apply("push", tid, op)
         except CriterionViolation as exc:
-            raise TMAbort(f"push conflict: {exc}")
+            raise TMAbort(f"push conflict: {exc}", AbortKind.CONFLICT)
 
     def push_all_unpushed(self, rt: Runtime, tid: int) -> None:
         """PUSH the thread's ``npshd`` operations in local-log order
@@ -432,14 +459,14 @@ class TMAlgorithm(ABC):
             try:
                 scratch = scratch.push(tid, op)
             except CriterionViolation as exc:
-                raise TMAbort(f"commit validation failed: {exc}")
+                raise TMAbort(f"commit validation failed: {exc}", AbortKind.VALIDATION)
         self.push_all_unpushed(rt, tid)
 
     def commit(self, rt: Runtime, tid: int) -> None:
         try:
             rt.apply("cmt", tid)
         except CriterionViolation as exc:
-            raise TMAbort(f"commit refused: {exc}")
+            raise TMAbort(f"commit refused: {exc}", AbortKind.VALIDATION)
 
 
 class TxStepper:
@@ -484,6 +511,17 @@ class TxStepper:
         self._previous_record_id = self.record.tx_id
         rt.active_tids.add(self._tid)
         self.stats.attempts += 1
+        if rt.tracer.enabled:
+            rt.tracer.instant(
+                "tx.begin",
+                CAT_TX,
+                tid=self._tid,
+                args={
+                    "algorithm": self.algorithm.name,
+                    "job": self.job_id,
+                    "attempt": self.stats.attempts,
+                },
+            )
         self._generator = self.algorithm.attempt(rt, self._tid, self.record, self.program)
 
     def _observed_view(self) -> Tuple[Tuple[Op, ...], Tuple[Op, ...], Tuple[Op, ...]]:
@@ -512,6 +550,8 @@ class TxStepper:
             self._backoff_remaining -= 1
             self.stats.waits += 1
             self.stats.steps += 1
+            if rt.tracer.enabled:
+                rt.tracer.count("sched.backoff_wait")
             return self.status
         if self._generator is None:
             self._begin_attempt()
@@ -523,6 +563,17 @@ class TxStepper:
             # Attempt generator finished: it must have committed.
             own, observed, pulled_uncommitted = (), (), ()
             rt.history.commit(self.record, *self._finished_ops())
+            if rt.tracer.enabled:
+                rt.tracer.instant(
+                    "tx.commit",
+                    CAT_TX,
+                    tid=self._tid,
+                    args={
+                        "algorithm": self.algorithm.name,
+                        "job": self.job_id,
+                        "attempts": self.stats.attempts,
+                    },
+                )
             rt.active_tids.discard(self._tid)
             rt.dependencies.on_commit(self._tid)
             rt.machine = rt.machine.end_thread(self._tid)
@@ -542,7 +593,8 @@ class TxStepper:
                     rt.tokens[token] = None
             rt.rollback(self._tid)
             rt.history.abort(
-                self.record, abort.reason, observed, pulled_uncommitted
+                self.record, abort.reason, observed, pulled_uncommitted,
+                kind=abort.kind,
             )
             rt.active_tids.discard(self._tid)
             self._generator = None
@@ -552,6 +604,20 @@ class TxStepper:
                 self._backoff_remaining = min(
                     self.backoff_cap, 2 ** min(self.stats.aborts, 16)
                 ) * (1 + (self.job_id or 0) % 3) // 2
+            if rt.tracer.enabled:
+                rt.tracer.instant(
+                    "tx.abort",
+                    CAT_TX,
+                    tid=self.record.thread_tid,
+                    args={
+                        "algorithm": self.algorithm.name,
+                        "job": self.job_id,
+                        "reason": abort.reason,
+                        "kind": abort.kind.value,
+                        "will_retry": self.status is StepStatus.RUNNING,
+                        "backoff_quanta": self._backoff_remaining,
+                    },
+                )
             return self.status
 
     def _finished_ops(self):

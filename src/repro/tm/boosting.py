@@ -26,7 +26,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.core.errors import TMAbort
+from repro.core.errors import AbortKind, TMAbort
 from repro.core.history import TxRecord
 from repro.core.language import Code
 from repro.tm.base import Runtime, TMAlgorithm, record_commit_view
@@ -60,7 +60,7 @@ class BoostingTM(TMAlgorithm):
                     if waits > self.max_waits:
                         # Deadlock-avoidance timeout (boosting aborts and
                         # retries; the lock holder makes progress).
-                        raise TMAbort("abstract-lock timeout")
+                        raise TMAbort("abstract-lock timeout", AbortKind.STARVATION)
                     yield
                 rt.pull_relevant(tid, keys)
                 op = self.app_call(rt, tid, 0)

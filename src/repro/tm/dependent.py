@@ -35,7 +35,7 @@ from __future__ import annotations
 
 from typing import Iterator, List
 
-from repro.core.errors import CriterionViolation, TMAbort
+from repro.core.errors import AbortKind, CriterionViolation, TMAbort
 from repro.core.history import TxRecord
 from repro.core.language import Code
 from repro.core.ops import Op
@@ -86,7 +86,7 @@ class DependentTM(TMAlgorithm):
             try:
                 rt.apply("pull", tid, op)
             except CriterionViolation as exc:
-                raise TMAbort(f"dependent pull conflict: {exc}")
+                raise TMAbort(f"dependent pull conflict: {exc}", AbortKind.CONFLICT)
             rt.dependencies.depend(tid, owner)
             # Record the dependency-creating pull *now*: by commit time the
             # producer will have committed (we wait for it), so the
@@ -101,7 +101,7 @@ class DependentTM(TMAlgorithm):
         for call_node in self.resolve_steps(program):
             if rt.dependencies.doomed(tid):
                 rt.dependencies.clear(tid)
-                raise TMAbort("producer aborted (cascading detangle)")
+                raise TMAbort("producer aborted (cascading detangle)", AbortKind.CASCADE)
             keys = rt.spec.footprint(call_node.method, call_node.args)
             self._pull_with_dependencies(rt, tid, keys, record)
             op = self.app_call(rt, tid, 0)
@@ -124,14 +124,14 @@ class DependentTM(TMAlgorithm):
         while rt.dependencies.producers(tid):
             if rt.dependencies.doomed(tid):
                 rt.dependencies.clear(tid)
-                raise TMAbort("producer aborted (cascading detangle)")
+                raise TMAbort("producer aborted (cascading detangle)", AbortKind.CASCADE)
             waits += 1
             if waits > self.max_commit_waits:  # pragma: no cover
-                raise TMAbort("dependency wait starved")
+                raise TMAbort("dependency wait starved", AbortKind.STARVATION)
             yield
         if rt.dependencies.doomed(tid):
             rt.dependencies.clear(tid)
-            raise TMAbort("producer aborted (cascading detangle)")
+            raise TMAbort("producer aborted (cascading detangle)", AbortKind.CASCADE)
         self.push_all_unpushed(rt, tid)
         record_commit_view(rt, tid, record)
         record._commit_pulled_uncommitted = tuple(

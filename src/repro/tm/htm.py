@@ -24,7 +24,7 @@ from __future__ import annotations
 import collections
 from typing import Dict, Iterator, Set
 
-from repro.core.errors import TMAbort
+from repro.core.errors import AbortKind, TMAbort
 from repro.core.history import TxRecord
 from repro.core.language import Code
 from repro.tm.base import Runtime, TMAlgorithm, record_commit_view
@@ -70,7 +70,7 @@ class HTM(TMAlgorithm):
         target[tid] |= keys
         total = len(self._read_sets.get(tid, set()) | self._write_sets.get(tid, set()))
         if total > self.capacity:
-            raise TMAbort("capacity")
+            raise TMAbort("capacity", AbortKind.CAPACITY)
 
     # -- attempts -----------------------------------------------------------------
 
@@ -96,7 +96,7 @@ class HTM(TMAlgorithm):
             keys = rt.spec.footprint(call_node.method, call_node.args)
             is_write = rt.spec.is_mutator(call_node.method)
             if self._detect_conflict(tid, keys, is_write):
-                raise TMAbort("htm conflict")
+                raise TMAbort("htm conflict", AbortKind.CONFLICT)
             self._track(tid, keys, is_write)
             accessed = accessed | keys
             rt.pull_relevant(tid, accessed)  # coherence: whole-footprint view

@@ -40,7 +40,7 @@ from __future__ import annotations
 import collections
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
-from repro.core.errors import TMAbort
+from repro.core.errors import AbortKind, TMAbort
 from repro.core.history import TxRecord
 from repro.core.language import Code
 from repro.core.logs import NotPushed, Pushed
@@ -126,7 +126,7 @@ class HybridTM(TMAlgorithm):
                         if self._htm_conflict(tid, keys):
                             htm_retries += 1
                             if htm_retries > self.max_htm_retries or not self._htm_rewind(rt, tid):
-                                raise TMAbort("htm conflict (full abort)")
+                                raise TMAbort("htm conflict (full abort)", AbortKind.CONFLICT)
                             yield
                             continue
                         self._htm_sets[tid] |= keys
@@ -137,7 +137,7 @@ class HybridTM(TMAlgorithm):
                         while not rt.locks.try_acquire(tid, keys):
                             waits += 1
                             if waits > self.max_waits:
-                                raise TMAbort("abstract-lock timeout")
+                                raise TMAbort("abstract-lock timeout", AbortKind.STARVATION)
                             yield
                         rt.pull_relevant(tid, keys)
                         op = self.app_call(rt, tid, 0)
@@ -149,7 +149,7 @@ class HybridTM(TMAlgorithm):
                 except TMAbort:
                     htm_retries += 1
                     if htm_retries > self.max_htm_retries or not self._htm_rewind(rt, tid):
-                        raise TMAbort("htm publication conflict (full abort)")
+                        raise TMAbort("htm publication conflict (full abort)", AbortKind.CONFLICT)
                     yield
                     continue
                 record_commit_view(rt, tid, record)

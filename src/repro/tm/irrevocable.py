@@ -25,7 +25,7 @@ from __future__ import annotations
 import collections
 from typing import Iterator
 
-from repro.core.errors import CriterionViolation, TMAbort
+from repro.core.errors import AbortKind, CriterionViolation, TMAbort
 from repro.core.history import TxRecord
 from repro.core.language import Code
 from repro.tm.base import Runtime, TMAlgorithm, record_commit_view
@@ -93,7 +93,7 @@ class IrrevocableTM(TMAlgorithm):
                     # access rather than roll back.
                     waits += 1
                     if waits > self.max_waits:  # pragma: no cover
-                        raise TMAbort("irrevocable transaction starved")
+                        raise TMAbort("irrevocable transaction starved", AbortKind.STARVATION)
                     yield
                     continue
                 try:
@@ -103,7 +103,7 @@ class IrrevocableTM(TMAlgorithm):
                     rt.apply("unapp", tid)
                     waits += 1
                     if waits > self.max_waits:  # pragma: no cover
-                        raise TMAbort("irrevocable transaction starved")
+                        raise TMAbort("irrevocable transaction starved", AbortKind.STARVATION)
                     yield
             yield
         record_commit_view(rt, tid, record)

@@ -29,7 +29,7 @@ from __future__ import annotations
 
 from typing import Iterator
 
-from repro.core.errors import TMAbort
+from repro.core.errors import AbortKind, TMAbort
 from repro.core.history import TxRecord
 from repro.core.language import Code, Tx
 from repro.tm.base import Runtime, TMAlgorithm, record_commit_view
@@ -98,7 +98,7 @@ class PessimisticTM(TMAlgorithm):
                         rt.apply("unpush", tid, op)
                     waits += 1
                     if waits > self.max_publication_waits:  # pragma: no cover
-                        raise TMAbort("pessimistic publication starved")
+                        raise TMAbort("pessimistic publication starved", AbortKind.STARVATION)
                     yield
             record_commit_view(rt, tid, record)
             self.commit(rt, tid)

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.core.errors import AbortKind
 from repro.core.history import History
 from repro.runtime import WorkloadConfig, make_workload, run_experiment
 from repro.runtime.metrics import Distribution, RunMetrics, summarize
@@ -16,13 +17,40 @@ class TestDistribution:
         assert d.mean == 0.0
 
     def test_single(self):
+        # n=1: every percentile is the sample itself (nearest rank:
+        # ceil(q·1) = 1 for all q > 0).
         d = Distribution.of([7.0])
         assert (d.count, d.mean, d.p50, d.p95, d.maximum) == (1, 7.0, 7.0, 7.0, 7.0)
+
+    def test_two_samples(self):
+        # n=2 nearest rank: p50 → rank ceil(0.5·2)=1 → the LOWER sample
+        # (the old int(q*(n-1)+0.5) rounding wrongly returned the upper);
+        # p95 → rank ceil(0.95·2)=2 → the upper.
+        d = Distribution.of([10.0, 20.0])
+        assert d.p50 == 10.0
+        assert d.p95 == 20.0
+        assert d.maximum == 20.0
+
+    def test_ties(self):
+        # All-equal samples: every order statistic is that value.
+        d = Distribution.of([5.0, 5.0, 5.0, 5.0])
+        assert (d.p50, d.p95, d.maximum) == (5.0, 5.0, 5.0)
+        # Partial ties around the median rank.
+        d = Distribution.of([1.0, 2.0, 2.0, 2.0, 9.0])
+        assert d.p50 == 2.0  # rank ceil(0.5·5)=3
+        assert d.p95 == 9.0  # rank ceil(0.95·5)=5
+
+    def test_nearest_rank_exact_on_100(self):
+        # Nearest rank on 0..99: p50 is rank 50 (value 49), p95 rank 95
+        # (value 94) — exact, no interpolation.
+        d = Distribution.of(list(range(100)))
+        assert d.p50 == 49.0
+        assert d.p95 == 94.0
+        assert d.mean == pytest.approx(49.5)
 
     def test_percentiles_ordered(self):
         d = Distribution.of(list(range(100)))
         assert d.p50 <= d.p95 <= d.maximum
-        assert d.mean == pytest.approx(49.5)
 
     def test_row_format(self):
         assert "p95" in Distribution.of([1, 2, 3]).row()
@@ -59,11 +87,23 @@ class TestAttemptChains:
     def test_cascade_ratio(self):
         history = History()
         a = history.begin(thread_tid=0)
-        history.abort(a, "producer aborted (cascading detangle)")
+        history.abort(a, "producer aborted (cascading detangle)",
+                      kind=AbortKind.CASCADE)
         b = history.begin(thread_tid=1)
-        history.abort(b, "push conflict")
+        history.abort(b, "push conflict", kind=AbortKind.CONFLICT)
         metrics = summarize(history)
         assert metrics.cascade_ratio == pytest.approx(0.5)
+        assert metrics.abort_kinds == {"cascade": 1, "conflict": 1}
+
+    def test_cascade_ratio_is_structured_not_substring(self):
+        # A reason string *mentioning* cascades must not count as one —
+        # only the structured AbortKind.CASCADE does.
+        history = History()
+        a = history.begin(thread_tid=0)
+        history.abort(a, "looked like a cascading thing but was a conflict",
+                      kind=AbortKind.CONFLICT)
+        metrics = summarize(history)
+        assert metrics.cascade_ratio == 0.0
 
 
 class TestEndToEnd:

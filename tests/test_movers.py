@@ -216,6 +216,15 @@ class TestBankMovers:
         dep = make_op("deposit", ("a", 1), None)
         assert not left_mover(self.spec, bal, dep)
 
+    def test_withdraw_not_left_mover_of_equal_balance_read(self):
+        # Regression: from balance 4, withdraw(2)·balance→2 is allowed but
+        # balance→2·withdraw(2) is not (the read sees 4).  The state basis
+        # must reach 2+2=4 even though both ops mention the same amount —
+        # a deduped amount set once hid this state from the oracle.
+        w = make_op("withdraw", ("p", 2), True)
+        bal = make_op("balance", ("p",), 2)
+        assert not left_mover(self.spec, w, bal)
+
 
 class TestMemoizedMovers:
     def test_cache_consistency(self):

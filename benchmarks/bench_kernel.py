@@ -1,0 +1,223 @@
+"""E8 — incremental-kernel throughput benchmark (``BENCH_kernel.json``).
+
+Measures the model checker end to end on the E8 scopes and compares
+against the pre-refactor baseline committed in ``BENCH_kernel.json``:
+
+* **states/sec** — untraced exhaustive exploration (best of ``--repeat``),
+  the number every kernel optimisation is accountable to;
+* **criterion-checks/sec and cache hit rates** — a second, traced pass
+  collects the kernel's ``repro.obs`` counters (``denot.hit/miss``,
+  ``mover.left.hit/miss``, ``mover.commutes.hit/miss``) and derives the
+  denotation/mover cache hit rates.  The run *fails* (exit 1) if those
+  counters are absent — a silent tracing regression would otherwise make
+  the hit rates unfalsifiable;
+* **verdict identity** — states, transitions, final states and rule
+  counts must equal the baseline's recorded verdict: a kernel that got
+  faster by exploring a different state space did not get faster.
+
+This is a standalone script, not a pytest-benchmark module, so CI can run
+it cheaply (``--tiny`` explores the smallest scope only) and publish the
+refreshed JSON as an artifact::
+
+    PYTHONPATH=src python benchmarks/bench_kernel.py            # full E8
+    PYTHONPATH=src python benchmarks/bench_kernel.py --tiny     # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import Optional
+
+from repro.checking.model_checker import ExploreOptions, explore
+from repro.cli import SCOPES
+from repro.obs import RecordingTracer
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_kernel.json"
+
+FULL_SCOPE = "kvmap-branch"
+TINY_SCOPE = "mem-ww"
+
+#: The kernel's cache instrumentation.  Every name must show up (with a
+#: nonzero total per hit/miss pair) in a traced exploration.
+REQUIRED_COUNTERS = (
+    "denot.hit",
+    "denot.miss",
+    "mover.left.hit",
+    "mover.left.miss",
+    "mover.commutes.hit",
+    "mover.commutes.miss",
+)
+
+
+def _explore_scope(name: str, tracer=None, trace_rules: bool = False):
+    spec_cls, programs = SCOPES[name]
+    options = (
+        ExploreOptions(tracer=tracer, trace_rules=trace_rules)
+        if tracer is not None
+        else ExploreOptions()
+    )
+    start = time.perf_counter()
+    report = explore(spec_cls(), programs, options)
+    return report, time.perf_counter() - start
+
+
+def measure_throughput(name: str, repeat: int) -> dict:
+    """Untraced states/sec (best of ``repeat``) plus the verdict."""
+    best: Optional[float] = None
+    report = None
+    for _ in range(repeat):
+        report, elapsed = _explore_scope(name)
+        best = elapsed if best is None or elapsed < best else best
+    return {
+        "scope": name,
+        "states_per_sec": round(report.states / best, 1),
+        "elapsed_sec": round(best, 4),
+        "repeat": repeat,
+        "verdict": {
+            "states": report.states,
+            "transitions": report.transitions,
+            "final_states": report.final_states,
+            "rule_counts": dict(sorted(report.rule_counts.items())),
+            "ok": report.ok,
+        },
+    }
+
+
+def measure_counters(name: str) -> dict:
+    """Traced pass: kernel cache counters, hit rates, criterion-checks/sec.
+
+    Tracing re-routes rules through the instrumented path (slower by
+    design), so this never contributes to the throughput figure.
+
+    Exploration only consults the denotation and left-mover memos; the
+    ``mover.commutes`` memo's consumer is the conflict-graph oracle, so a
+    small traced runtime run plus :func:`conflict_serializable` over its
+    committed history drives that cache through its natural caller.
+    """
+    from repro.core.conflictgraph import conflict_serializable
+    from repro.runtime import WorkloadConfig, make_workload, run_experiment
+    from repro.specs import get_spec
+    from repro.tm import ALL_ALGORITHMS
+
+    tracer = RecordingTracer()
+    _, elapsed = _explore_scope(name, tracer=tracer, trace_rules=True)
+
+    config = WorkloadConfig(
+        transactions=12, ops_per_tx=3, keys=4, read_ratio=0.5, seed=7
+    )
+    spec = get_spec("counter")
+    start = time.perf_counter()
+    result = run_experiment(
+        ALL_ALGORITHMS["boosting"](), spec,
+        make_workload("counter", config),
+        concurrency=3, seed=7, tracer=tracer,
+    )
+    serializable, _, _ = conflict_serializable(
+        spec, result.runtime.history, result.runtime.machine
+    )
+    elapsed += time.perf_counter() - start
+    if not serializable:
+        raise AssertionError(
+            "conflict-graph pass found a non-serializable boosting run"
+        )
+
+    counts = {c: tracer.counts.get(c, 0) for c in REQUIRED_COUNTERS}
+    hit_rates = {}
+    for cache in ("denot", "mover.left", "mover.commutes"):
+        hits = counts[f"{cache}.hit"]
+        misses = counts[f"{cache}.miss"]
+        total = hits + misses
+        hit_rates[cache] = round(hits / total, 4) if total else None
+    criterion_checks = sum(counts.values())
+    return {
+        "counters": counts,
+        "cache_hit_rates": hit_rates,
+        "criterion_checks": criterion_checks,
+        "criterion_checks_per_sec": round(criterion_checks / elapsed, 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help=f"CI smoke mode: explore only the {TINY_SCOPE!r} "
+                             "scope (no speedup enforcement)")
+    parser.add_argument("--repeat", type=int, default=3,
+                        help="timing repetitions; the best run counts")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="JSON path to read the baseline from and write "
+                             "the refreshed results to")
+    parser.add_argument("--min-speedup", type=float, default=0.0,
+                        dest="min_speedup", metavar="X",
+                        help="fail unless states/sec ≥ X × the committed "
+                             "baseline (0 = report only)")
+    args = parser.parse_args(argv)
+
+    scope = TINY_SCOPE if args.tiny else FULL_SCOPE
+    current = measure_throughput(scope, args.repeat)
+    current.update(measure_counters(scope))
+
+    failures = 0
+    absent_pairs = [
+        cache for cache, rate in current["cache_hit_rates"].items()
+        if rate is None
+    ]
+    if absent_pairs:
+        print(f"FAIL: cache counters absent for {absent_pairs} — the traced "
+              "kernel emitted no hit/miss events", file=sys.stderr)
+        failures += 1
+
+    document = {}
+    if args.out.exists():
+        document = json.loads(args.out.read_text(encoding="utf-8"))
+    baselines = document.get("baselines", {})
+    baseline = baselines.get(scope)
+
+    speedup = None
+    if baseline:
+        speedup = round(
+            current["states_per_sec"] / baseline["states_per_sec"], 2
+        )
+        current["speedup_vs_baseline"] = speedup
+        expected = baseline.get("verdict")
+        if expected and expected != current["verdict"]:
+            print("FAIL: verdict differs from the baseline exploration "
+                  f"(expected {expected}, got {current['verdict']})",
+                  file=sys.stderr)
+            failures += 1
+        if args.min_speedup and speedup < args.min_speedup:
+            print(f"FAIL: speedup {speedup}x < required "
+                  f"{args.min_speedup}x", file=sys.stderr)
+            failures += 1
+    elif args.min_speedup:
+        print(f"FAIL: no committed baseline for scope {scope!r} to enforce "
+              "--min-speedup against", file=sys.stderr)
+        failures += 1
+
+    document["baselines"] = baselines
+    document["current"] = current
+    args.out.write_text(
+        json.dumps(document, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+
+    rates = ", ".join(
+        f"{cache}={rate}" for cache, rate in current["cache_hit_rates"].items()
+    )
+    print(f"scope={scope} states/sec={current['states_per_sec']} "
+          f"(best of {args.repeat}; baseline "
+          f"{baseline['states_per_sec'] if baseline else 'n/a'}"
+          f"{f', speedup {speedup}x' if speedup else ''})")
+    print(f"criterion-checks/sec={current['criterion_checks_per_sec']} "
+          f"hit-rates: {rates}")
+    print(f"results -> {args.out}")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

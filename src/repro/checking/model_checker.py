@@ -31,6 +31,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
 
+import functools
+
 from repro.core.atomic import atomic_final_logs, payloads
 from repro.core.errors import (
     CriterionViolation,
@@ -38,7 +40,7 @@ from repro.core.errors import (
     SerializabilityViolation,
     SpecError,
 )
-from repro.core.invariants import check_all_invariants
+from repro.core.invariants import check_all_invariants_cached
 from repro.core.language import Code, Skip, Tx
 from repro.core.machine import Machine
 from repro.core.ops import IdGenerator, Op
@@ -122,88 +124,233 @@ class _Node:
         return (self.machine.state_key(), self.committed)
 
 
+@functools.lru_cache(maxsize=None)
+def _sorted_choices(code: Code) -> Tuple:
+    """``step(code)`` in the checker's deterministic exploration order.
+    ``repr`` of program ASTs is recursive; memoizing per (immutable) code
+    node keeps it off the per-state path."""
+    from repro.core.language import step
+
+    return tuple(sorted(step(code), key=repr))
+
+
 def _successors(
-    node: _Node, options: ExploreOptions
-) -> Iterator[Tuple[str, _Node]]:
+    node: _Node, options: ExploreOptions, seen: Optional[Set[Tuple]] = None
+) -> List[Tuple[str, Tuple, Optional[_Node]]]:
+    """Enabled rule instances as ``(rule, node_key, successor)`` triples,
+    probed through the machine's check-then-construct path: a disabled
+    instance costs a few (cached) criterion queries — no exception
+    allocation, no discarded successor states, no minted operation ids.
+
+    When ``seen`` is given (the checker's visited-key set), every rule
+    with a derivable key goes key-first: the successor's canonical key is
+    computed from this state's cached key plus cached log projections
+    (:meth:`Machine.app_key`, ``push_key``, ``pull_key``, ``unapp_key``,
+    ``unpush_key``, ``unpull_key``) and the machine is only constructed
+    (via the matching ``*_state``) when that key is new.  Most transitions
+    in an exhaustive exploration revisit states — backward moves almost
+    always do — so this skips most successor construction outright; an
+    already-seen instance comes back with successor ``None``: it still
+    counts as a transition, there is just no state to push.  ``seen`` is
+    only read here; ``explore`` mutates it strictly after this returns.
+    """
     machine = node.machine
+    committed = node.committed
+    key_first = seen is not None and not machine.tracer.enabled
+    out: List[Tuple[str, Tuple, Optional[_Node]]] = []
+    emit = out.append
     for thread in machine.threads:
         tid = thread.tid
         if thread.done:
             # A finished transaction {skip, σ, []} only leaves (MS_END);
             # letting it PULL or re-CMT would manufacture spurious states.
+            if key_first:
+                nkey = (machine.end_key(tid), committed)
+                if nkey in seen:
+                    emit(("END", nkey, None))
+                else:
+                    emit((
+                        "END",
+                        nkey,
+                        _Node(machine.end_state(tid, nkey[0]), committed),
+                    ))
+                continue
             try:
-                yield "END", _Node(machine.end_thread(tid), node.committed)
+                successor = _Node(machine.end_thread(tid), committed)
+                emit(("END", successor.key(), successor))
             except MachineError:  # pragma: no cover
                 pass
             continue
+        local = thread.local
+        if key_first:
+            # APP — every step choice.
+            for choice in _sorted_choices(thread.code):
+                skey = machine.app_key(tid, choice)
+                if skey is None:
+                    continue
+                nkey = (skey, committed)
+                if nkey in seen:
+                    emit(("APP", nkey, None))
+                else:
+                    emit((
+                        "APP",
+                        nkey,
+                        _Node(machine.app_state(tid, choice, skey), committed),
+                    ))
+            # PUSH — every npshd entry.
+            for op in local.not_pushed_ops():
+                skey = machine.push_key(tid, op)
+                if skey is None:
+                    continue
+                nkey = (skey, committed)
+                if nkey in seen:
+                    emit(("PUSH", nkey, None))
+                else:
+                    emit((
+                        "PUSH",
+                        nkey,
+                        _Node(machine.push_state(tid, op, skey), committed),
+                    ))
+            # PULL — every global entry not in L (per policy and budget).
+            pull_budget = options.max_pulled_per_thread
+            if options.pull_policy != "none" and (
+                pull_budget is None
+                or len(local.pulled_ops()) < pull_budget
+            ):
+                committed_only = (
+                    options.forbid_uncommitted_pull
+                    or options.pull_policy == "committed"
+                )
+                for g_entry in machine.global_log:
+                    if g_entry.op in local:
+                        continue
+                    if committed_only and not g_entry.is_committed:
+                        continue
+                    skey = machine.pull_key(tid, g_entry.op)
+                    if skey is None:
+                        continue
+                    nkey = (skey, committed)
+                    if nkey in seen:
+                        emit(("PULL", nkey, None))
+                    else:
+                        emit((
+                            "PULL",
+                            nkey,
+                            _Node(
+                                machine.pull_state(tid, g_entry.op, skey),
+                                committed,
+                            ),
+                        ))
+            # CMT.
+            skey = machine.cmt_key(tid)
+            if skey is not None:
+                cmt_committed = committed + (tid,)
+                nkey = (skey, cmt_committed)
+                if nkey in seen:
+                    emit(("CMT", nkey, None))
+                else:
+                    emit((
+                        "CMT",
+                        nkey,
+                        _Node(machine.cmt_state(tid, skey), cmt_committed),
+                    ))
+            if options.include_backward:
+                # UNAPP (last entry only, by the rule's shape).
+                skey = machine.unapp_key(tid)
+                if skey is not None:
+                    nkey = (skey, committed)
+                    if nkey in seen:
+                        emit(("UNAPP", nkey, None))
+                    else:
+                        emit((
+                            "UNAPP",
+                            nkey,
+                            _Node(machine.unapp_state(tid, skey), committed),
+                        ))
+                # UNPUSH — every pshd entry.
+                for op in local.pushed_ops():
+                    skey = machine.unpush_key(tid, op)
+                    if skey is None:
+                        continue
+                    nkey = (skey, committed)
+                    if nkey in seen:
+                        emit(("UNPUSH", nkey, None))
+                    else:
+                        emit((
+                            "UNPUSH",
+                            nkey,
+                            _Node(machine.unpush_state(tid, op, skey), committed),
+                        ))
+                # UNPULL — every pld entry.
+                for op in local.pulled_ops():
+                    skey = machine.unpull_key(tid, op)
+                    if skey is None:
+                        continue
+                    nkey = (skey, committed)
+                    if nkey in seen:
+                        emit(("UNPULL", nkey, None))
+                    else:
+                        emit((
+                            "UNPULL",
+                            nkey,
+                            _Node(machine.unpull_state(tid, op, skey), committed),
+                        ))
+            continue
+        # Construct-first path (traced runs and direct callers).
         # APP — every step choice.
-        for choice in sorted(machine.app_choices(tid), key=repr):
-            try:
-                yield "APP", _Node(machine.app(tid, choice), node.committed)
-            except (CriterionViolation, MachineError, SpecError):
-                pass
+        for choice in _sorted_choices(thread.code):
+            successor = machine.try_app(tid, choice)
+            if successor is not None:
+                succ_node = _Node(successor, committed)
+                emit(("APP", succ_node.key(), succ_node))
         # PUSH — every npshd entry.
-        for entry in thread.local:
-            if entry.is_not_pushed:
-                try:
-                    yield "PUSH", _Node(machine.push(tid, entry.op), node.committed)
-                except (CriterionViolation, MachineError):
-                    pass
+        for op in local.not_pushed_ops():
+            successor = machine.try_push(tid, op)
+            if successor is not None:
+                succ_node = _Node(successor, committed)
+                emit(("PUSH", succ_node.key(), succ_node))
         # PULL — every global entry not in L (per policy and pull budget).
         pull_budget = options.max_pulled_per_thread
         if options.pull_policy != "none" and (
-            pull_budget is None or len(thread.local.pulled_ops()) < pull_budget
+            pull_budget is None or len(local.pulled_ops()) < pull_budget
         ):
             committed_only = (
                 options.forbid_uncommitted_pull
                 or options.pull_policy == "committed"
             )
             for g_entry in machine.global_log:
-                if g_entry.op in thread.local:
+                if g_entry.op in local:
                     continue
                 if committed_only and not g_entry.is_committed:
                     continue
-                try:
-                    yield "PULL", _Node(
-                        machine.pull(tid, g_entry.op), node.committed
-                    )
-                except (CriterionViolation, MachineError):
-                    pass
+                successor = machine.try_pull(tid, g_entry.op)
+                if successor is not None:
+                    succ_node = _Node(successor, committed)
+                    emit(("PULL", succ_node.key(), succ_node))
         # CMT.
-        try:
-            yield "CMT", _Node(machine.cmt(tid), node.committed + (tid,))
-        except (CriterionViolation, MachineError):
-            pass
-        # MS_END for finished threads.
-        if thread.done:
-            try:
-                yield "END", _Node(machine.end_thread(tid), node.committed)
-            except MachineError:
-                pass
+        successor = machine.try_cmt(tid)
+        if successor is not None:
+            succ_node = _Node(successor, committed + (tid,))
+            emit(("CMT", succ_node.key(), succ_node))
         if options.include_backward:
             # UNAPP (last entry only, by the rule's shape).
-            try:
-                yield "UNAPP", _Node(machine.unapp(tid), node.committed)
-            except (CriterionViolation, MachineError):
-                pass
+            successor = machine.try_unapp(tid)
+            if successor is not None:
+                succ_node = _Node(successor, committed)
+                emit(("UNAPP", succ_node.key(), succ_node))
             # UNPUSH — every pshd entry.
-            for entry in thread.local:
-                if entry.is_pushed:
-                    try:
-                        yield "UNPUSH", _Node(
-                            machine.unpush(tid, entry.op), node.committed
-                        )
-                    except (CriterionViolation, MachineError):
-                        pass
+            for op in local.pushed_ops():
+                successor = machine.try_unpush(tid, op)
+                if successor is not None:
+                    succ_node = _Node(successor, committed)
+                    emit(("UNPUSH", succ_node.key(), succ_node))
             # UNPULL — every pld entry.
-            for entry in thread.local:
-                if entry.is_pulled:
-                    try:
-                        yield "UNPULL", _Node(
-                            machine.unpull(tid, entry.op), node.committed
-                        )
-                    except (CriterionViolation, MachineError):
-                        pass
+            for op in local.pulled_ops():
+                successor = machine.try_unpull(tid, op)
+                if successor is not None:
+                    succ_node = _Node(successor, committed)
+                    emit(("UNPULL", succ_node.key(), succ_node))
+    return out
 
 
 def explore(
@@ -239,6 +386,10 @@ def explore(
     seen: Set[Tuple] = {initial.key()}
     stack: List[Tuple[_Node, int]] = [(initial, 0)]
     cover_cache: Dict[FrozenSet[int], FrozenSet] = {}
+    # Per-thread invariant memo (see check_all_invariants_cached): §5.3
+    # clauses depend on one thread's logs plus G, so the sweep is shared
+    # across the many product states in which that configuration recurs.
+    invariant_cache: Dict[Tuple, Tuple] = {}
 
     # Exploration stats tracked in locals (attribute stores per visited
     # state are measurable at 400k-state scopes); folded into the report
@@ -247,58 +398,81 @@ def explore(
     max_depth = 0
     dedup_hits = 0
     peak_frontier = 1
+    states = 0
+    transitions = 0
+    stuck_states = 0
+    final_states = 0
+    rule_counts = report.rule_counts
+    max_states = options.max_states
+    check_invariants = options.check_invariants
+    check_cmtpres = options.check_cmtpres
+    check_atomic_cover = options.check_atomic_cover
+    check_every_state_cover = options.check_every_state_cover
+    seen_add = seen.add
+    stack_pop = stack.pop
+    stack_append = stack.append
     while stack:
-        node, depth = stack.pop()
-        report.states += 1
+        node, depth = stack_pop()
+        states += 1
         if depth > max_depth:
             max_depth = depth
-        if report.states > options.max_states:
+        if states > max_states:
+            report.states = states
             raise MemoryError(
                 f"model checker exceeded {options.max_states} states"
             )
-        if options.check_invariants:
-            report.invariant_violations.extend(
-                check_all_invariants(node.machine)
+        if check_invariants:
+            violations = check_all_invariants_cached(
+                node.machine, invariant_cache
             )
-        if options.check_cmtpres:
+            if violations:
+                report.invariant_violations.extend(violations)
+        if check_cmtpres:
             report.cmtpres_violations.extend(
                 check_cmtpres_all(node.machine, fuel=options.bigstep_fuel)
             )
-        successors = list(_successors(node, options))
-        report.transitions += len(successors)
-        terminal = not successors
-        if terminal:
+        successors = _successors(node, options, seen)
+        transitions += len(successors)
+        if not successors:
             if node.machine.threads:
-                report.stuck_states += 1
+                stuck_states += 1
             else:
-                report.final_states += 1
-        if options.check_atomic_cover and (
-            terminal or options.check_every_state_cover
-        ):
+                final_states += 1
+            if check_atomic_cover:
+                _check_cover(
+                    spec, node, program_of, cover_cache, options, report
+                )
+        elif check_atomic_cover and check_every_state_cover:
             _check_cover(
                 spec, node, program_of, cover_cache, options, report
             )
-        for rule, successor in successors:
-            report.rule_counts[rule] = report.rule_counts.get(rule, 0) + 1
-            key = successor.key()
-            if key not in seen:
-                seen.add(key)
-                stack.append((successor, depth + 1))
+        next_depth = depth + 1
+        for rule, key, successor in successors:
+            rule_counts[rule] = rule_counts.get(rule, 0) + 1
+            if successor is not None and key not in seen:
+                seen_add(key)
+                stack_append((successor, next_depth))
             else:
+                # Key-first probe matched a visited state, or a sibling
+                # transition in this batch already claimed the key.
                 dedup_hits += 1
         if len(stack) > peak_frontier:
             peak_frontier = len(stack)
-        if tracing and report.states % options.trace_stats_every == 0:
+        if tracing and states % options.trace_stats_every == 0:
             tracer.counter(
                 "mc.explore",
                 CAT_MC,
                 {
-                    "states": report.states,
+                    "states": states,
                     "frontier": len(stack),
                     "dedup_hits": dedup_hits,
                     "depth": depth,
                 },
             )
+    report.states = states
+    report.transitions = transitions
+    report.stuck_states = stuck_states
+    report.final_states = final_states
     report.max_depth = max_depth
     report.dedup_hits = dedup_hits
     report.peak_frontier = peak_frontier

@@ -152,9 +152,60 @@ SCOPES = {
 }
 
 
+def _modelcheck_scope(task) -> tuple:
+    """Worker for ``modelcheck --jobs N``: explore one named scope.
+
+    Module-level so it pickles; each worker process re-imports the scope
+    table and runs untraced (tracers are process-local event sinks — a
+    forked recorder would be silently dropped, so parallel runs disable
+    tracing up front instead)."""
+    name, max_states, cmtpres = task
+    spec_cls, programs = SCOPES[name]
+    start = time.time()
+    report = explore(
+        spec_cls(), programs,
+        ExploreOptions(max_states=max_states, check_cmtpres=cmtpres),
+    )
+    return name, report, time.time() - start
+
+
+def _print_scope_report(name: str, report, elapsed: float) -> int:
+    verdict = "OK" if report.ok else "VIOLATION"
+    print(
+        f"{name:<14} states={report.states:<7} "
+        f"transitions={report.transitions:<8} "
+        f"finals={report.final_states:<3} "
+        f"dedup={report.dedup_hits:<7} depth={report.max_depth:<4} "
+        f"{verdict} ({elapsed:.1f}s)"
+    )
+    if report.ok:
+        return 0
+    for violation in (
+        report.invariant_violations + report.cover_violations
+    )[:3]:
+        print("   !!", violation)
+    return 1
+
+
 def cmd_modelcheck(args: argparse.Namespace) -> int:
     failures = 0
+    jobs = getattr(args, "jobs", 1) or 1
     tracer = RecordingTracer() if getattr(args, "trace", None) else NULL_TRACER
+    if jobs > 1:
+        if tracer.enabled:
+            print(
+                "modelcheck: --trace is ignored with --jobs > 1",
+                file=sys.stderr,
+            )
+        import multiprocessing
+
+        tasks = [
+            (name, args.max_states, args.cmtpres) for name in SCOPES
+        ]
+        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
+            for name, report, elapsed in pool.map(_modelcheck_scope, tasks):
+                failures += _print_scope_report(name, report, elapsed)
+        return 1 if failures else 0
     for name, (spec_cls, programs) in SCOPES.items():
         start = time.time()
         report = explore(
@@ -163,20 +214,7 @@ def cmd_modelcheck(args: argparse.Namespace) -> int:
                            check_cmtpres=args.cmtpres,
                            tracer=tracer),
         )
-        verdict = "OK" if report.ok else "VIOLATION"
-        print(
-            f"{name:<14} states={report.states:<7} "
-            f"transitions={report.transitions:<8} "
-            f"finals={report.final_states:<3} "
-            f"dedup={report.dedup_hits:<7} depth={report.max_depth:<4} "
-            f"{verdict} ({time.time()-start:.1f}s)"
-        )
-        if not report.ok:
-            failures += 1
-            for violation in (
-                report.invariant_violations + report.cover_violations
-            )[:3]:
-                print("   !!", violation)
+        failures += _print_scope_report(name, report, time.time() - start)
     if tracer.enabled:
         _export_trace(tracer, args.trace)
     return 1 if failures else 0
@@ -225,6 +263,9 @@ def build_parser() -> argparse.ArgumentParser:
     modelcheck.add_argument("--max-states", type=int, default=400_000,
                             dest="max_states")
     modelcheck.add_argument("--cmtpres", action="store_true")
+    modelcheck.add_argument("--jobs", type=int, default=1, metavar="N",
+                            help="explore the scopes in N worker processes "
+                                 "(opt-in; disables --trace)")
     modelcheck.add_argument("--trace", metavar="PATH",
                             help="record exploration stats to PATH "
                                  "(.json = Chrome trace, else JSONL)")

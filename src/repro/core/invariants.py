@@ -26,17 +26,23 @@ def check_I_LG(machine: Machine) -> List[str]:
     """Lemma 5.7 — local flags agree with global membership:
     ``pshd`` entries are in ``G``; ``npshd`` entries are not."""
     violations = []
-    gids = machine.global_log.ids()
     for thread in machine.threads:
-        for entry in thread.local:
-            if entry.is_pushed and entry.op.op_id not in gids:
-                violations.append(
-                    f"I_LG: thread {thread.tid} pshd {entry.op.pretty()} not in G"
-                )
-            if entry.is_not_pushed and entry.op.op_id in gids:
-                violations.append(
-                    f"I_LG: thread {thread.tid} npshd {entry.op.pretty()} in G"
-                )
+        violations.extend(check_I_LG_thread(machine, thread))
+    return violations
+
+
+def check_I_LG_thread(machine: Machine, thread: Thread) -> List[str]:
+    violations = []
+    gids = machine.global_log.ids()
+    for entry in thread.local:
+        if entry.is_pushed and entry.op.op_id not in gids:
+            violations.append(
+                f"I_LG: thread {thread.tid} pshd {entry.op.pretty()} not in G"
+            )
+        if entry.is_not_pushed and entry.op.op_id in gids:
+            violations.append(
+                f"I_LG: thread {thread.tid} npshd {entry.op.pretty()} in G"
+            )
     return violations
 
 
@@ -45,20 +51,26 @@ def check_I_slideR(machine: Machine) -> List[str]:
     ``G`` before another transaction's operation ``op2`` satisfies
     ``op1 ◁ op2`` (your uncommitted work moves right of everyone later)."""
     violations = []
-    entries = machine.global_log.entries
     for thread in machine.threads:
-        own = thread.own_op_ids()
-        for i, e1 in enumerate(entries):
-            if e1.is_committed or e1.op.op_id not in own:
+        violations.extend(check_I_slideR_thread(machine, thread))
+    return violations
+
+
+def check_I_slideR_thread(machine: Machine, thread: Thread) -> List[str]:
+    violations = []
+    entries = machine.global_log.entries
+    own = thread.own_op_ids()
+    for i, e1 in enumerate(entries):
+        if e1.is_committed or e1.op.op_id not in own:
+            continue
+        for e2 in entries[i + 1 :]:
+            if e2.op.op_id in own:
                 continue
-            for e2 in entries[i + 1 :]:
-                if e2.op.op_id in own:
-                    continue
-                if not machine.movers.left_mover(e1.op, e2.op):
-                    violations.append(
-                        f"I_slideR: thread {thread.tid}: {e1.op.pretty()} "
-                        f"(gUCmt) before {e2.op.pretty()} but not ◁"
-                    )
+            if not machine.movers.left_mover(e1.op, e2.op):
+                violations.append(
+                    f"I_slideR: thread {thread.tid}: {e1.op.pretty()} "
+                    f"(gUCmt) before {e2.op.pretty()} but not ◁"
+                )
     return violations
 
 
@@ -68,23 +80,29 @@ def check_I_reorderPUSH(machine: Machine) -> List[str]:
     before ``m1`` in ``G``) then ``m2 ◁ m1``."""
     violations = []
     for thread in machine.threads:
-        own_order = [op for op in thread.local.own_ops()]
-        positions = {op.op_id: i for i, op in enumerate(own_order)}
-        g_uncommitted = [
-            e.op
-            for e in machine.global_log
-            if not e.is_committed and e.op.op_id in positions
-        ]
-        for gi, m2 in enumerate(g_uncommitted):
-            for m1 in g_uncommitted[gi + 1 :]:
-                # m2 precedes m1 in G; is the local order the opposite?
-                if positions[m1.op_id] < positions[m2.op_id]:
-                    if not machine.movers.left_mover(m2, m1):
-                        violations.append(
-                            f"I_reorderPUSH: thread {thread.tid}: "
-                            f"{m2.pretty()} pushed before {m1.pretty()} "
-                            f"against local order but not ◁"
-                        )
+        violations.extend(check_I_reorderPUSH_thread(machine, thread))
+    return violations
+
+
+def check_I_reorderPUSH_thread(machine: Machine, thread: Thread) -> List[str]:
+    violations = []
+    own_order = [op for op in thread.local.own_ops()]
+    positions = {op.op_id: i for i, op in enumerate(own_order)}
+    g_uncommitted = [
+        e.op
+        for e in machine.global_log
+        if not e.is_committed and e.op.op_id in positions
+    ]
+    for gi, m2 in enumerate(g_uncommitted):
+        for m1 in g_uncommitted[gi + 1 :]:
+            # m2 precedes m1 in G; is the local order the opposite?
+            if positions[m1.op_id] < positions[m2.op_id]:
+                if not machine.movers.left_mover(m2, m1):
+                    violations.append(
+                        f"I_reorderPUSH: thread {thread.tid}: "
+                        f"{m2.pretty()} pushed before {m1.pretty()} "
+                        f"against local order but not ◁"
+                    )
     return violations
 
 
@@ -94,19 +112,25 @@ def check_I_localOrder(machine: Machine) -> List[str]:
     (``L = L1·[m2, npshd]·L2·[m1, pshd]·L3 ⇒ m1 ◁ m2``)."""
     violations = []
     for thread in machine.threads:
-        entries = thread.local.entries
-        for i, e2 in enumerate(entries):
-            if not e2.is_not_pushed:
+        violations.extend(check_I_localOrder_thread(machine, thread))
+    return violations
+
+
+def check_I_localOrder_thread(machine: Machine, thread: Thread) -> List[str]:
+    violations = []
+    entries = thread.local.entries
+    for i, e2 in enumerate(entries):
+        if not e2.is_not_pushed:
+            continue
+        for e1 in entries[i + 1 :]:
+            if not e1.is_pushed:
                 continue
-            for e1 in entries[i + 1 :]:
-                if not e1.is_pushed:
-                    continue
-                if not machine.movers.left_mover(e1.op, e2.op):
-                    violations.append(
-                        f"I_localOrder: thread {thread.tid}: pushed "
-                        f"{e1.op.pretty()} after unpushed {e2.op.pretty()} "
-                        f"but not ◁"
-                    )
+            if not machine.movers.left_mover(e1.op, e2.op):
+                violations.append(
+                    f"I_localOrder: thread {thread.tid}: pushed "
+                    f"{e1.op.pretty()} after unpushed {e2.op.pretty()} "
+                    f"but not ◁"
+                )
     return violations
 
 
@@ -183,4 +207,63 @@ def check_all_invariants(machine: Machine) -> List[str]:
     for thread in machine.threads:
         for thread_checker in ALL_THREAD_INVARIANTS:
             violations.extend(thread_checker(machine, thread))
+    return violations
+
+
+_PER_THREAD_CHECKERS = (
+    check_I_LG_thread,
+    check_I_slideR_thread,
+    check_I_reorderPUSH_thread,
+    check_I_localOrder_thread,
+    check_I_slidePushed,
+    check_I_chronPush,
+    check_I_localReorder,
+)
+
+
+def _thread_invariant_vector(
+    machine: Machine, thread: Thread, cache: dict
+) -> Tuple[List[str], ...]:
+    """All seven invariants restricted to one thread, memoized.
+
+    Every §5.3 invariant decomposes into per-thread clauses whose truth
+    depends only on the thread's local log, the global log, and which
+    global entries the thread owns — never on codes, stacks or the other
+    threads' logs.  The memo key is that dependency set at *payload* level
+    (the same abstraction as the machine's canonical state key), so the
+    model checker re-pays an invariant sweep only when a thread's actual
+    log configuration is new, not once per product state of the scope.
+    """
+    local = thread.local
+    global_log = machine.global_log
+    key = (
+        thread.tid,
+        local.flag_rows(),
+        global_log.payload_rows(),
+        global_log.own_bits(local.ids()),
+    )
+    got = cache.get(key)
+    if got is None:
+        got = cache[key] = tuple(
+            checker(machine, thread) for checker in _PER_THREAD_CHECKERS
+        )
+    return got
+
+
+def check_all_invariants_cached(machine: Machine, cache: dict) -> List[str]:
+    """:func:`check_all_invariants`, memoized per thread through ``cache``
+    (a plain dict owned by the caller, e.g. one per model-checking run).
+    Violations come back in exactly the order of the uncached checker."""
+    vectors = [
+        _thread_invariant_vector(machine, thread, cache)
+        for thread in machine.threads
+    ]
+    violations: List[str] = []
+    for index in range(len(ALL_GLOBAL_INVARIANTS)):
+        for vector in vectors:
+            violations.extend(vector[index])
+    base = len(ALL_GLOBAL_INVARIANTS)
+    for vector in vectors:
+        for index in range(base, len(_PER_THREAD_CHECKERS)):
+            violations.extend(vector[index])
     return violations

@@ -23,6 +23,7 @@ transactions are ignored — ``tx (… tx c …)`` is rejected.
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Any, FrozenSet, Tuple
 
@@ -138,11 +139,14 @@ def call(method: str, *args: Any) -> Call:
 # ---------------------------------------------------------------------------
 
 
+@functools.lru_cache(maxsize=None)
 def step(code: Code) -> FrozenSet[Tuple[Call, Code]]:
     """``step(c)``: pairs ``(m, c')`` with ``m`` a next reachable method.
 
     Mirrors Example 1 of the paper literally, including the two auxiliary
-    liftings ``S ; c`` and ``B ; S``.
+    liftings ``S ; c`` and ``B ; S``.  Memoized: code nodes are immutable
+    and the machine re-queries ``step`` of the same residual programs on
+    every APP probe.
     """
     if isinstance(code, Skip):
         return frozenset()
@@ -173,8 +177,10 @@ def seq_cont(cont: Code, rest: Code) -> Code:
     return Seq(cont, rest)
 
 
+@functools.lru_cache(maxsize=None)
 def fin(code: Code) -> bool:
-    """``fin(c)``: ``c`` can reduce to ``skip`` with no method call."""
+    """``fin(c)``: ``c`` can reduce to ``skip`` with no method call.
+    Memoized like :func:`step`."""
     if isinstance(code, Skip):
         return True
     if isinstance(code, Call):

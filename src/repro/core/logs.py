@@ -19,6 +19,15 @@ the projections ``⌊L⌋_l`` / ``⌊G⌋_g`` and the commit transformer
 Logs are immutable (tuples under the hood): machine steps build new logs,
 which is what makes the model checker's state hashing and the rewind
 relations of §5.4 cheap and safe.
+
+Both log classes are *persistent* in the incremental-kernel sense: every
+derived log is a new node sharing its entry objects with the parent, and
+each node lazily caches its membership index (``op_id → position``), its
+hash, and every projection the Figure 5 criteria consult (``⌊L⌋_npshd``,
+``⌊G⌋_gCmt``, ``ids()``, ``all_ops()``).  Derivations that preserve
+positions (``set_flag``, ``cmt``) share the parent's index outright and
+appends extend it by one entry, so repeated criterion queries cost O(1)
+after the first computation instead of O(n) per query.
 """
 
 from __future__ import annotations
@@ -27,7 +36,7 @@ from dataclasses import dataclass
 from typing import Any, Callable, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.core.errors import LogError
-from repro.core.ops import Op
+from repro.core.ops import Op, payload_class_id
 
 # ---------------------------------------------------------------------------
 # Local-log flags
@@ -65,6 +74,10 @@ class Pulled:
 
 
 LocalFlag = Union[NotPushed, Pushed, Pulled]
+
+#: flag *kind* names (the saved code/stack inside ``npshd``/``pshd`` flags
+#: is bookkeeping, not state identity — see ``LocalLog.flag_rows``).
+_FLAG_KIND = {NotPushed: "npshd", Pushed: "pshd", Pulled: "pld"}
 
 # ---------------------------------------------------------------------------
 # Global-log flags
@@ -137,12 +150,33 @@ class GlobalEntry:
 
 
 class LocalLog:
-    """An immutable local log ``L : list (op × l)``."""
+    """An immutable, persistent local log ``L : list (op × l)``.
 
-    __slots__ = ("_entries",)
+    Entry objects are shared between a log and every log derived from it;
+    the membership index, hash and projections are computed at most once
+    per node and shared forward where the derivation preserves positions.
+    """
+
+    __slots__ = ("_entries", "_hash", "_index", "_proj")
 
     def __init__(self, entries: Iterable[LocalEntry] = ()):
         self._entries: Tuple[LocalEntry, ...] = tuple(entries)
+        self._hash: Optional[int] = None
+        self._index: Optional[dict] = None
+        self._proj: Optional[dict] = None
+
+    @classmethod
+    def _make(
+        cls, entries: Tuple[LocalEntry, ...], index: Optional[dict] = None
+    ) -> "LocalLog":
+        """Internal node constructor: adopt ``entries`` (already a tuple)
+        and optionally a position index inherited from the parent node."""
+        log = cls.__new__(cls)
+        log._entries = entries
+        log._hash = None
+        log._index = index
+        log._proj = None
+        return log
 
     # -- basic container protocol ------------------------------------------
 
@@ -161,7 +195,10 @@ class LocalLog:
         return self._entries == other._entries
 
     def __hash__(self) -> int:
-        return hash(self._entries)
+        cached = self._hash
+        if cached is None:
+            cached = self._hash = hash(self._entries)
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         body = ", ".join(f"[{e.op.pretty()}, {e.flag!r}]" for e in self)
@@ -173,72 +210,228 @@ class LocalLog:
 
     # -- membership (by id, per the paper's lifting) -----------------------
 
+    def _positions(self) -> dict:
+        """The cached ``op_id → position`` index (built on first use)."""
+        index = self._index
+        if index is None:
+            index = self._index = {
+                e.op.op_id: i for i, e in enumerate(self._entries)
+            }
+        return index
+
+    def _projection(self, name: str, value_fn: Callable[[], Any]) -> Any:
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        got = proj.get(name)
+        if got is None:
+            got = proj[name] = value_fn()
+        return got
+
     def __contains__(self, op: Op) -> bool:
-        return any(e.op.op_id == op.op_id for e in self._entries)
+        return op.op_id in self._positions()
 
     def ids(self) -> frozenset:
-        return frozenset(e.op.op_id for e in self._entries)
+        return self._projection("ids", lambda: frozenset(self._positions()))
 
     def entry_for(self, op: Op) -> Optional[LocalEntry]:
-        for e in self._entries:
-            if e.op.op_id == op.op_id:
-                return e
-        return None
+        position = self._positions().get(op.op_id)
+        return None if position is None else self._entries[position]
 
     def index_of(self, op: Op) -> int:
-        for i, e in enumerate(self._entries):
-            if e.op.op_id == op.op_id:
-                return i
-        raise LogError(f"operation {op.pretty()} not in local log")
+        position = self._positions().get(op.op_id)
+        if position is None:
+            raise LogError(f"operation {op.pretty()} not in local log")
+        return position
 
     # -- construction -------------------------------------------------------
 
     def append(self, op: Op, flag: LocalFlag) -> "LocalLog":
-        if op in self:
+        positions = self._positions()
+        if op.op_id in positions:
             raise LogError(f"duplicate operation id {op.op_id} in local log")
-        return LocalLog(self._entries + (LocalEntry(op, flag),))
+        index = dict(positions)
+        index[op.op_id] = len(self._entries)
+        child = LocalLog._make(self._entries + (LocalEntry(op, flag),), index)
+        proj = self._proj
+        if proj:
+            # Appends extend the parent's row projections by one element.
+            inherited = {}
+            pkey = proj.get("pkey")
+            if pkey is not None:
+                inherited["pkey"] = pkey + (payload_class_id(op),)
+            frows = proj.get("frows")
+            if frows is not None:
+                inherited["frows"] = frows + (
+                    (op.method, op.args, op.ret, _FLAG_KIND[type(flag)]),
+                )
+            if inherited:
+                child._proj = inherited
+        return child
 
     def drop_last(self) -> "LocalLog":
         if not self._entries:
             raise LogError("cannot drop from empty local log")
-        return LocalLog(self._entries[:-1])
+        child = LocalLog._make(self._entries[:-1])
+        proj = self._proj
+        if proj:
+            inherited = {}
+            for name in ("pkey", "frows"):
+                rows = proj.get(name)
+                if rows is not None:
+                    inherited[name] = rows[:-1]
+            if inherited:
+                child._proj = inherited
+        return child
 
     def remove(self, op: Op) -> "LocalLog":
-        """Remove the entry for ``op`` (by id)."""
-        idx = self.index_of(op)
-        return LocalLog(self._entries[:idx] + self._entries[idx + 1 :])
+        """Remove the entry for ``op`` (by id).
+
+        The child node is memoized per removed id: UNPULL's criterion check
+        and its construction both derive the same shrunk log, as do repeated
+        enabledness probes of the same (immutable) state, so they all share
+        one node — and therefore one set of cached projections."""
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        key = ("rm", op.op_id)
+        child = proj.get(key)
+        if child is None:
+            idx = self.index_of(op)
+            child = proj[key] = LocalLog._make(
+                self._entries[:idx] + self._entries[idx + 1 :]
+            )
+            inherited = {}
+            for name in ("pkey", "frows"):
+                rows = proj.get(name)
+                if rows is not None:
+                    inherited[name] = rows[:idx] + rows[idx + 1 :]
+            if inherited:
+                child._proj = inherited
+        return child
 
     def set_flag(self, op: Op, flag: LocalFlag) -> "LocalLog":
         idx = self.index_of(op)
         entry = LocalEntry(self._entries[idx].op, flag)
-        return LocalLog(self._entries[:idx] + (entry,) + self._entries[idx + 1 :])
+        # Positions are untouched, so the child shares the parent's index.
+        child = LocalLog._make(
+            self._entries[:idx] + (entry,) + self._entries[idx + 1 :], self._index
+        )
+        proj = self._proj
+        if proj:
+            # Flag flips keep the op sequence, so the payload key and the
+            # full op tuple carry over unchanged; flag rows patch one row.
+            inherited = {}
+            for name in ("pkey", "all"):
+                got = proj.get(name)
+                if got is not None:
+                    inherited[name] = got
+            frows = proj.get("frows")
+            if frows is not None:
+                row = entry.op
+                inherited["frows"] = (
+                    frows[:idx]
+                    + ((row.method, row.args, row.ret, _FLAG_KIND[type(flag)]),)
+                    + frows[idx + 1 :]
+                )
+            if inherited:
+                child._proj = inherited
+        return child
 
     def prefix(self, length: int) -> "LocalLog":
-        return LocalLog(self._entries[:length])
+        return LocalLog._make(self._entries[:length])
 
     # -- projections ``⌊L⌋_l`` ----------------------------------------------
 
-    def _project(self, pred: Callable[[LocalEntry], bool]) -> Tuple[Op, ...]:
-        return tuple(e.op for e in self._entries if pred(e))
-
     def pushed_ops(self) -> Tuple[Op, ...]:
         """``⌊L⌋_pshd`` — own operations currently in the global log."""
-        return self._project(lambda e: e.is_pushed)
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        got = proj.get("pshd")
+        if got is None:
+            got = proj["pshd"] = tuple(
+                e.op for e in self._entries if e.is_pushed
+            )
+        return got
 
     def not_pushed_ops(self) -> Tuple[Op, ...]:
         """``⌊L⌋_npshd`` — own operations not yet pushed."""
-        return self._project(lambda e: e.is_not_pushed)
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        got = proj.get("npshd")
+        if got is None:
+            got = proj["npshd"] = tuple(
+                e.op for e in self._entries if e.is_not_pushed
+            )
+        return got
 
     def pulled_ops(self) -> Tuple[Op, ...]:
         """``⌊L⌋_pld`` — operations pulled from other transactions."""
-        return self._project(lambda e: e.is_pulled)
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        got = proj.get("pld")
+        if got is None:
+            got = proj["pld"] = tuple(
+                e.op for e in self._entries if e.is_pulled
+            )
+        return got
 
     def own_ops(self) -> Tuple[Op, ...]:
         """``⌊L⌋_{pshd|npshd}`` — all of the thread's own operations."""
-        return self._project(lambda e: e.is_own)
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        got = proj.get("own")
+        if got is None:
+            got = proj["own"] = tuple(
+                e.op for e in self._entries if e.is_own
+            )
+        return got
+
+    # The three accessors below are the kernel's hottest projections, so
+    # they hand-inline ``_projection`` to avoid allocating a closure per
+    # call on the (overwhelmingly common) cache-hit path.
 
     def all_ops(self) -> Tuple[Op, ...]:
-        return tuple(e.op for e in self._entries)
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        got = proj.get("all")
+        if got is None:
+            got = proj["all"] = tuple(e.op for e in self._entries)
+        return got
+
+    def payload_key(self) -> Tuple[int, ...]:
+        """The log's payload-class id sequence (cached) — the denotation
+        cache's key for ``[[ℓ]]``."""
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        got = proj.get("pkey")
+        if got is None:
+            got = proj["pkey"] = tuple(
+                payload_class_id(e.op) for e in self._entries
+            )
+        return got
+
+    def flag_rows(self) -> Tuple[Tuple, ...]:
+        """Per-entry ``(method, args, ret, flag-kind)`` digests (cached) —
+        the id-free rows thread state keys and invariant memo keys consume.
+        Derivations inherit these rows incrementally (append extends,
+        set_flag patches one row, remove slices one out)."""
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        got = proj.get("frows")
+        if got is None:
+            got = proj["frows"] = tuple(
+                (e.op.method, e.op.args, e.op.ret, _FLAG_KIND[type(e.flag)])
+                for e in self._entries
+            )
+        return got
 
     # -- relations with a global log ----------------------------------------
 
@@ -259,12 +452,31 @@ EMPTY_LOCAL = LocalLog()
 
 
 class GlobalLog:
-    """An immutable global log ``G : list (op × g)``."""
+    """An immutable, persistent global log ``G : list (op × g)``.
 
-    __slots__ = ("_entries",)
+    Same caching discipline as :class:`LocalLog`: entry objects are shared
+    with derived logs, and the index/hash/projections are cached per node
+    (``cmt`` preserves positions and shares the parent's index).
+    """
+
+    __slots__ = ("_entries", "_hash", "_index", "_proj")
 
     def __init__(self, entries: Iterable[GlobalEntry] = ()):
         self._entries: Tuple[GlobalEntry, ...] = tuple(entries)
+        self._hash: Optional[int] = None
+        self._index: Optional[dict] = None
+        self._proj: Optional[dict] = None
+
+    @classmethod
+    def _make(
+        cls, entries: Tuple[GlobalEntry, ...], index: Optional[dict] = None
+    ) -> "GlobalLog":
+        log = cls.__new__(cls)
+        log._entries = entries
+        log._hash = None
+        log._index = index
+        log._proj = None
+        return log
 
     # -- container protocol --------------------------------------------------
 
@@ -283,7 +495,10 @@ class GlobalLog:
         return self._entries == other._entries
 
     def __hash__(self) -> int:
-        return hash(self._entries)
+        cached = self._hash
+        if cached is None:
+            cached = self._hash = hash(self._entries)
+        return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         body = ", ".join(f"({e.op.pretty()}, {e.flag!r})" for e in self)
@@ -293,54 +508,174 @@ class GlobalLog:
     def entries(self) -> Tuple[GlobalEntry, ...]:
         return self._entries
 
+    def _positions(self) -> dict:
+        index = self._index
+        if index is None:
+            index = self._index = {
+                e.op.op_id: i for i, e in enumerate(self._entries)
+            }
+        return index
+
+    def _projection(self, name: str, value_fn: Callable[[], Any]) -> Any:
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        got = proj.get(name)
+        if got is None:
+            got = proj[name] = value_fn()
+        return got
+
     def __contains__(self, op: Op) -> bool:
-        return any(e.op.op_id == op.op_id for e in self._entries)
+        return op.op_id in self._positions()
 
     def ids(self) -> frozenset:
-        return frozenset(e.op.op_id for e in self._entries)
+        return self._projection("ids", lambda: frozenset(self._positions()))
 
     def entry_for(self, op: Op) -> Optional[GlobalEntry]:
-        for e in self._entries:
-            if e.op.op_id == op.op_id:
-                return e
-        return None
+        position = self._positions().get(op.op_id)
+        return None if position is None else self._entries[position]
 
     def index_of(self, op: Op) -> int:
-        for i, e in enumerate(self._entries):
-            if e.op.op_id == op.op_id:
-                return i
-        raise LogError(f"operation {op.pretty()} not in global log")
+        position = self._positions().get(op.op_id)
+        if position is None:
+            raise LogError(f"operation {op.pretty()} not in global log")
+        return position
 
     # -- construction ---------------------------------------------------------
 
     def append(self, op: Op, flag: GlobalFlag = UNCOMMITTED) -> "GlobalLog":
-        if op in self:
+        positions = self._positions()
+        if op.op_id in positions:
             raise LogError(f"duplicate operation id {op.op_id} in global log")
-        return GlobalLog(self._entries + (GlobalEntry(op, flag),))
+        index = dict(positions)
+        index[op.op_id] = len(self._entries)
+        child = GlobalLog._make(self._entries + (GlobalEntry(op, flag),), index)
+        # Appends extend the parent's row projections by one element, so a
+        # child's canonical-key rows need not be rebuilt from scratch.
+        proj = self._proj
+        if proj:
+            inherited = {}
+            rows = proj.get("rows")
+            if rows is not None:
+                inherited["rows"] = rows + (
+                    (op.method, op.args, op.ret, isinstance(flag, Committed)),
+                )
+            idrow = proj.get("idrow")
+            if idrow is not None:
+                inherited["idrow"] = idrow + (op.op_id,)
+            pkey = proj.get("pkey")
+            if pkey is not None:
+                inherited["pkey"] = pkey + (payload_class_id(op),)
+            if inherited:
+                child._proj = inherited
+        return child
 
     def remove(self, op: Op) -> "GlobalLog":
-        idx = self.index_of(op)
-        return GlobalLog(self._entries[:idx] + self._entries[idx + 1 :])
+        """Remove the entry for ``op`` (by id); the child node is memoized
+        per removed id (UNPUSH checks and constructions share it)."""
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        key = ("rm", op.op_id)
+        child = proj.get(key)
+        if child is None:
+            idx = self.index_of(op)
+            child = proj[key] = GlobalLog._make(
+                self._entries[:idx] + self._entries[idx + 1 :]
+            )
+            inherited = {}
+            for name in ("rows", "idrow", "pkey"):
+                rows = proj.get(name)
+                if rows is not None:
+                    inherited[name] = rows[:idx] + rows[idx + 1 :]
+            if inherited:
+                child._proj = inherited
+        return child
 
     # -- projections ``⌊G⌋_g`` -------------------------------------------------
 
     def committed_ops(self) -> Tuple[Op, ...]:
         """``⌊G⌋_gCmt``."""
-        return tuple(e.op for e in self._entries if e.is_committed)
+        return self._projection(
+            "gCmt", lambda: tuple(e.op for e in self._entries if e.is_committed)
+        )
 
     def uncommitted_ops(self) -> Tuple[Op, ...]:
         """``⌊G⌋_gUCmt``."""
-        return tuple(e.op for e in self._entries if not e.is_committed)
+        return self._projection(
+            "gUCmt",
+            lambda: tuple(e.op for e in self._entries if not e.is_committed),
+        )
+
+    # Hand-inlined hot projections (no closure allocation on cache hits).
 
     def all_ops(self) -> Tuple[Op, ...]:
-        return tuple(e.op for e in self._entries)
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        got = proj.get("all")
+        if got is None:
+            got = proj["all"] = tuple(e.op for e in self._entries)
+        return got
+
+    def payload_rows(self) -> Tuple[Tuple, ...]:
+        """Per-entry ``(method, args, ret, committed?)`` digests (cached) —
+        the id-free rows the machine's canonical state key consumes."""
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        got = proj.get("rows")
+        if got is None:
+            got = proj["rows"] = tuple(
+                (e.op.method, e.op.args, e.op.ret, e.is_committed)
+                for e in self._entries
+            )
+        return got
+
+    def id_row(self) -> Tuple[int, ...]:
+        """Per-entry operation ids, in log order (cached)."""
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        got = proj.get("idrow")
+        if got is None:
+            got = proj["idrow"] = tuple(e.op.op_id for e in self._entries)
+        return got
+
+    def payload_key(self) -> Tuple[int, ...]:
+        """The log's payload-class id sequence (cached)."""
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        got = proj.get("pkey")
+        if got is None:
+            got = proj["pkey"] = tuple(
+                payload_class_id(e.op) for e in self._entries
+            )
+        return got
+
+    def own_bits(self, own: frozenset) -> Tuple[bool, ...]:
+        """Which entries belong to a thread owning the id set ``own``
+        (cached per set) — the ownership row of invariant memo keys."""
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        key = ("ownb", own)
+        got = proj.get(key)
+        if got is None:
+            got = proj[key] = tuple(
+                e.op.op_id in own for e in self._entries
+            )
+        return got
 
     # -- lifted set operations (order from self) --------------------------------
 
     def minus(self, ops: Iterable[Op]) -> "GlobalLog":
         """``G ∖ ops`` — drop (by id) every member of ``ops``; order kept."""
         drop = {o.op_id for o in ops}
-        return GlobalLog(e for e in self._entries if e.op.op_id not in drop)
+        return GlobalLog._make(
+            tuple(e for e in self._entries if e.op.op_id not in drop)
+        )
 
     def intersect_ops(self, ops: Iterable[Op]) -> Tuple[Op, ...]:
         """``G ∩ ops`` as an operation sequence, ordered as in ``G``."""
@@ -365,11 +700,23 @@ class GlobalLog:
                 new_entries.append(GlobalEntry(e.op, COMMITTED))
             else:
                 new_entries.append(e)
-        return GlobalLog(new_entries)
+        # Flag flips keep every position, so the index carries over — and
+        # so do the id/payload projections (flags are not part of them).
+        child = GlobalLog._make(tuple(new_entries), self._index)
+        proj = self._proj
+        if proj:
+            inherited = {
+                name: proj[name] for name in ("idrow", "pkey") if name in proj
+            }
+            if inherited:
+                child._proj = inherited
+        return child
 
     def committed_only(self) -> "GlobalLog":
         """``filter (λ(op,g). g = gCmt) G`` — used by the CMT simulation case."""
-        return GlobalLog(e for e in self._entries if e.is_committed)
+        return GlobalLog._make(
+            tuple(e for e in self._entries if e.is_committed)
+        )
 
 
 EMPTY_GLOBAL = GlobalLog()

@@ -24,6 +24,17 @@ strictly necessary for serializability) are checked when
 Machine states are immutable: steps construct new states, so histories of
 states can be retained, hashed (model checker) and rewound (§5.4) freely.
 
+The incremental kernel splits each rule into a *check* (``_check_RULE``,
+returning ``None`` when the criteria hold and a zero-argument exception
+factory otherwise) and a *construction*.  The rule methods run the check
+and build the successor; the enabledness predicates (``push_enabled`` et
+al., and :meth:`enabled_rules`) run only the check, so probing a rule no
+longer executes its body under ``try/except`` nor allocates exceptions,
+successor logs or fresh operation ids.  All ``allowed``/``allows``/
+``result`` queries go through the spec's shared denotation cache
+(:func:`~repro.core.spec.shared_denotations`) and all mover queries
+through the shared per-spec memo (:func:`~repro.core.spec.shared_movers`).
+
 Each machine thread runs a *single* transaction body (the paper's top-level
 rules likewise pertain to "a thread performing a transaction ``tx c``");
 drivers sequence multiple transactions by spawning threads.  The structural
@@ -36,8 +47,8 @@ and CMT rules do.
 from __future__ import annotations
 
 import functools
-from dataclasses import dataclass, field, replace
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.errors import CriterionViolation, MachineError, SpecError
 from repro.core.language import Call, Choice, Code, Seq, Skip, SKIP, Star, Tx, fin, seq_cont, step
@@ -53,8 +64,21 @@ from repro.core.logs import (
     UNCOMMITTED,
 )
 from repro.core.ops import IdGenerator, Op
-from repro.core.spec import MemoizedMovers, SequentialSpec
+from repro.core.spec import (
+    MemoizedMovers,
+    SequentialSpec,
+    SpecDenotations,
+    shared_denotations,
+    shared_movers,
+)
 from repro.obs.tracer import CAT_CRITERION, CAT_RULE, NULL_TRACER, Tracer
+
+#: a check result — ``None`` (criteria hold) or a factory building the
+#: exception the rule would raise.  Factories are only invoked on the rule
+#: path, so the predicate path never pays for message formatting.
+CheckResult = Optional[Callable[[], Exception]]
+
+_UNSET = object()
 
 
 def _traced_rule(rule_name: str):
@@ -109,9 +133,35 @@ class Thread:
     def own_op_ids(self) -> frozenset:
         return frozenset(op.op_id for op in self.local.own_ops())
 
+    def evolve(
+        self, code: Optional[Code] = None, stack: Any = _UNSET, local: Optional[LocalLog] = None
+    ) -> "Thread":
+        """A copy with the given fields replaced (cheaper than
+        ``dataclasses.replace`` on the rules' hot path)."""
+        return Thread(
+            self.tid,
+            self.code if code is None else code,
+            self.stack if stack is _UNSET else stack,
+            self.local if local is None else local,
+            self.original_code,
+            self.original_stack,
+        )
+
     @property
     def done(self) -> bool:
         return isinstance(self.code, Skip) and len(self.local) == 0
+
+
+def _thread_key(thread: Thread) -> Tuple:
+    """The payload-level digest of a thread, cached on the (immutable)
+    thread object so successor machines only re-digest changed threads."""
+    try:
+        return thread._tkey  # type: ignore[attr-defined]
+    except AttributeError:
+        pass
+    key = (thread.tid, thread.code, thread.stack, thread.local.flag_rows())
+    object.__setattr__(thread, "_tkey", key)
+    return key
 
 
 class Machine:
@@ -126,6 +176,7 @@ class Machine:
         check_gray_criteria: bool = True,
         movers: Optional[MemoizedMovers] = None,
         tracer: Tracer = NULL_TRACER,
+        denots: Optional[SpecDenotations] = None,
     ):
         self.spec = spec
         self.threads: Tuple[Thread, ...] = tuple(threads)
@@ -133,23 +184,61 @@ class Machine:
         self.ids = ids or IdGenerator()
         self.check_gray_criteria = check_gray_criteria
         self.tracer = tracer
-        self.movers = movers or MemoizedMovers(spec, tracer=tracer)
+        self.movers = movers or shared_movers(spec, tracer=tracer)
+        self.denots = denots or shared_denotations(spec, tracer=tracer)
         self._by_tid: Dict[int, int] = {t.tid: i for i, t in enumerate(self.threads)}
+        self._skey: Optional[Tuple] = None
+        self._skey_src: Optional[Tuple] = None
         if len(self._by_tid) != len(self.threads):
             raise MachineError("duplicate thread ids")
 
     # ------------------------------------------------------------------ utils
 
-    def _with(self, threads: Tuple[Thread, ...], global_log: GlobalLog) -> "Machine":
-        return Machine(
-            self.spec,
-            threads,
-            global_log,
-            ids=self.ids,
-            check_gray_criteria=self.check_gray_criteria,
-            movers=self.movers,
-            tracer=self.tracer,
-        )
+    def _with(
+        self,
+        threads: Tuple[Thread, ...],
+        global_log: GlobalLog,
+        changed_tid: Optional[int] = None,
+        owner_delta: Optional[Tuple[str, int]] = None,
+    ) -> "Machine":
+        """Successor-state constructor: shares every per-spec component and,
+        when the thread list shape is unchanged (every rule except
+        spawn/MS_END), the tid index too — the model checker builds tens of
+        thousands of successors per scope, so ``__init__`` revalidation is
+        skipped on this internal path.
+
+        Every single-thread rule passes ``changed_tid`` so the successor's
+        canonical key can be *derived* from this state's (the incremental
+        fingerprint update) instead of rebuilt from the whole state: one
+        thread digest is swapped into the parent key, and the global part
+        is either reused verbatim (``global_log`` identical) or patched
+        through ``owner_delta`` — ``("push", tid)`` appends an owner,
+        ``("unpush", position)`` drops one, ``("cmt", tid)`` releases the
+        committer's entries.
+        """
+        machine = Machine.__new__(Machine)
+        state = machine.__dict__
+        state.update(self.__dict__)
+        state["threads"] = threads
+        state["global_log"] = global_log
+        state["_skey"] = None
+        state["_skey_src"] = None
+        if len(threads) == len(self.threads):
+            # _replace_thread preserves positions, so the tid index copied
+            # from the parent carries over.
+            if (
+                changed_tid is not None
+                and self._skey is not None
+                and (global_log is self.global_log or owner_delta is not None)
+            ):
+                state["_skey_src"] = (
+                    self._skey,
+                    self._by_tid[changed_tid],
+                    None if global_log is self.global_log else owner_delta,
+                )
+        else:
+            state["_by_tid"] = {t.tid: i for i, t in enumerate(threads)}
+        return machine
 
     def thread(self, tid: int) -> Thread:
         try:
@@ -187,6 +276,26 @@ class Machine:
         index = self._by_tid[tid]
         return self._with(self.threads[:index] + self.threads[index + 1 :], self.global_log)
 
+    def end_key(self, tid: int) -> Tuple:
+        """The MS_END successor's canonical :meth:`state_key` — the thread
+        digest drops out; the global part is shared.  The thread must be
+        ``done`` (the checker guarantees it); see :meth:`unpull_key`."""
+        parent_key = self.state_key()
+        index = self._by_tid[tid]
+        tkeys = parent_key[0]
+        return (
+            tkeys[:index] + tkeys[index + 1 :],
+            parent_key[1],
+            parent_key[2],
+        )
+
+    def end_state(self, tid: int, skey: Tuple) -> "Machine":
+        """Construct the MS_END successor for a ``done`` thread."""
+        machine = self.end_thread(tid)
+        machine._skey = skey
+        machine._skey_src = None
+        return machine
+
     # ------------------------------------------------------------------- APP
 
     def app_choices(self, tid: int) -> FrozenSetType:
@@ -194,7 +303,12 @@ class Machine:
         return step(self.thread(tid).code)
 
     @_traced_rule("APP")
-    def app(self, tid: int, choice: Optional[Tuple[Call, Code]] = None) -> "Machine":
+    def app(
+        self,
+        tid: int,
+        choice: Optional[Tuple[Call, Code]] = None,
+        _checked: bool = False,
+    ) -> "Machine":
         """APP: apply a next reachable method locally.
 
         * criterion (i):  ``(m1, c2) ∈ step(c1)`` — ``choice`` must come
@@ -216,22 +330,113 @@ class Machine:
                     f"APP: thread {tid} has {len(choices)} step choices; pass one"
                 )
             choice = next(iter(choices))
-        if choice not in choices:
+        if not _checked and choice not in choices:
             raise CriterionViolation("APP", "i", f"{choice[0]!r} not in step(c)")
         call_node, continuation = choice
-        local_view = thread.local.all_ops()
         try:
-            ret = self.spec.result(local_view, call_node.method, call_node.args)
+            ret = self.denots.result_log(thread.local, call_node.method, call_node.args)
         except SpecError as exc:
             raise CriterionViolation("APP", "ii", str(exc))
         op = Op(call_node.method, call_node.args, ret, self.ids.fresh())
-        if not self.spec.allows(local_view, op):
+        if not _checked and not self.denots.allows_log(thread.local, op):
             raise CriterionViolation("APP", "ii", f"local log does not allow {op.pretty()}")
         flag = NotPushed(saved_code=thread.code, saved_stack=thread.stack)
-        new_thread = replace(
-            thread, code=continuation, stack=op.ret, local=thread.local.append(op, flag)
+        new_thread = thread.evolve(
+            code=continuation, stack=op.ret, local=thread.local.append(op, flag)
         )
-        return self._with(self._replace_thread(new_thread), self.global_log)
+        return self._with(self._replace_thread(new_thread), self.global_log, changed_tid=tid)
+
+    def _check_app(self, thread: Thread, choice: Tuple[Call, Code]) -> bool:
+        """APP enabledness for a ``step(c)`` member, without minting an id
+        or building the successor (the probe record's id ``-1`` is never
+        stored; criteria depend only on payloads)."""
+        call_node = choice[0]
+        local = thread.local
+        try:
+            ret = self.denots.result_log(local, call_node.method, call_node.args)
+        except SpecError:
+            return False
+        return self.denots.allows_log(local, Op(call_node.method, call_node.args, ret, -1))
+
+    def app_enabled(self, tid: int, choice: Optional[Tuple[Call, Code]] = None) -> bool:
+        """Whether APP has an enabled instance for ``tid`` (for ``choice``,
+        or for any choice when omitted)."""
+        thread = self.thread(tid)
+        choices = step(thread.code)
+        if choice is not None:
+            return choice in choices and self._check_app(thread, choice)
+        return any(self._check_app(thread, c) for c in choices)
+
+    def try_app(self, tid: int, choice: Tuple[Call, Code]) -> Optional["Machine"]:
+        """APP if enabled, else ``None`` — one criterion pass, no exception
+        on the disabled path.  ``choice`` must come from :meth:`app_choices`.
+
+        Like every ``try_*`` method, the untraced path constructs the
+        successor inline (same construction as the rule body) instead of
+        re-entering the traced rule wrapper."""
+        thread = self.thread(tid)
+        if not self._check_app(thread, choice):
+            return None
+        if self.tracer.enabled:
+            return self.app(tid, choice, True)
+        call_node, continuation = choice
+        ret = self.denots.result_log(thread.local, call_node.method, call_node.args)
+        op = Op(call_node.method, call_node.args, ret, self.ids.fresh())
+        flag = NotPushed(saved_code=thread.code, saved_stack=thread.stack)
+        new_thread = thread.evolve(
+            code=continuation, stack=op.ret, local=thread.local.append(op, flag)
+        )
+        return self._with(self._replace_thread(new_thread), self.global_log, changed_tid=tid)
+
+    def app_key(self, tid: int, choice: Tuple[Call, Code]) -> Optional[Tuple]:
+        """The APP successor's canonical :meth:`state_key`, or ``None`` if
+        the instance is disabled — criteria checked, no id minted, no
+        successor constructed (see :meth:`unpull_key` for the pattern)."""
+        thread = self.threads[self._by_tid[tid]]
+        call_node, continuation = choice
+        local = thread.local
+        denots = self.denots
+        try:
+            ret = denots.result_log(local, call_node.method, call_node.args)
+        except SpecError:
+            return None
+        if not denots.allows_log(
+            local, Op(call_node.method, call_node.args, ret, -1)
+        ):
+            return None
+        parent_key = self.state_key()
+        index = self._by_tid[tid]
+        new_tkey = (
+            thread.tid,
+            continuation,
+            ret,
+            local.flag_rows() + ((call_node.method, call_node.args, ret, "npshd"),),
+        )
+        tkeys = parent_key[0]
+        return (
+            tkeys[:index] + (new_tkey,) + tkeys[index + 1 :],
+            parent_key[1],
+            parent_key[2],
+        )
+
+    def app_state(
+        self, tid: int, choice: Tuple[Call, Code], skey: Tuple
+    ) -> "Machine":
+        """Construct the APP successor for an instance :meth:`app_key`
+        deemed enabled (the operation id is minted here, so only states the
+        checker actually keeps consume ids)."""
+        thread = self.threads[self._by_tid[tid]]
+        call_node, continuation = choice
+        ret = self.denots.result_log(thread.local, call_node.method, call_node.args)
+        op = Op(call_node.method, call_node.args, ret, self.ids.fresh())
+        flag = NotPushed(saved_code=thread.code, saved_stack=thread.stack)
+        new_thread = thread.evolve(
+            code=continuation, stack=op.ret, local=thread.local.append(op, flag)
+        )
+        machine = self._with(self._replace_thread(new_thread), self.global_log)
+        machine._skey = skey
+        machine._skey_src = None
+        return machine
 
     # ----------------------------------------------------------------- UNAPP
 
@@ -247,19 +452,63 @@ class Machine:
             raise CriterionViolation(
                 "UNAPP", "i", f"last entry {last.op.pretty()} is {last.flag!r}, not npshd"
             )
-        new_thread = replace(
-            thread,
+        new_thread = thread.evolve(
             code=last.flag.saved_code,
             stack=last.flag.saved_stack,
             local=thread.local.drop_last(),
         )
-        return self._with(self._replace_thread(new_thread), self.global_log)
+        return self._with(self._replace_thread(new_thread), self.global_log, changed_tid=tid)
+
+    def unapp_enabled(self, tid: int) -> bool:
+        local = self.thread(tid).local
+        return len(local) > 0 and local[-1].is_not_pushed
+
+    def unapp_key(self, tid: int) -> Optional[Tuple]:
+        """The UNAPP successor's canonical :meth:`state_key`, or ``None``
+        if disabled — the last flag row drops off and the saved code/stack
+        come back; no successor constructed."""
+        thread = self.threads[self._by_tid[tid]]
+        local = thread.local
+        if len(local) == 0:
+            return None
+        last = local[-1]
+        if not last.is_not_pushed:
+            return None
+        flag = last.flag
+        parent_key = self.state_key()
+        index = self._by_tid[tid]
+        new_tkey = (
+            thread.tid,
+            flag.saved_code,
+            flag.saved_stack,
+            local.flag_rows()[:-1],
+        )
+        tkeys = parent_key[0]
+        return (
+            tkeys[:index] + (new_tkey,) + tkeys[index + 1 :],
+            parent_key[1],
+            parent_key[2],
+        )
+
+    def unapp_state(self, tid: int, skey: Tuple) -> "Machine":
+        """Construct the UNAPP successor for an instance :meth:`unapp_key`
+        deemed enabled."""
+        thread = self.threads[self._by_tid[tid]]
+        last = thread.local[-1]
+        new_thread = thread.evolve(
+            code=last.flag.saved_code,
+            stack=last.flag.saved_stack,
+            local=thread.local.drop_last(),
+        )
+        machine = self._with(self._replace_thread(new_thread), self.global_log)
+        machine._skey = skey
+        machine._skey_src = None
+        return machine
 
     # ------------------------------------------------------------------ PUSH
 
-    @_traced_rule("PUSH")
-    def push(self, tid: int, op: Op) -> "Machine":
-        """PUSH: publish a local ``npshd`` operation to the global log.
+    def _check_push(self, thread: Thread, op: Op) -> CheckResult:
+        """PUSH criteria (i)–(iii) for an ``npshd`` entry ``op``.
 
         * criterion (i):  ``op`` moves left of every ``npshd`` operation
           preceding it in the local log (trivial when pushing in APP order,
@@ -269,10 +518,6 @@ class Machine:
           still serialize before all concurrent uncommitted transactions;
         * criterion (iii): the global log allows ``op``.
         """
-        thread = self.thread(tid)
-        entry = thread.local.entry_for(op)
-        if entry is None or not isinstance(entry.flag, NotPushed):
-            raise MachineError(f"PUSH: {op.pretty()} is not an npshd entry of thread {tid}")
         position = thread.local.index_of(op)
         # criterion (i) — both directions of local-order coherence:
         # (a) op moves left of every earlier unpushed own operation
@@ -284,7 +529,7 @@ class Machine:
         #     re-publication after an UNPUSH (found by the theorem fuzzer).
         for earlier in thread.local.entries[:position]:
             if earlier.is_not_pushed and not self.movers.left_mover(op, earlier.op):
-                raise CriterionViolation(
+                return lambda earlier=earlier: CriterionViolation(
                     "PUSH",
                     "i",
                     f"{op.pretty()} does not move left of earlier unpushed "
@@ -296,7 +541,7 @@ class Machine:
             g_entry = self.global_log.entry_for(later.op)
             if g_entry is not None and not g_entry.is_committed:
                 if not self.movers.left_mover(later.op, op):
-                    raise CriterionViolation(
+                    return lambda later=later: CriterionViolation(
                         "PUSH",
                         "i",
                         f"already-published later operation "
@@ -309,29 +554,124 @@ class Machine:
             if other.op_id in own:
                 continue
             if not self.movers.left_mover(other, op):
-                raise CriterionViolation(
+                return lambda other=other: CriterionViolation(
                     "PUSH",
                     "ii",
                     f"uncommitted {other.pretty()} does not move right of {op.pretty()}",
                 )
         # criterion (iii)
-        if not self.spec.allows(self.global_log.all_ops(), op):
-            raise CriterionViolation(
+        if not self.denots.allows_log(self.global_log, op):
+            return lambda: CriterionViolation(
                 "PUSH", "iii", f"global log does not allow {op.pretty()}"
             )
+        return None
+
+    @_traced_rule("PUSH")
+    def push(self, tid: int, op: Op, _checked: bool = False) -> "Machine":
+        """PUSH: publish a local ``npshd`` operation to the global log.
+
+        Criteria are documented on :meth:`_check_push`.
+        """
+        thread = self.thread(tid)
+        entry = thread.local.entry_for(op)
+        if entry is None or not isinstance(entry.flag, NotPushed):
+            raise MachineError(f"PUSH: {op.pretty()} is not an npshd entry of thread {tid}")
+        if not _checked:
+            fail = self._check_push(thread, op)
+            if fail is not None:
+                raise fail()
         new_local = thread.local.set_flag(
             op, Pushed(saved_code=entry.flag.saved_code, saved_stack=entry.flag.saved_stack)
         )
-        new_thread = replace(thread, local=new_local)
+        new_thread = thread.evolve(local=new_local)
         return self._with(
-            self._replace_thread(new_thread), self.global_log.append(op, UNCOMMITTED)
+            self._replace_thread(new_thread),
+            self.global_log.append(op, UNCOMMITTED),
+            changed_tid=tid,
+            owner_delta=("push", tid),
         )
+
+    def push_enabled(self, tid: int, op: Op) -> bool:
+        thread = self.thread(tid)
+        entry = thread.local.entry_for(op)
+        if entry is None or not entry.is_not_pushed:
+            return False
+        return self._check_push(thread, op) is None
+
+    def try_push(self, tid: int, op: Op) -> Optional["Machine"]:
+        """PUSH if enabled, else ``None`` (one criterion pass)."""
+        thread = self.thread(tid)
+        entry = thread.local.entry_for(op)
+        if entry is None or not entry.is_not_pushed:
+            return None
+        if self._check_push(thread, op) is not None:
+            return None
+        if self.tracer.enabled:
+            return self.push(tid, op, True)
+        new_local = thread.local.set_flag(
+            op, Pushed(saved_code=entry.flag.saved_code, saved_stack=entry.flag.saved_stack)
+        )
+        new_thread = thread.evolve(local=new_local)
+        return self._with(
+            self._replace_thread(new_thread),
+            self.global_log.append(op, UNCOMMITTED),
+            changed_tid=tid,
+            owner_delta=("push", tid),
+        )
+
+    def push_key(self, tid: int, op: Op) -> Optional[Tuple]:
+        """The PUSH successor's canonical :meth:`state_key`, or ``None`` if
+        disabled — op's flag row flips npshd → pshd, its global row and
+        owner slot append; no successor constructed.  ``op`` must be an
+        ``npshd`` entry of the thread's local log (the checker iterates
+        ``not_pushed_ops()``)."""
+        thread = self.threads[self._by_tid[tid]]
+        if self._check_push(thread, op) is not None:
+            return None
+        parent_key = self.state_key()
+        index = self._by_tid[tid]
+        local = thread.local
+        lidx = local.index_of(op)
+        frows = local.flag_rows()
+        row = frows[lidx]
+        new_tkey = (
+            thread.tid,
+            thread.code,
+            thread.stack,
+            frows[:lidx] + ((row[0], row[1], row[2], "pshd"),) + frows[lidx + 1 :],
+        )
+        tkeys = parent_key[0]
+        return (
+            tkeys[:index] + (new_tkey,) + tkeys[index + 1 :],
+            parent_key[1] + ((op.method, op.args, op.ret, False),),
+            parent_key[2] + (tid,),
+        )
+
+    def push_state(self, tid: int, op: Op, skey: Tuple) -> "Machine":
+        """Construct the PUSH successor for an instance :meth:`push_key`
+        deemed enabled."""
+        thread = self.threads[self._by_tid[tid]]
+        entry = thread.local.entry_for(op)
+        new_local = thread.local.set_flag(
+            op,
+            Pushed(
+                saved_code=entry.flag.saved_code,
+                saved_stack=entry.flag.saved_stack,
+            ),
+        )
+        new_thread = thread.evolve(local=new_local)
+        machine = self._with(
+            self._replace_thread(new_thread),
+            self.global_log.append(op, UNCOMMITTED),
+        )
+        machine._skey = skey
+        machine._skey_src = None
+        return machine
 
     # ---------------------------------------------------------------- UNPUSH
 
-    @_traced_rule("UNPUSH")
-    def unpush(self, tid: int, op: Op) -> "Machine":
-        """UNPUSH: withdraw a pushed, still-uncommitted operation.
+    def _check_unpush(self, thread: Thread, op: Op) -> CheckResult:
+        """UNPUSH criteria for a ``pshd`` entry ``op``.
 
         * criterion (i) [gray]: ``G2`` (everything pushed after ``op``)
           does not depend on ``op`` — in mover form, ``op`` moves right
@@ -345,22 +685,20 @@ class Machine:
           could still have been pushed had ``op`` not been (the global log
           without ``op`` is still allowed).
         """
-        thread = self.thread(tid)
-        entry = thread.local.entry_for(op)
-        if entry is None or not isinstance(entry.flag, Pushed):
-            raise MachineError(f"UNPUSH: {op.pretty()} is not a pshd entry of thread {tid}")
         g_entry = self.global_log.entry_for(op)
         if g_entry is None:
-            raise MachineError(f"UNPUSH: {op.pretty()} missing from global log (I_LG broken)")
+            return lambda: MachineError(
+                f"UNPUSH: {op.pretty()} missing from global log (I_LG broken)"
+            )
         if g_entry.is_committed:
-            raise MachineError(f"UNPUSH: {op.pretty()} is already committed")
+            return lambda: MachineError(f"UNPUSH: {op.pretty()} is already committed")
         if self.check_gray_criteria:
             # (a) G2 does not depend on op: op moves right past everything
             #     pushed after it (Lemma 5.10's need).
             position = self.global_log.index_of(op)
             for later in self.global_log.entries[position + 1 :]:
                 if not self.movers.left_mover(op, later.op):
-                    raise CriterionViolation(
+                    return lambda later=later: CriterionViolation(
                         "UNPUSH",
                         "i",
                         f"{later.op.pretty()} (pushed later) depends on "
@@ -378,30 +716,135 @@ class Machine:
                 if later_global is None or later_global.is_committed:
                     continue
                 if not self.movers.left_mover(later_entry.op, op):
-                    raise CriterionViolation(
+                    return lambda later_entry=later_entry: CriterionViolation(
                         "UNPUSH",
                         "i",
                         f"own published {later_entry.op.pretty()} does not "
                         f"move left of {op.pretty()}",
                     )
         shrunk = self.global_log.remove(op)
-        if not self.spec.allowed(shrunk.all_ops()):
-            raise CriterionViolation(
+        if not self.denots.allowed_log(shrunk):
+            return lambda: CriterionViolation(
                 "UNPUSH",
                 "ii",
                 f"later pushes are not allowed without {op.pretty()}",
             )
+        return None
+
+    @_traced_rule("UNPUSH")
+    def unpush(self, tid: int, op: Op, _checked: bool = False) -> "Machine":
+        """UNPUSH: withdraw a pushed, still-uncommitted operation.
+
+        Criteria are documented on :meth:`_check_unpush`.
+        """
+        thread = self.thread(tid)
+        entry = thread.local.entry_for(op)
+        if entry is None or not isinstance(entry.flag, Pushed):
+            raise MachineError(f"UNPUSH: {op.pretty()} is not a pshd entry of thread {tid}")
+        if not _checked:
+            fail = self._check_unpush(thread, op)
+            if fail is not None:
+                raise fail()
+        position = self.global_log.index_of(op)
+        shrunk = self.global_log.remove(op)
         new_local = thread.local.set_flag(
             op, NotPushed(saved_code=entry.flag.saved_code, saved_stack=entry.flag.saved_stack)
         )
-        new_thread = replace(thread, local=new_local)
-        return self._with(self._replace_thread(new_thread), shrunk)
+        new_thread = thread.evolve(local=new_local)
+        return self._with(
+            self._replace_thread(new_thread),
+            shrunk,
+            changed_tid=tid,
+            owner_delta=("unpush", position),
+        )
+
+    def unpush_enabled(self, tid: int, op: Op) -> bool:
+        thread = self.thread(tid)
+        entry = thread.local.entry_for(op)
+        if entry is None or not entry.is_pushed:
+            return False
+        return self._check_unpush(thread, op) is None
+
+    def try_unpush(self, tid: int, op: Op) -> Optional["Machine"]:
+        """UNPUSH if enabled, else ``None`` (one criterion pass)."""
+        thread = self.thread(tid)
+        entry = thread.local.entry_for(op)
+        if entry is None or not entry.is_pushed:
+            return None
+        if self._check_unpush(thread, op) is not None:
+            return None
+        if self.tracer.enabled:
+            return self.unpush(tid, op, True)
+        position = self.global_log.index_of(op)
+        shrunk = self.global_log.remove(op)
+        new_local = thread.local.set_flag(
+            op, NotPushed(saved_code=entry.flag.saved_code, saved_stack=entry.flag.saved_stack)
+        )
+        new_thread = thread.evolve(local=new_local)
+        return self._with(
+            self._replace_thread(new_thread),
+            shrunk,
+            changed_tid=tid,
+            owner_delta=("unpush", position),
+        )
+
+    def unpush_key(self, tid: int, op: Op) -> Optional[Tuple]:
+        """The UNPUSH successor's canonical :meth:`state_key`, or ``None``
+        if the rule is disabled — one criterion pass plus patched cached
+        rows, no successor construction.  ``op`` must be a ``pshd`` entry
+        of the thread's local log (the checker iterates ``pushed_ops()``;
+        see :meth:`unpull_key`)."""
+        thread = self.threads[self._by_tid[tid]]
+        if self._check_unpush(thread, op) is not None:
+            return None
+        parent_key = self.state_key()
+        index = self._by_tid[tid]
+        # The thread digest: op's flag row flips pshd → npshd in place.
+        local = thread.local
+        lidx = local.index_of(op)
+        frows = local.flag_rows()
+        row = frows[lidx]
+        new_frows = (
+            frows[:lidx]
+            + ((row[0], row[1], row[2], "npshd"),)
+            + frows[lidx + 1 :]
+        )
+        new_tkey = (thread.tid, thread.code, thread.stack, new_frows)
+        tkeys = parent_key[0]
+        # The global part: op's row and owner slot drop out.
+        position = self.global_log.index_of(op)
+        owner_row = parent_key[2]
+        return (
+            tkeys[:index] + (new_tkey,) + tkeys[index + 1 :],
+            self.global_log.remove(op).payload_rows(),
+            owner_row[:position] + owner_row[position + 1 :],
+        )
+
+    def unpush_state(self, tid: int, op: Op, skey: Tuple) -> "Machine":
+        """Construct the UNPUSH successor for an instance that
+        :meth:`unpush_key` deemed enabled; ``skey`` becomes the successor's
+        cached state key."""
+        thread = self.threads[self._by_tid[tid]]
+        entry = thread.local.entry_for(op)
+        new_local = thread.local.set_flag(
+            op,
+            NotPushed(
+                saved_code=entry.flag.saved_code,
+                saved_stack=entry.flag.saved_stack,
+            ),
+        )
+        new_thread = thread.evolve(local=new_local)
+        machine = self._with(
+            self._replace_thread(new_thread), self.global_log.remove(op),
+        )
+        machine._skey = skey
+        machine._skey_src = None
+        return machine
 
     # ------------------------------------------------------------------ PULL
 
-    @_traced_rule("PULL")
-    def pull(self, tid: int, op: Op) -> "Machine":
-        """PULL: import a published operation into the local view.
+    def _check_pull(self, thread: Thread, op: Op) -> CheckResult:
+        """PULL criteria for a global-log operation ``op``.
 
         * criterion (i):  ``op ∉ L`` — not pulled (or owned) already;
         * criterion (ii): the local log allows ``op``;
@@ -409,81 +852,293 @@ class Machine:
           locally moves right of ``op`` (``o ◁ op``), so the pulled effect
           can be viewed as having preceded the transaction.
         """
-        thread = self.thread(tid)
-        if op not in self.global_log:
-            raise MachineError(f"PULL: {op.pretty()} not in global log")
         if op in thread.local:
-            raise CriterionViolation("PULL", "i", f"{op.pretty()} already in local log")
-        if not self.spec.allows(thread.local.all_ops(), op):
-            raise CriterionViolation(
+            return lambda: CriterionViolation(
+                "PULL", "i", f"{op.pretty()} already in local log"
+            )
+        if not self.denots.allows_log(thread.local, op):
+            return lambda: CriterionViolation(
                 "PULL", "ii", f"local log does not allow {op.pretty()}"
             )
         if self.check_gray_criteria:
             for own in thread.local.own_ops():
                 if not self.movers.left_mover(own, op):
-                    raise CriterionViolation(
+                    return lambda own=own: CriterionViolation(
                         "PULL",
                         "iii",
                         f"own {own.pretty()} does not move right of pulled {op.pretty()}",
                     )
-        new_thread = replace(thread, local=thread.local.append(op, Pulled()))
-        return self._with(self._replace_thread(new_thread), self.global_log)
+        return None
+
+    @_traced_rule("PULL")
+    def pull(self, tid: int, op: Op, _checked: bool = False) -> "Machine":
+        """PULL: import a published operation into the local view.
+
+        Criteria are documented on :meth:`_check_pull`.
+        """
+        thread = self.thread(tid)
+        if op not in self.global_log:
+            raise MachineError(f"PULL: {op.pretty()} not in global log")
+        if not _checked:
+            fail = self._check_pull(thread, op)
+            if fail is not None:
+                raise fail()
+        new_thread = thread.evolve(local=thread.local.append(op, Pulled()))
+        return self._with(self._replace_thread(new_thread), self.global_log, changed_tid=tid)
+
+    def pull_enabled(self, tid: int, op: Op) -> bool:
+        thread = self.thread(tid)
+        if op not in self.global_log:
+            return False
+        return self._check_pull(thread, op) is None
+
+    def try_pull(self, tid: int, op: Op) -> Optional["Machine"]:
+        """PULL if enabled, else ``None`` (one criterion pass)."""
+        thread = self.thread(tid)
+        if op not in self.global_log:
+            return None
+        if self._check_pull(thread, op) is not None:
+            return None
+        if self.tracer.enabled:
+            return self.pull(tid, op, True)
+        new_thread = thread.evolve(local=thread.local.append(op, Pulled()))
+        return self._with(self._replace_thread(new_thread), self.global_log, changed_tid=tid)
+
+    def pull_key(self, tid: int, op: Op) -> Optional[Tuple]:
+        """The PULL successor's canonical :meth:`state_key`, or ``None`` if
+        disabled — one pulled flag row appends; the global part is shared.
+        ``op`` must come from this machine's global log (as the checker's
+        iteration guarantees)."""
+        thread = self.threads[self._by_tid[tid]]
+        if self._check_pull(thread, op) is not None:
+            return None
+        parent_key = self.state_key()
+        index = self._by_tid[tid]
+        new_tkey = (
+            thread.tid,
+            thread.code,
+            thread.stack,
+            thread.local.flag_rows() + ((op.method, op.args, op.ret, "pld"),),
+        )
+        tkeys = parent_key[0]
+        return (
+            tkeys[:index] + (new_tkey,) + tkeys[index + 1 :],
+            parent_key[1],
+            parent_key[2],
+        )
+
+    def pull_state(self, tid: int, op: Op, skey: Tuple) -> "Machine":
+        """Construct the PULL successor for an instance :meth:`pull_key`
+        deemed enabled."""
+        thread = self.threads[self._by_tid[tid]]
+        new_thread = thread.evolve(local=thread.local.append(op, Pulled()))
+        machine = self._with(self._replace_thread(new_thread), self.global_log)
+        machine._skey = skey
+        machine._skey_src = None
+        return machine
 
     # ---------------------------------------------------------------- UNPULL
 
+    def _check_unpull(self, thread: Thread, op: Op) -> CheckResult:
+        """UNPULL criterion (i): the local log without ``op`` is still
+        allowed — the transaction did nothing that depended on ``op``."""
+        shrunk = thread.local.remove(op)
+        if not self.denots.allowed_log(shrunk):
+            return lambda: CriterionViolation(
+                "UNPULL", "i", f"local log depends on pulled {op.pretty()}"
+            )
+        return None
+
     @_traced_rule("UNPULL")
-    def unpull(self, tid: int, op: Op) -> "Machine":
+    def unpull(self, tid: int, op: Op, _checked: bool = False) -> "Machine":
         """UNPULL: discard a pulled operation.
 
-        * criterion (i): the local log without ``op`` is still allowed —
-          the transaction did nothing that depended on ``op``.
+        Criterion is documented on :meth:`_check_unpull`.
         """
         thread = self.thread(tid)
         entry = thread.local.entry_for(op)
         if entry is None or not isinstance(entry.flag, Pulled):
             raise MachineError(f"UNPULL: {op.pretty()} is not a pld entry of thread {tid}")
+        if not _checked:
+            fail = self._check_unpull(thread, op)
+            if fail is not None:
+                raise fail()
+        new_thread = thread.evolve(local=thread.local.remove(op))
+        return self._with(self._replace_thread(new_thread), self.global_log, changed_tid=tid)
+
+    def unpull_enabled(self, tid: int, op: Op) -> bool:
+        thread = self.thread(tid)
+        entry = thread.local.entry_for(op)
+        if entry is None or not entry.is_pulled:
+            return False
+        return self._check_unpull(thread, op) is None
+
+    def try_unpull(self, tid: int, op: Op) -> Optional["Machine"]:
+        """UNPULL if enabled, else ``None`` (one criterion pass)."""
+        thread = self.thread(tid)
+        entry = thread.local.entry_for(op)
+        if entry is None or not entry.is_pulled:
+            return None
         shrunk = thread.local.remove(op)
-        if not self.spec.allowed(shrunk.all_ops()):
-            raise CriterionViolation(
-                "UNPULL", "i", f"local log depends on pulled {op.pretty()}"
-            )
-        new_thread = replace(thread, local=shrunk)
-        return self._with(self._replace_thread(new_thread), self.global_log)
+        if not self.denots.allowed_log(shrunk):
+            return None
+        if self.tracer.enabled:
+            return self.unpull(tid, op, True)
+        new_thread = thread.evolve(local=shrunk)
+        return self._with(self._replace_thread(new_thread), self.global_log, changed_tid=tid)
+
+    def unpull_key(self, tid: int, op: Op) -> Optional[Tuple]:
+        """The UNPULL successor's canonical :meth:`state_key`, or ``None``
+        if the rule is disabled — derived from this state's key plus the
+        (memoized) shrunk log, *without constructing the successor*.
+
+        Backward moves mostly land on already-visited states, so the model
+        checker probes this first and only materialises the machine (via
+        :meth:`unpull_state`) when the key is genuinely new.  Requires this
+        machine's own key to be computed (always true for a visited state)
+        and ``op`` to be a ``pld`` entry of the thread's local log (the
+        checker iterates ``pulled_ops()``).
+        """
+        thread = self.threads[self._by_tid[tid]]
+        shrunk = thread.local.remove(op)
+        if not self.denots.allowed_log(shrunk):
+            return None
+        parent_key = self.state_key()
+        index = self._by_tid[tid]
+        new_tkey = (thread.tid, thread.code, thread.stack, shrunk.flag_rows())
+        tkeys = parent_key[0]
+        return (
+            tkeys[:index] + (new_tkey,) + tkeys[index + 1 :],
+            parent_key[1],
+            parent_key[2],
+        )
+
+    def unpull_state(self, tid: int, op: Op, skey: Tuple) -> "Machine":
+        """Construct the UNPULL successor for an instance that
+        :meth:`unpull_key` deemed enabled; ``skey`` (its return value)
+        becomes the successor's cached state key."""
+        thread = self.threads[self._by_tid[tid]]
+        new_thread = thread.evolve(local=thread.local.remove(op))
+        machine = self._with(
+            self._replace_thread(new_thread), self.global_log, changed_tid=tid
+        )
+        machine._skey = skey
+        machine._skey_src = None
+        return machine
 
     # ------------------------------------------------------------------- CMT
 
-    @_traced_rule("CMT")
-    def cmt(self, tid: int) -> "Machine":
-        """CMT: the instantaneous commit.
+    def _check_cmt(self, thread: Thread) -> CheckResult:
+        """CMT criteria.
 
         * criterion (i):   ``fin(c)`` — a method-free path to ``skip``;
         * criterion (ii):  ``L ⊆ G`` — every own operation pushed
           (``⌊L⌋_npshd = ∅``);
         * criterion (iii): every pulled operation is committed in ``G``;
         * criterion (iv):  ``cmt(G, L, G')`` — own pushed operations flip
-          to ``gCmt``.
-
-        The thread finishes as ``{skip, σ, []}`` (removable via MS_END).
+          to ``gCmt`` (the construction, always possible under I_LG).
         """
-        thread = self.thread(tid)
         if not fin(thread.code):
-            raise CriterionViolation("CMT", "i", f"no method-free path to skip in {thread.code!r}")
+            return lambda: CriterionViolation(
+                "CMT", "i", f"no method-free path to skip in {thread.code!r}"
+            )
         if thread.local.not_pushed_ops():
-            pending = ", ".join(o.pretty() for o in thread.local.not_pushed_ops())
-            raise CriterionViolation("CMT", "ii", f"unpushed operations remain: {pending}")
+            return lambda: CriterionViolation(
+                "CMT",
+                "ii",
+                "unpushed operations remain: "
+                + ", ".join(o.pretty() for o in thread.local.not_pushed_ops()),
+            )
         for pulled in thread.local.pulled_ops():
             g_entry = self.global_log.entry_for(pulled)
             if g_entry is None:
-                raise CriterionViolation(
+                return lambda pulled=pulled: CriterionViolation(
                     "CMT", "iii", f"pulled {pulled.pretty()} vanished from global log"
                 )
             if not g_entry.is_committed:
-                raise CriterionViolation(
+                return lambda pulled=pulled: CriterionViolation(
                     "CMT", "iii", f"pulled {pulled.pretty()} is still uncommitted"
                 )
+        return None
+
+    @_traced_rule("CMT")
+    def cmt(self, tid: int, _checked: bool = False) -> "Machine":
+        """CMT: the instantaneous commit.
+
+        Criteria are documented on :meth:`_check_cmt`.  The thread finishes
+        as ``{skip, σ, []}`` (removable via MS_END).
+        """
+        thread = self.thread(tid)
+        if not _checked:
+            fail = self._check_cmt(thread)
+            if fail is not None:
+                raise fail()
         new_global = self.global_log.commit(thread.local)
-        new_thread = replace(thread, code=SKIP, local=EMPTY_LOCAL)
-        return self._with(self._replace_thread(new_thread), new_global)
+        new_thread = thread.evolve(code=SKIP, local=EMPTY_LOCAL)
+        return self._with(
+            self._replace_thread(new_thread),
+            new_global,
+            changed_tid=tid,
+            owner_delta=("cmt", tid),
+        )
+
+    def cmt_enabled(self, tid: int) -> bool:
+        return self._check_cmt(self.thread(tid)) is None
+
+    def cmt_key(self, tid: int) -> Optional[Tuple]:
+        """The CMT successor's canonical :meth:`state_key`, or ``None`` if
+        disabled — the committer's global rows flip to committed and leave
+        the owner row, its thread digest resets to ``{skip, σ, []}``; no
+        successor constructed (see :meth:`unpull_key`)."""
+        thread = self.threads[self._by_tid[tid]]
+        if self._check_cmt(thread) is not None:
+            return None
+        parent_key = self.state_key()
+        index = self._by_tid[tid]
+        new_tkey = (thread.tid, SKIP, thread.stack, ())
+        tkeys = parent_key[0]
+        owner_row = parent_key[2]
+        return (
+            tkeys[:index] + (new_tkey,) + tkeys[index + 1 :],
+            tuple(
+                (r[0], r[1], r[2], True) if o == tid else r
+                for r, o in zip(parent_key[1], owner_row)
+            ),
+            tuple(-1 if o == tid else o for o in owner_row),
+        )
+
+    def cmt_state(self, tid: int, skey: Tuple) -> "Machine":
+        """Construct the CMT successor for an instance :meth:`cmt_key`
+        deemed enabled."""
+        thread = self.threads[self._by_tid[tid]]
+        new_global = self.global_log.commit(thread.local)
+        new_thread = thread.evolve(code=SKIP, local=EMPTY_LOCAL)
+        machine = self._with(self._replace_thread(new_thread), new_global)
+        machine._skey = skey
+        machine._skey_src = None
+        return machine
+
+    def try_cmt(self, tid: int) -> Optional["Machine"]:
+        """CMT if enabled, else ``None`` (one criterion pass)."""
+        thread = self.thread(tid)
+        if self._check_cmt(thread) is not None:
+            return None
+        if self.tracer.enabled:
+            return self.cmt(tid, True)
+        new_global = self.global_log.commit(thread.local)
+        new_thread = thread.evolve(code=SKIP, local=EMPTY_LOCAL)
+        return self._with(
+            self._replace_thread(new_thread),
+            new_global,
+            changed_tid=tid,
+            owner_delta=("cmt", tid),
+        )
+
+    def try_unapp(self, tid: int) -> Optional["Machine"]:
+        """UNAPP if enabled, else ``None``."""
+        if not self.unapp_enabled(tid):
+            return None
+        return self.unapp(tid)
 
     # ------------------------------------------------- structural rules (Fig 6)
 
@@ -495,88 +1150,114 @@ class Machine:
         """
         thread = self.thread(tid)
         for rule, new_code in _structural_code_steps(thread.code):
-            new_thread = replace(thread, code=new_code)
-            yield rule, self._with(self._replace_thread(new_thread), self.global_log)
+            new_thread = thread.evolve(code=new_code)
+            yield rule, self._with(self._replace_thread(new_thread), self.global_log, changed_tid=tid)
 
     # -------------------------------------------------------------- inspection
 
     def enabled_rules(self, tid: int) -> List[str]:
         """Names of Figure 5 rules with at least one enabled instance for
-        ``tid`` (used by the model checker and by tests)."""
+        ``tid`` (used by the model checker and by tests).
+
+        Runs only the check half of each rule: no successor states, no
+        exception allocation, no fresh ids."""
         enabled: List[str] = []
         thread = self.thread(tid)
-        if step(thread.code):
-            for choice_pair in step(thread.code):
-                if self._app_enabled(thread, choice_pair):
-                    enabled.append("APP")
-                    break
-        if len(thread.local) and thread.local[-1].is_not_pushed:
+        choices = step(thread.code)
+        if choices and any(self._check_app(thread, c) for c in choices):
+            enabled.append("APP")
+        entries = thread.local.entries
+        if entries and entries[-1].is_not_pushed:
             enabled.append("UNAPP")
-        if any(self._push_enabled(thread, e.op) for e in thread.local if e.is_not_pushed):
+        if any(
+            e.is_not_pushed and self._check_push(thread, e.op) is None for e in entries
+        ):
             enabled.append("PUSH")
-        if any(self._unpush_enabled(thread, e.op) for e in thread.local if e.is_pushed):
+        if any(
+            e.is_pushed and self._check_unpush(thread, e.op) is None for e in entries
+        ):
             enabled.append("UNPUSH")
-        if any(self._pull_enabled(thread, e.op) for e in self.global_log):
+        if any(self._check_pull(thread, e.op) is None for e in self.global_log):
             enabled.append("PULL")
-        if any(self._unpull_enabled(thread, e.op) for e in thread.local if e.is_pulled):
+        if any(
+            e.is_pulled and self._check_unpull(thread, e.op) is None for e in entries
+        ):
             enabled.append("UNPULL")
-        if self._cmt_enabled(thread):
+        if self._check_cmt(thread) is None:
             enabled.append("CMT")
         return enabled
 
-    def _try(self, fn, *args) -> bool:
-        try:
-            fn(*args)
-            return True
-        except (CriterionViolation, MachineError, SpecError):
-            return False
-
-    def _app_enabled(self, thread: Thread, choice_pair) -> bool:
-        return self._try(self.app, thread.tid, choice_pair)
-
-    def _push_enabled(self, thread: Thread, op: Op) -> bool:
-        return self._try(self.push, thread.tid, op)
-
-    def _unpush_enabled(self, thread: Thread, op: Op) -> bool:
-        return self._try(self.unpush, thread.tid, op)
-
-    def _pull_enabled(self, thread: Thread, op: Op) -> bool:
-        return self._try(self.pull, thread.tid, op)
-
-    def _unpull_enabled(self, thread: Thread, op: Op) -> bool:
-        return self._try(self.unpull, thread.tid, op)
-
-    def _cmt_enabled(self, thread: Thread) -> bool:
-        return self._try(self.cmt, thread.tid)
-
     def state_key(self) -> Tuple:
         """A hashable digest of the machine state (payload-level, so model
-        checker visits are independent of id allocation order)."""
-        thread_keys = tuple(
-            (
-                t.tid,
-                t.code,
-                t.stack,
-                tuple(
-                    (e.op.method, e.op.args, e.op.ret, _flag_kind(e.flag))
-                    for e in t.local
-                ),
+        checker visits are independent of id allocation order).
+
+        Computed at most once per (immutable) machine; thread digests are
+        cached on the thread objects, so a successor state only re-digests
+        the one thread a rule changed plus the global-log owner map.
+        """
+        key = self._skey
+        if key is not None:
+            return key
+        src = self._skey_src
+        if src is not None:
+            # Incremental path: one thread changed; the global part of the
+            # key is reused (local-only rule) or patched (owner_delta).
+            parent_key, index, odelta = src
+            parent_tkeys = parent_key[0]
+            thread_keys = (
+                parent_tkeys[:index]
+                + (_thread_key(self.threads[index]),)
+                + parent_tkeys[index + 1 :]
             )
-            for t in self.threads
-        )
-        global_key = tuple(
-            (e.op.method, e.op.args, e.op.ret, e.is_committed, _owner_of(self, e.op))
-            for e in self.global_log
-        )
-        return (thread_keys, global_key)
+            if odelta is None:
+                rows, owner_row = parent_key[1], parent_key[2]
+            else:
+                kind, arg = odelta
+                owner_row = parent_key[2]
+                if kind == "push":
+                    # One entry appended to G, owned by the pusher.
+                    rows = self.global_log.payload_rows()
+                    owner_row = owner_row + (arg,)
+                elif kind == "unpush":
+                    # The entry at global position ``arg`` withdrawn.
+                    rows = self.global_log.payload_rows()
+                    owner_row = owner_row[:arg] + owner_row[arg + 1 :]
+                else:  # "cmt"
+                    # The committer's entries flip to committed and stop
+                    # being owned (its local log empties).
+                    rows = tuple(
+                        (r[0], r[1], r[2], True) if o == arg else r
+                        for r, o in zip(parent_key[1], owner_row)
+                    )
+                    owner_row = tuple(
+                        -1 if o == arg else o for o in owner_row
+                    )
+            key = self._skey = (thread_keys, rows, owner_row)
+            self._skey_src = None
+            return key
+        owners: Dict[int, int] = {}
+        for t in self.threads:
+            tid = t.tid
+            for op in t.local.own_ops():
+                owners[op.op_id] = tid
+        thread_keys = tuple(_thread_key(t) for t in self.threads)
+        # The id-free global rows are cached on the log node (shared by
+        # every successor whose rule left G untouched); only the owner row
+        # depends on the thread list.
+        global_log = self.global_log
+        owner_row = tuple(owners.get(i, -1) for i in global_log.id_row())
+        key = self._skey = (thread_keys, global_log.payload_rows(), owner_row)
+        return key
 
+    def fingerprint(self) -> int:
+        """The canonical fingerprint: the hash of :meth:`state_key`.
 
-def _flag_kind(flag) -> str:
-    if isinstance(flag, NotPushed):
-        return "npshd"
-    if isinstance(flag, Pushed):
-        return "pshd"
-    return "pld"
+        Because the key (and each thread digest feeding it) is cached on
+        immutable objects shared between a state and its successors, the
+        fingerprint is maintained incrementally across transitions rather
+        than recomputed from the full state.
+        """
+        return hash(self.state_key())
 
 
 def _owner_of(machine: Machine, op: Op) -> int:

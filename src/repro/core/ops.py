@@ -133,6 +133,8 @@ class OpClass:
 
     Mover/commutativity relations are functions of payloads, not ids, so the
     precongruence machinery memoises on :class:`OpClass` keys.
+    :meth:`of` interns instances per payload, so repeated queries over the
+    same payloads reuse one object instead of allocating per call.
     """
 
     method: str
@@ -141,4 +143,42 @@ class OpClass:
 
     @staticmethod
     def of(op: Op) -> "OpClass":
-        return OpClass(op.method, op.args, op.ret)
+        key = (op.method, op.args, op.ret)
+        cached = _OPCLASS_INTERN.get(key)
+        if cached is None:
+            cached = _OPCLASS_INTERN[key] = OpClass(op.method, op.args, op.ret)
+        return cached
+
+
+_OPCLASS_INTERN: dict = {}
+
+# ---------------------------------------------------------------------------
+# Payload classes (the incremental kernel's canonical payload ids)
+# ---------------------------------------------------------------------------
+
+#: registry ``(method, args, ret) -> small int``.  Two operations share a
+#: payload-class id iff their payloads are equal, so id-renamed logs map to
+#: identical key tuples — the property the denotation cache, the mover memo
+#: and the model checker's canonical state keys all rely on.
+_PAYLOAD_CLASSES: dict = {}
+
+
+def payload_class_id(op: Op) -> int:
+    """The canonical small-int id of ``op``'s payload class.
+
+    The id is cached on the operation record itself (a private memo slot;
+    :meth:`Op.with_ret` returns a *new* record, so a changed payload can
+    never see a stale id).  Payload-class ids are process-local: they are
+    stable within a run but must not be persisted or compared across
+    processes.
+    """
+    try:
+        return op._payload_class  # type: ignore[attr-defined]
+    except AttributeError:
+        pass
+    key = (op.method, op.args, op.ret)
+    pid = _PAYLOAD_CLASSES.get(key)
+    if pid is None:
+        pid = _PAYLOAD_CLASSES[key] = len(_PAYLOAD_CLASSES)
+    object.__setattr__(op, "_payload_class", pid)
+    return pid

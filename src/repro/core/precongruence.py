@@ -34,7 +34,13 @@ from itertools import permutations, product
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.ops import Op
-from repro.core.spec import NondetSpec, SequentialSpec, StateSpec
+from repro.core.spec import (
+    NondetSpec,
+    SequentialSpec,
+    StateSpec,
+    shared_denotations,
+    shared_movers,
+)
 from repro.obs.tracer import CAT_MOVER, NULL_TRACER, Tracer
 
 
@@ -57,15 +63,19 @@ def precongruent(
     simulation check both lean on), tagged with the log lengths and the
     strategy used — the data needed to see whether ``≼`` checks or mover
     checks dominate a model-checking run.
+
+    Both strategies evaluate against the spec's shared denotation cache
+    (``[[ℓ]]`` keyed by payload classes), so a ``≼`` query over logs whose
+    prefixes were already denoted costs dictionary hits, not replays.
     """
     if not tracer.enabled:
         if isinstance(spec, StateSpec):
-            return spec.precongruent(l1, l2)
+            return shared_denotations(spec).precongruent(l1, l2)
         return precongruent_bounded(spec, l1, l2, depth)
     start = tracer.now()
     exact = isinstance(spec, StateSpec)
     if exact:
-        result = spec.precongruent(l1, l2)
+        result = shared_denotations(spec, tracer).precongruent(l1, l2)
     else:
         result = precongruent_bounded(spec, l1, l2, depth)
     tracer.span(
@@ -94,18 +104,25 @@ def precongruent_bounded(
     At each level we check the implication ``allowed ℓ1 ⇒ allowed ℓ2`` and
     recurse on every single-probe extension.  ``depth`` bounds the suffix
     length considered; probes default to ``spec.probe_ops()``.
+
+    ``allowed`` queries go through the spec's shared denotation cache, and
+    ``allowed ℓ1`` is evaluated once per recursion level (it used to be
+    replayed twice — once for the implication, once for the prefix-closure
+    cut).
     """
     if probes is None:
         probes = tuple(spec.probe_ops())
     l1 = tuple(l1)
     l2 = tuple(l2)
-    if spec.allowed(l1) and not spec.allowed(l2):
+    denots = shared_denotations(spec)
+    l1_allowed = denots.allowed(l1)
+    if l1_allowed and not denots.allowed(l2):
         return False
     if depth == 0:
         return True
     # Prefix closure: once ℓ1 is disallowed every extension is disallowed,
     # so the implication holds vacuously at all deeper levels.
-    if not spec.allowed(l1):
+    if not l1_allowed:
         return True
     return all(
         precongruent_bounded(spec, l1 + (op,), l2 + (op,), depth - 1, probes)
@@ -126,18 +143,20 @@ def log_equivalent(
 
 
 def left_mover(spec: SequentialSpec, op1: Op, op2: Op) -> bool:
-    """``op1 ◁ op2`` via the spec's oracle (exact where available)."""
-    return spec.left_mover(op1, op2)
+    """``op1 ◁ op2`` via the spec's shared mover memo (exact oracle where
+    available) — the same memo the machine criteria consult."""
+    return shared_movers(spec).left_mover(op1, op2)
 
 
 def right_mover(spec: SequentialSpec, op1: Op, op2: Op) -> bool:
     """``op1 ▷ op2  ≡  op2 ◁ op1``."""
-    return spec.left_mover(op2, op1)
+    return shared_movers(spec).left_mover(op2, op1)
 
 
 def both_mover(spec: SequentialSpec, op1: Op, op2: Op) -> bool:
     """Full commutativity (both movers)."""
-    return spec.left_mover(op1, op2) and spec.left_mover(op2, op1)
+    movers = shared_movers(spec)
+    return movers.left_mover(op1, op2) and movers.left_mover(op2, op1)
 
 
 def left_mover_bounded(
@@ -179,12 +198,14 @@ def op_left_mover_list(spec: SequentialSpec, op: Op, ops: Iterable[Op]) -> bool:
 
     PUSH criterion (i) instantiates this with ``⌊L⌋_npshd``.
     """
-    return all(spec.left_mover(op, other) for other in ops)
+    movers = shared_movers(spec)
+    return all(movers.left_mover(op, other) for other in ops)
 
 
 def list_left_mover_op(spec: SequentialSpec, ops: Iterable[Op], op: Op) -> bool:
     """``ℓ ◁ op`` — every operation in ``ops`` moves left of ``op``."""
-    return all(spec.left_mover(other, op) for other in ops)
+    movers = shared_movers(spec)
+    return all(movers.left_mover(other, op) for other in ops)
 
 
 def list_right_mover_op(spec: SequentialSpec, ops: Iterable[Op], op: Op) -> bool:
@@ -193,7 +214,8 @@ def list_right_mover_op(spec: SequentialSpec, ops: Iterable[Op], op: Op) -> bool
     PUSH criterion (ii) instantiates this with the *other* transactions'
     uncommitted operations; PULL criterion (iii) with the puller's own ops.
     """
-    return all(spec.left_mover(op, other) for other in ops)
+    movers = shared_movers(spec)
+    return all(movers.left_mover(op, other) for other in ops)
 
 
 def serial_permutation_exists(
@@ -204,13 +226,17 @@ def serial_permutation_exists(
 
     A brute-force serializability reference used by tests on tiny histories.
     """
+    target = tuple(target)
+    # ``allowed target`` is loop-invariant: when it fails no permutation can
+    # succeed, so refuse up front instead of enumerating all |chunks|! orders.
+    if not spec.allowed(target):
+        return False
     for order in permutations(range(len(chunks))):
         candidate: List[Op] = []
         for index in order:
             candidate.extend(chunks[index])
-        if precongruent(spec, tuple(target), tuple(candidate)) and spec.allowed(
+        if precongruent(spec, target, tuple(candidate)) and spec.allowed(
             tuple(candidate)
         ):
-            if spec.allowed(tuple(target)):
-                return True
+            return True
     return False

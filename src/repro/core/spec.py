@@ -34,9 +34,10 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from typing import Any, FrozenSet, Iterable, Optional, Sequence, Tuple
+from weakref import WeakKeyDictionary
 
 from repro.core.errors import SpecError
-from repro.core.ops import Op, OpClass
+from repro.core.ops import Op, OpClass, payload_class_id
 from repro.obs.tracer import CAT_MOVER, NULL_TRACER, Tracer
 
 
@@ -345,14 +346,22 @@ class MemoizedMovers:
     """Memoising wrapper for a spec's mover oracles.
 
     Mover relations are functions of operation *payloads* (method, args,
-    ret), not ids, so results are cached on :class:`OpClass` pairs.  Machine
-    criteria check movers against every concurrent operation, making this
-    cache the difference between O(n) and O(n·cost-of-oracle) per step.
+    ret), not ids, so results are cached on payload-class pairs (the
+    interned small-int ids of :func:`repro.core.ops.payload_class_id`).
+    Machine criteria check movers against every concurrent operation,
+    making this cache the difference between O(n) and O(n·cost-of-oracle)
+    per step.
 
-    With an enabled tracer, cache hits are aggregated as cheap counts
-    (``mover.left.hit`` / ``mover.commutes.hit``) and each actual oracle
-    evaluation (a cache miss) becomes a ``mover`` span — oracle cost is a
-    dominant machine expense, and this is where it becomes visible.
+    One instance is intended to be shared per *spec* (see
+    :func:`shared_movers`) so the machine criteria, the §5.3 invariant
+    checkers and the bounded precongruence checkers all consult the same
+    memo instead of re-deriving the relations per consumer.
+
+    With an enabled tracer, cache hits/misses are aggregated as cheap
+    counts (``mover.left.hit``/``.miss``, ``mover.commutes.hit``/``.miss``)
+    and each actual oracle evaluation (a miss) becomes a ``mover`` span —
+    oracle cost is a dominant machine expense, and this is where it
+    becomes visible.
     """
 
     def __init__(self, spec: SequentialSpec, tracer: Tracer = NULL_TRACER):
@@ -362,7 +371,7 @@ class MemoizedMovers:
         self._comm: dict = {}
 
     def left_mover(self, op1: Op, op2: Op) -> bool:
-        key = (OpClass.of(op1), OpClass.of(op2))
+        key = (payload_class_id(op1), payload_class_id(op2))
         if key in self._left:
             if self.tracer.enabled:
                 self.tracer.count("mover.left.hit")
@@ -370,6 +379,7 @@ class MemoizedMovers:
         if not self.tracer.enabled:
             result = self._left[key] = self.spec.left_mover(op1, op2)
             return result
+        self.tracer.count("mover.left.miss")
         start = self.tracer.now()
         result = self._left[key] = self.spec.left_mover(op1, op2)
         self.tracer.span(
@@ -384,7 +394,8 @@ class MemoizedMovers:
         return self.left_mover(op2, op1)
 
     def commutes(self, op1: Op, op2: Op) -> bool:
-        key = frozenset((OpClass.of(op1), OpClass.of(op2)))
+        pid1, pid2 = payload_class_id(op1), payload_class_id(op2)
+        key = (pid1, pid2) if pid1 <= pid2 else (pid2, pid1)
         if key in self._comm:
             if self.tracer.enabled:
                 self.tracer.count("mover.commutes.hit")
@@ -392,6 +403,7 @@ class MemoizedMovers:
         if not self.tracer.enabled:
             result = self._comm[key] = self.spec.commutes(op1, op2)
             return result
+        self.tracer.count("mover.commutes.miss")
         start = self.tracer.now()
         result = self._comm[key] = self.spec.commutes(op1, op2)
         self.tracer.span(
@@ -401,3 +413,330 @@ class MemoizedMovers:
             args={"op1": op1.method, "op2": op2.method, "result": result},
         )
         return result
+
+
+# ---------------------------------------------------------------------------
+# Cached denotations ``[[ℓ]]`` (the incremental kernel's parent-state cache)
+# ---------------------------------------------------------------------------
+
+#: cache sentinel for "this log is disallowed" (``[[ℓ]] = ∅``); distinct
+#: from ``None`` so a legitimately-``None`` spec state can be cached.
+_DISALLOWED = object()
+_ABSENT = object()
+
+
+class SpecDenotations:
+    """Uncached pass-through denotation interface.
+
+    The machine and the checkers talk to a *denotations* object with the
+    surface ``allowed``/``allows``/``result``; this base simply delegates
+    to the spec.  :class:`DenotationCache` (deterministic specs) and
+    :class:`NondetDenotationCache` (relational specs) override with
+    parent-state caching — :func:`denotations_for` picks the right one.
+    """
+
+    caching = False
+
+    def __init__(self, spec: SequentialSpec, tracer: Tracer = NULL_TRACER):
+        self.spec = spec
+        self.tracer = tracer
+
+    def allowed(self, ops: Sequence[Op]) -> bool:
+        return self.spec.allowed(ops)
+
+    def allows(self, ops: Sequence[Op], op: Op) -> bool:
+        return self.spec.allows(ops, op)
+
+    def result(self, ops: Sequence[Op], method: str, args: Tuple[Any, ...]) -> Any:
+        return self.spec.result(ops, method, args)
+
+    # -- log-keyed variants --------------------------------------------------
+    #
+    # The machine holds persistent log nodes that carry their own cached
+    # payload key (``LocalLog.payload_key``); these entry points let caching
+    # subclasses reuse that key instead of rebuilding it per query.  The
+    # base class just unwraps to the ops-based surface.
+
+    def allowed_log(self, log) -> bool:
+        return self.allowed(log.all_ops())
+
+    def allows_log(self, log, op: Op) -> bool:
+        return self.allows(log.all_ops(), op)
+
+    def result_log(self, log, method: str, args: Tuple[Any, ...]) -> Any:
+        return self.result(log.all_ops(), method, args)
+
+    def cache_info(self) -> dict:
+        return {"entries": 0, "caching": False}
+
+    def clear(self) -> None:
+        pass
+
+
+class DenotationCache(SpecDenotations):
+    """Parent-state caching of ``[[ℓ]]`` for deterministic specs.
+
+    The denotation of a log depends only on its operation *payload*
+    sequence, so states are cached on tuples of payload-class ids.  A
+    query for ``ℓ·op`` walks back to the nearest cached prefix of ``ℓ``
+    and applies only the missing suffix — for the machine's access
+    pattern (one appended operation per step, criteria re-queried per
+    probe) this turns every ``allowed``/``allows``/``result``/``≼`` check
+    into a dictionary hit plus at most one ``[[op]]`` application, instead
+    of a full replay from the initial state.
+
+    Cache hits/misses are aggregated on the tracer as ``denot.hit`` /
+    ``denot.miss`` (one miss per actual ``[[op]]`` application), the
+    counters the kernel benchmark and the CI smoke job assert on.
+    """
+
+    caching = True
+
+    #: clear the cache wholesale past this many cached states — a blunt
+    #: but effective bound for unbounded runtime histories; model-checker
+    #: scopes stay far below it.
+    max_entries = 1 << 20
+
+    def __init__(self, spec: StateSpec, tracer: Tracer = NULL_TRACER):
+        super().__init__(spec, tracer)
+        self._states: dict = {(): spec.initial_state()}
+
+    # -- the core lookup ---------------------------------------------------
+
+    def state_of(self, ops: Sequence[Op]) -> Any:
+        """``[[ℓ]]`` as a cached state, or :data:`_DISALLOWED`."""
+        key = tuple(payload_class_id(op) for op in ops)
+        states = self._states
+        state = states.get(key, _ABSENT)
+        if state is not _ABSENT:
+            if self.tracer.enabled:
+                self.tracer.count("denot.hit")
+            return state
+        return self._fill(ops, key)
+
+    def _fill(self, ops: Sequence[Op], key: Tuple[int, ...]) -> Any:
+        """Miss path: walk back to the nearest cached prefix of ``key`` and
+        apply the missing suffix of ``ops``."""
+        states = self._states
+        if len(states) > self.max_entries:
+            self.clear()
+            states = self._states
+        # Walk back to the nearest cached prefix (length ``plen``; the
+        # empty prefix is always seeded, so the walk always lands)…
+        plen = len(key) - 1
+        while plen > 0:
+            state = states.get(key[:plen], _ABSENT)
+            if state is not _ABSENT:
+                break
+            plen -= 1
+        else:
+            state = states[()]
+        # …then apply only the missing suffix, caching every new prefix.
+        tracing = self.tracer.enabled
+        spec = self.spec
+        for position in range(plen, len(key)):
+            if state is not _DISALLOWED:
+                state = spec.apply(state, ops[position])
+                if state is None:
+                    state = _DISALLOWED
+            states[key[: position + 1]] = state
+            if tracing:
+                self.tracer.count("denot.miss")
+        return state
+
+    def state_of_log(self, log) -> Any:
+        """``[[ℓ]]`` keyed by the log node's cached payload key."""
+        key = log.payload_key()
+        state = self._states.get(key, _ABSENT)
+        if state is not _ABSENT:
+            if self.tracer.enabled:
+                self.tracer.count("denot.hit")
+            return state
+        return self._fill(log.all_ops(), key)
+
+    # -- the spec surface, from cached states ------------------------------
+
+    def allowed(self, ops: Sequence[Op]) -> bool:
+        return self.state_of(ops) is not _DISALLOWED
+
+    def allows(self, ops: Sequence[Op], op: Op) -> bool:
+        return self.state_of(tuple(ops) + (op,)) is not _DISALLOWED
+
+    def allowed_log(self, log) -> bool:
+        return self.state_of_log(log) is not _DISALLOWED
+
+    def allows_log(self, log, op: Op) -> bool:
+        key = log.payload_key() + (payload_class_id(op),)
+        state = self._states.get(key, _ABSENT)
+        if state is not _ABSENT:
+            if self.tracer.enabled:
+                self.tracer.count("denot.hit")
+            return state is not _DISALLOWED
+        return self._fill(log.all_ops() + (op,), key) is not _DISALLOWED
+
+    def result(self, ops: Sequence[Op], method: str, args: Tuple[Any, ...]) -> Any:
+        state = self.state_of(ops)
+        if state is _DISALLOWED:
+            raise SpecError("result() called on a disallowed log")
+        ret, _ = self.spec.perform(state, method, args)
+        return ret
+
+    def result_log(self, log, method: str, args: Tuple[Any, ...]) -> Any:
+        state = self.state_of_log(log)
+        if state is _DISALLOWED:
+            raise SpecError("result() called on a disallowed log")
+        ret, _ = self.spec.perform(state, method, args)
+        return ret
+
+    def precongruent(self, l1: Sequence[Op], l2: Sequence[Op]) -> bool:
+        """Exact ``ℓ1 ≼ ℓ2`` from cached states — same decision procedure
+        as :meth:`StateSpec.precongruent`, minus the replays."""
+        s1 = self.state_of(l1)
+        if s1 is _DISALLOWED:
+            return True
+        s2 = self.state_of(l2)
+        if s2 is _DISALLOWED:
+            return False
+        return self.spec.observe(s1) == self.spec.observe(s2)
+
+    def cache_info(self) -> dict:
+        return {"entries": len(self._states), "caching": True}
+
+    def clear(self) -> None:
+        self._states = {(): self.spec.initial_state()}
+
+
+class NondetDenotationCache(SpecDenotations):
+    """Parent-set caching of ``[[ℓ]]`` for relational specs: the cached
+    value is the (frozen) forward-image state set; ``allowed`` is its
+    non-emptiness.  ``result`` stays delegated — relational specs override
+    it per concrete type."""
+
+    caching = True
+
+    max_entries = 1 << 20
+
+    def __init__(self, spec: NondetSpec, tracer: Tracer = NULL_TRACER):
+        super().__init__(spec, tracer)
+        self._states: dict = {(): frozenset(spec.initial_states())}
+
+    def denote(self, ops: Sequence[Op]) -> FrozenSet[Any]:
+        key = tuple(payload_class_id(op) for op in ops)
+        states = self._states
+        found = states.get(key, _ABSENT)
+        if found is not _ABSENT:
+            if self.tracer.enabled:
+                self.tracer.count("denot.hit")
+            return found
+        return self._fill(ops, key)
+
+    def denote_log(self, log) -> FrozenSet[Any]:
+        key = log.payload_key()
+        found = self._states.get(key, _ABSENT)
+        if found is not _ABSENT:
+            if self.tracer.enabled:
+                self.tracer.count("denot.hit")
+            return found
+        return self._fill(log.all_ops(), key)
+
+    def _fill(self, ops: Sequence[Op], key: Tuple[int, ...]) -> FrozenSet[Any]:
+        states = self._states
+        if len(states) > self.max_entries:
+            self.clear()
+            states = self._states
+        plen = len(key) - 1
+        while plen > 0:
+            found = states.get(key[:plen], _ABSENT)
+            if found is not _ABSENT:
+                break
+            plen -= 1
+        else:
+            found = states[()]
+        tracing = self.tracer.enabled
+        spec = self.spec
+        for position in range(plen, len(key)):
+            op = ops[position]
+            if found:
+                found = frozenset(
+                    s2 for s in found for s2 in spec.apply_set(s, op)
+                )
+            states[key[: position + 1]] = found
+            if tracing:
+                self.tracer.count("denot.miss")
+        return found
+
+    def allowed(self, ops: Sequence[Op]) -> bool:
+        return bool(self.denote(ops))
+
+    def allows(self, ops: Sequence[Op], op: Op) -> bool:
+        return bool(self.denote(tuple(ops) + (op,)))
+
+    def allowed_log(self, log) -> bool:
+        return bool(self.denote_log(log))
+
+    def allows_log(self, log, op: Op) -> bool:
+        key = log.payload_key() + (payload_class_id(op),)
+        found = self._states.get(key, _ABSENT)
+        if found is not _ABSENT:
+            if self.tracer.enabled:
+                self.tracer.count("denot.hit")
+            return bool(found)
+        return bool(self._fill(log.all_ops() + (op,), key))
+
+    def cache_info(self) -> dict:
+        return {"entries": len(self._states), "caching": True}
+
+    def clear(self) -> None:
+        self._states = {(): frozenset(self.spec.initial_states())}
+
+
+def denotations_for(
+    spec: SequentialSpec, tracer: Tracer = NULL_TRACER
+) -> SpecDenotations:
+    """The right denotations implementation for ``spec``."""
+    if isinstance(spec, StateSpec):
+        return DenotationCache(spec, tracer)
+    if isinstance(spec, NondetSpec):
+        return NondetDenotationCache(spec, tracer)
+    return SpecDenotations(spec, tracer)
+
+
+# ---------------------------------------------------------------------------
+# Shared per-spec memo registry
+# ---------------------------------------------------------------------------
+
+_SHARED_MOVERS: "WeakKeyDictionary" = WeakKeyDictionary()
+_SHARED_DENOTS: "WeakKeyDictionary" = WeakKeyDictionary()
+
+
+def _adopt_tracer(memo, tracer: Tracer):
+    """Late-bind an enabled tracer onto an existing shared memo (first
+    consumer may have been untraced)."""
+    if tracer.enabled and not memo.tracer.enabled:
+        memo.tracer = tracer
+    return memo
+
+
+def shared_movers(spec: SequentialSpec, tracer: Tracer = NULL_TRACER) -> MemoizedMovers:
+    """The per-spec shared :class:`MemoizedMovers` memo.
+
+    Mover relations depend only on the spec, so one memo per spec instance
+    serves every machine, invariant checker and bounded checker touching
+    it.  Held weakly: the memo dies with its spec.
+    """
+    memo = _SHARED_MOVERS.get(spec)
+    if memo is None:
+        memo = _SHARED_MOVERS[spec] = MemoizedMovers(spec, tracer=tracer)
+        return memo
+    return _adopt_tracer(memo, tracer)
+
+
+def shared_denotations(
+    spec: SequentialSpec, tracer: Tracer = NULL_TRACER
+) -> SpecDenotations:
+    """The per-spec shared denotations cache (see :func:`denotations_for`)."""
+    memo = _SHARED_DENOTS.get(spec)
+    if memo is None:
+        memo = _SHARED_DENOTS[spec] = denotations_for(spec, tracer)
+        return memo
+    return _adopt_tracer(memo, tracer)

@@ -56,10 +56,13 @@ REQUIRED_COUNTERS = (
 
 def _explore_scope(name: str, tracer=None, trace_rules: bool = False):
     spec_cls, programs = SCOPES[name]
+    # POR off: this benchmark isolates per-state kernel cost, and its
+    # committed baselines are full-exploration verdicts (the reduced
+    # state space has its own baseline file, BENCH_por.json).
     options = (
-        ExploreOptions(tracer=tracer, trace_rules=trace_rules)
+        ExploreOptions(tracer=tracer, trace_rules=trace_rules, por=False)
         if tracer is not None
-        else ExploreOptions()
+        else ExploreOptions(por=False)
     )
     start = time.perf_counter()
     report = explore(spec_cls(), programs, options)

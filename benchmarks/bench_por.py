@@ -1,0 +1,210 @@
+"""E8 — partial-order-reduction benchmark and gate (``BENCH_por.json``).
+
+Runs every registry scope twice — POR on and POR off — and records, per
+scope, the states explored, transitions, wall-clock, and the verdict
+fingerprint.  Three things are *enforced* (exit 1 on failure):
+
+* **verdict identity** — POR-on and POR-off must report the same verdict
+  and the same violation witnesses (payload-level: operation ids are
+  blanked by :func:`repro.checking.verdict_fingerprint`) on every scope.
+  A reduction that changes any answer is unsound, whatever it saves.
+* **aggregate reduction** — summed over the scopes, POR-on must explore
+  ≥ 2× fewer states than POR-off.  The gate is aggregate, not per-scope,
+  because scopes whose operations all conflict (``mem-ww``: two writes
+  to one key, distinct payloads) have *no* sound payload-level quotient —
+  a reduction that shrank them would be wrong, so their honest ratio is
+  1.0× and the leverage shows on scopes with commutation or symmetry.
+* **parallel speedup** (only on hosts with ≥ 4 usable cores) — a
+  ``--jobs 4`` frontier-parallel run of the heaviest configuration
+  (kvmap-branch with commit-preservation checking) must beat the
+  sequential run by ≥ 1.5×.  On smaller hosts (CI smoke runners are
+  single-core) the measurement is recorded but the gate is skipped:
+  wall-clock parallel speedup on one core is a physical impossibility,
+  not a regression.
+
+Standalone script, same shape as ``bench_kernel.py``::
+
+    PYTHONPATH=src python benchmarks/bench_por.py            # full gate
+    PYTHONPATH=src python benchmarks/bench_por.py --tiny     # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+from pathlib import Path
+
+from repro.checking import explore, explore_parallel, verdict_fingerprint
+from repro.checking.model_checker import ExploreOptions
+from repro.cli import SCOPES
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "BENCH_por.json"
+
+TINY_SCOPES = ("mem-ww", "counter")
+SPEEDUP_SCOPE = "kvmap-branch"
+MIN_AGGREGATE_REDUCTION = 2.0
+MIN_JOBS_SPEEDUP = 1.5
+MIN_CORES_FOR_SPEEDUP_GATE = 4
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _run(spec_cls, programs, por: bool, **extra):
+    options = ExploreOptions(max_states=400_000, por=por, **extra)
+    start = time.perf_counter()
+    report = explore(spec_cls(), programs, options)
+    return report, time.perf_counter() - start
+
+
+def measure_scope(name: str) -> tuple:
+    """One scope, POR on vs off → (row dict, gate failure strings)."""
+    spec_cls, programs = SCOPES[name]
+    on, t_on = _run(spec_cls, programs, por=True)
+    off, t_off = _run(spec_cls, programs, por=False)
+    failures = []
+    if verdict_fingerprint(on) != verdict_fingerprint(off):
+        failures.append(
+            f"verdict-identity gate: scope {name!r} diverges between POR on "
+            f"and off (on={verdict_fingerprint(on)!r}, "
+            f"off={verdict_fingerprint(off)!r})"
+        )
+    row = {
+        "on": {
+            "states": on.states,
+            "transitions": on.transitions,
+            "elapsed_sec": round(t_on, 4),
+            "ample_hits": on.ample_hits,
+            "full_expansions": on.full_expansions,
+            "ok": on.ok,
+        },
+        "off": {
+            "states": off.states,
+            "transitions": off.transitions,
+            "elapsed_sec": round(t_off, 4),
+            "ok": off.ok,
+        },
+        "reduction": round(off.states / max(on.states, 1), 2),
+    }
+    return row, failures
+
+
+def measure_jobs_speedup(jobs: int) -> dict:
+    """Sequential vs ``--jobs N`` wall-clock on the heaviest scope/config.
+
+    Commit-preservation checking makes per-state work dominate IPC, which
+    is the regime frontier parallelism targets; POR stays on (the
+    production default).  Verdict identity between the two runs is part
+    of the measurement — a parallel run that answers differently is a
+    bug, not a speedup.
+    """
+    spec_cls, programs = SCOPES[SPEEDUP_SCOPE]
+    seq, t_seq = _run(spec_cls, programs, por=True, check_cmtpres=True)
+    options = ExploreOptions(max_states=400_000, por=True, check_cmtpres=True)
+    start = time.perf_counter()
+    par = explore_parallel(spec_cls(), programs, options, jobs=jobs)
+    t_par = time.perf_counter() - start
+    return {
+        "scope": SPEEDUP_SCOPE,
+        "jobs": jobs,
+        "sequential_sec": round(t_seq, 4),
+        "parallel_sec": round(t_par, 4),
+        "speedup": round(t_seq / t_par, 2),
+        "parallel_states": par.states,
+        "worker_busy_sec": round(par.worker_busy, 4),
+        "verdict_identical": verdict_fingerprint(seq) == verdict_fingerprint(par),
+        "usable_cores": _usable_cores(),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke mode: only the scopes "
+                             f"{TINY_SCOPES} and no jobs measurement")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker count for the parallel-speedup row")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="JSON path for the refreshed results")
+    args = parser.parse_args(argv)
+
+    names = TINY_SCOPES if args.tiny else tuple(SCOPES)
+    failures = []
+    scopes = {}
+    total_on = total_off = 0
+    for name in names:
+        row, scope_failures = measure_scope(name)
+        failures.extend(scope_failures)
+        scopes[name] = row
+        total_on += row["on"]["states"]
+        total_off += row["off"]["states"]
+        print(f"{name:<14} on={row['on']['states']:<6} "
+              f"off={row['off']['states']:<6} "
+              f"reduction={row['reduction']}x "
+              f"({row['on']['elapsed_sec']}s vs {row['off']['elapsed_sec']}s)")
+
+    aggregate = round(total_off / max(total_on, 1), 2)
+    print(f"aggregate reduction: {aggregate}x "
+          f"({total_off} -> {total_on} states)")
+    if aggregate < MIN_AGGREGATE_REDUCTION:
+        failures.append(
+            f"reduction gate: aggregate {aggregate}x < "
+            f"{MIN_AGGREGATE_REDUCTION}x over scopes {list(names)}"
+        )
+
+    document = {
+        "_comment": (
+            "POR benchmark: per-scope states/wall-clock with the reduction "
+            "on vs off, plus the frontier-parallel speedup row.  The "
+            "'reduction' per scope is off.states/on.states; mem-ww and "
+            "mem-wrw are honestly 1.0x (all-conflicting payloads have no "
+            "sound quotient).  Refreshed by benchmarks/bench_por.py; the "
+            "verdict-identity and aggregate-reduction gates run in CI."
+        ),
+        "scopes": scopes,
+        "aggregate_reduction": aggregate,
+    }
+
+    if not args.tiny:
+        jobs_row = measure_jobs_speedup(args.jobs)
+        document["jobs_speedup"] = jobs_row
+        print(f"jobs={jobs_row['jobs']} on {jobs_row['scope']}: "
+              f"{jobs_row['speedup']}x "
+              f"({jobs_row['sequential_sec']}s -> {jobs_row['parallel_sec']}s, "
+              f"{jobs_row['usable_cores']} cores)")
+        if not jobs_row["verdict_identical"]:
+            failures.append(
+                "parallel gate: --jobs run reports a different verdict than "
+                "the sequential run"
+            )
+        if jobs_row["usable_cores"] >= MIN_CORES_FOR_SPEEDUP_GATE:
+            if jobs_row["speedup"] < MIN_JOBS_SPEEDUP:
+                failures.append(
+                    f"parallel gate: speedup {jobs_row['speedup']}x < "
+                    f"{MIN_JOBS_SPEEDUP}x at jobs={jobs_row['jobs']} on "
+                    f"{jobs_row['scope']}"
+                )
+        else:
+            print(f"(speedup gate skipped: {jobs_row['usable_cores']} usable "
+                  f"cores < {MIN_CORES_FOR_SPEEDUP_GATE})")
+
+    args.out.write_text(
+        json.dumps(document, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+    print(f"results -> {args.out}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

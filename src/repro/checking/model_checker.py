@@ -28,10 +28,9 @@ Checked properties (all optional, see :class:`ExploreOptions`):
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterator, List, Optional, Sequence, Set, Tuple
-
-import functools
 
 from repro.core.atomic import atomic_final_logs, payloads
 from repro.core.errors import (
@@ -41,13 +40,14 @@ from repro.core.errors import (
     SpecError,
 )
 from repro.core.invariants import check_all_invariants_cached
-from repro.core.language import Code, Skip, Tx
+from repro.core.language import Code, Skip, Tx, sorted_choices
 from repro.core.machine import Machine
 from repro.core.ops import IdGenerator, Op
 from repro.core.precongruence import precongruent
 from repro.core.rewind import check_cmtpres_all
 from repro.core.spec import SequentialSpec
-from repro.obs.tracer import CAT_MC, NULL_TRACER, Tracer
+from repro.checking.reduction import Reducer
+from repro.obs.tracer import CAT_MC, CAT_POR, NULL_TRACER, Tracer
 
 
 @dataclass
@@ -87,6 +87,16 @@ class ExploreOptions:
     #: exploration (very high volume — one span per attempted transition);
     #: off by default even when a tracer is given.
     trace_rules: bool = False
+    #: mover-guided partial-order reduction (see ``checking/reduction.py``):
+    #: visited-state keys are quotiented by both-mover trace equivalence
+    #: (and thread symmetry, when applicable), and states where one
+    #: thread's enabled moves are all thread-local are expanded through
+    #: that thread alone.  Verdicts and violation witnesses are identical
+    #: to the unreduced run — only state/transition counts shrink.
+    por: bool = True
+    #: extend the quotient to thread-permutation symmetry for scopes whose
+    #: threads run syntactically identical programs (no-op otherwise).
+    por_symmetry: bool = True
 
 
 @dataclass
@@ -105,6 +115,18 @@ class ExplorationReport:
     invariant_violations: List[str] = field(default_factory=list)
     cover_violations: List[str] = field(default_factory=list)
     cmtpres_violations: List[str] = field(default_factory=list)
+    #: whether the mover-guided reduction was active for this run
+    por: bool = False
+    #: states at which the ample filter expanded a single thread
+    ample_hits: int = 0
+    #: thread expansions skipped by the ample filter (deferred, not lost:
+    #: they are re-explored from the ample chain's fully expanded end)
+    ample_deferred: int = 0
+    #: states expanded in full while the reduction was active
+    full_expansions: int = 0
+    #: summed worker compute seconds (parallel runs only) — utilization is
+    #: ``worker_busy / (jobs × wall-clock)``
+    worker_busy: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -113,6 +135,33 @@ class ExplorationReport:
             or self.cover_violations
             or self.cmtpres_violations
         )
+
+
+_OP_ID = re.compile(r"#\d+")
+
+
+def normalize_witness(message: str) -> str:
+    """A violation message with operation ids (``#n``) blanked.
+
+    Ids record mint order, which varies across processes (the parallel
+    workers re-mint ids on snapshot restore) while the payload content of
+    the witness does not — so verdict comparisons go through this."""
+    return _OP_ID.sub("#·", message)
+
+
+def verdict_fingerprint(report: "ExplorationReport") -> Tuple:
+    """The order- and id-insensitive verdict of a run: ``ok`` plus the
+    sorted sets of normalized violation witnesses.  This is the equality
+    the POR-identity gate, the benchmarks and the tests compare — state
+    and transition counts are deliberately excluded (the quotient merges
+    terminals, and exploration order picks representatives; see
+    ``checking/parallel.py`` on both)."""
+    return (
+        report.ok,
+        tuple(sorted({normalize_witness(m) for m in report.invariant_violations})),
+        tuple(sorted({normalize_witness(m) for m in report.cover_violations})),
+        tuple(sorted({normalize_witness(m) for m in report.cmtpres_violations})),
+    )
 
 
 @dataclass
@@ -124,18 +173,17 @@ class _Node:
         return (self.machine.state_key(), self.committed)
 
 
-@functools.lru_cache(maxsize=None)
-def _sorted_choices(code: Code) -> Tuple:
-    """``step(code)`` in the checker's deterministic exploration order.
-    ``repr`` of program ASTs is recursive; memoizing per (immutable) code
-    node keeps it off the per-state path."""
-    from repro.core.language import step
-
-    return tuple(sorted(step(code), key=repr))
+# ``step(code)`` in the checker's deterministic exploration order — now an
+# attribute memo on the code node itself (one pointer load per revisit, no
+# recursive re-hash of the AST); kept under the old name for callers.
+_sorted_choices = sorted_choices
 
 
 def _successors(
-    node: _Node, options: ExploreOptions, seen: Optional[Set[Tuple]] = None
+    node: _Node,
+    options: ExploreOptions,
+    seen: Optional[Set[Tuple]] = None,
+    reducer: Optional[Reducer] = None,
 ) -> List[Tuple[str, Tuple, Optional[_Node]]]:
     """Enabled rule instances as ``(rule, node_key, successor)`` triples,
     probed through the machine's check-then-construct path: a disabled
@@ -159,25 +207,55 @@ def _successors(
     key_first = seen is not None and not machine.tracer.enabled
     out: List[Tuple[str, Tuple, Optional[_Node]]] = []
     emit = out.append
-    for thread in machine.threads:
+    if reducer is not None:
+        canon = reducer.canonical
+
+        def node_key(skey: Tuple, comm: Tuple) -> Tuple:
+            return canon((skey, comm))
+
+    else:
+
+        def node_key(skey: Tuple, comm: Tuple) -> Tuple:
+            return (skey, comm)
+
+    threads = machine.threads
+    if (
+        reducer is not None
+        and reducer.ample
+        and options.include_backward
+        and len(threads) > 1
+    ):
+        ample = reducer.ample_tid(
+            machine,
+            pull_allowed=options.pull_policy != "none",
+            pull_committed_only=(
+                options.forbid_uncommitted_pull
+                or options.pull_policy == "committed"
+            ),
+            pull_budget=options.max_pulled_per_thread,
+        )
+        if ample is not None:
+            threads = tuple(t for t in threads if t.tid == ample)
+    for thread in threads:
         tid = thread.tid
         if thread.done:
             # A finished transaction {skip, σ, []} only leaves (MS_END);
             # letting it PULL or re-CMT would manufacture spurious states.
             if key_first:
-                nkey = (machine.end_key(tid), committed)
+                end_skey = machine.end_key(tid)
+                nkey = node_key(end_skey, committed)
                 if nkey in seen:
                     emit(("END", nkey, None))
                 else:
                     emit((
                         "END",
                         nkey,
-                        _Node(machine.end_state(tid, nkey[0]), committed),
+                        _Node(machine.end_state(tid, end_skey), committed),
                     ))
                 continue
             try:
                 successor = _Node(machine.end_thread(tid), committed)
-                emit(("END", successor.key(), successor))
+                emit(("END", node_key(*successor.key()), successor))
             except MachineError:  # pragma: no cover
                 pass
             continue
@@ -188,7 +266,7 @@ def _successors(
                 skey = machine.app_key(tid, choice)
                 if skey is None:
                     continue
-                nkey = (skey, committed)
+                nkey = node_key(skey, committed)
                 if nkey in seen:
                     emit(("APP", nkey, None))
                 else:
@@ -202,7 +280,7 @@ def _successors(
                 skey = machine.push_key(tid, op)
                 if skey is None:
                     continue
-                nkey = (skey, committed)
+                nkey = node_key(skey, committed)
                 if nkey in seen:
                     emit(("PUSH", nkey, None))
                 else:
@@ -229,7 +307,7 @@ def _successors(
                     skey = machine.pull_key(tid, g_entry.op)
                     if skey is None:
                         continue
-                    nkey = (skey, committed)
+                    nkey = node_key(skey, committed)
                     if nkey in seen:
                         emit(("PULL", nkey, None))
                     else:
@@ -245,7 +323,7 @@ def _successors(
             skey = machine.cmt_key(tid)
             if skey is not None:
                 cmt_committed = committed + (tid,)
-                nkey = (skey, cmt_committed)
+                nkey = node_key(skey, cmt_committed)
                 if nkey in seen:
                     emit(("CMT", nkey, None))
                 else:
@@ -258,7 +336,7 @@ def _successors(
                 # UNAPP (last entry only, by the rule's shape).
                 skey = machine.unapp_key(tid)
                 if skey is not None:
-                    nkey = (skey, committed)
+                    nkey = node_key(skey, committed)
                     if nkey in seen:
                         emit(("UNAPP", nkey, None))
                     else:
@@ -272,7 +350,7 @@ def _successors(
                     skey = machine.unpush_key(tid, op)
                     if skey is None:
                         continue
-                    nkey = (skey, committed)
+                    nkey = node_key(skey, committed)
                     if nkey in seen:
                         emit(("UNPUSH", nkey, None))
                     else:
@@ -286,7 +364,7 @@ def _successors(
                     skey = machine.unpull_key(tid, op)
                     if skey is None:
                         continue
-                    nkey = (skey, committed)
+                    nkey = node_key(skey, committed)
                     if nkey in seen:
                         emit(("UNPULL", nkey, None))
                     else:
@@ -302,13 +380,13 @@ def _successors(
             successor = machine.try_app(tid, choice)
             if successor is not None:
                 succ_node = _Node(successor, committed)
-                emit(("APP", succ_node.key(), succ_node))
+                emit(("APP", node_key(*succ_node.key()), succ_node))
         # PUSH — every npshd entry.
         for op in local.not_pushed_ops():
             successor = machine.try_push(tid, op)
             if successor is not None:
                 succ_node = _Node(successor, committed)
-                emit(("PUSH", succ_node.key(), succ_node))
+                emit(("PUSH", node_key(*succ_node.key()), succ_node))
         # PULL — every global entry not in L (per policy and pull budget).
         pull_budget = options.max_pulled_per_thread
         if options.pull_policy != "none" and (
@@ -326,30 +404,30 @@ def _successors(
                 successor = machine.try_pull(tid, g_entry.op)
                 if successor is not None:
                     succ_node = _Node(successor, committed)
-                    emit(("PULL", succ_node.key(), succ_node))
+                    emit(("PULL", node_key(*succ_node.key()), succ_node))
         # CMT.
         successor = machine.try_cmt(tid)
         if successor is not None:
             succ_node = _Node(successor, committed + (tid,))
-            emit(("CMT", succ_node.key(), succ_node))
+            emit(("CMT", node_key(*succ_node.key()), succ_node))
         if options.include_backward:
             # UNAPP (last entry only, by the rule's shape).
             successor = machine.try_unapp(tid)
             if successor is not None:
                 succ_node = _Node(successor, committed)
-                emit(("UNAPP", succ_node.key(), succ_node))
+                emit(("UNAPP", node_key(*succ_node.key()), succ_node))
             # UNPUSH — every pshd entry.
             for op in local.pushed_ops():
                 successor = machine.try_unpush(tid, op)
                 if successor is not None:
                     succ_node = _Node(successor, committed)
-                    emit(("UNPUSH", succ_node.key(), succ_node))
+                    emit(("UNPUSH", node_key(*succ_node.key()), succ_node))
             # UNPULL — every pld entry.
             for op in local.pulled_ops():
                 successor = machine.try_unpull(tid, op)
                 if successor is not None:
                     succ_node = _Node(successor, committed)
-                    emit(("UNPULL", succ_node.key(), succ_node))
+                    emit(("UNPULL", node_key(*succ_node.key()), succ_node))
     return out
 
 
@@ -382,8 +460,20 @@ def explore(
         tids.append(tid)
     program_of = {tid: prog for tid, prog in zip(tids, programs)}
 
+    reducer: Optional[Reducer] = None
+    if options.por:
+        reducer = Reducer(
+            spec,
+            programs=tuple(zip(tids, programs)),
+            symmetry=options.por_symmetry,
+            tracer=tracer,
+            movers=machine.movers,
+        )
+
     initial = _Node(machine, ())
-    seen: Set[Tuple] = {initial.key()}
+    seen: Set[Tuple] = {
+        reducer.canonical(initial.key()) if reducer else initial.key()
+    }
     stack: List[Tuple[_Node, int]] = [(initial, 0)]
     cover_cache: Dict[FrozenSet[int], FrozenSet] = {}
     # Per-thread invariant memo (see check_all_invariants_cached): §5.3
@@ -431,7 +521,7 @@ def explore(
             report.cmtpres_violations.extend(
                 check_cmtpres_all(node.machine, fuel=options.bigstep_fuel)
             )
-        successors = _successors(node, options, seen)
+        successors = _successors(node, options, seen, reducer)
         transitions += len(successors)
         if not successors:
             if node.machine.threads:
@@ -469,6 +559,16 @@ def explore(
                     "depth": depth,
                 },
             )
+            if reducer is not None:
+                tracer.counter(
+                    "por.explore",
+                    CAT_POR,
+                    {
+                        "ample_hits": reducer.ample_hits,
+                        "ample_deferred": reducer.ample_deferred,
+                        "full_expansions": reducer.full_expansions,
+                    },
+                )
     report.states = states
     report.transitions = transitions
     report.stuck_states = stuck_states
@@ -476,6 +576,12 @@ def explore(
     report.max_depth = max_depth
     report.dedup_hits = dedup_hits
     report.peak_frontier = peak_frontier
+    if reducer is not None:
+        report.por = True
+        report.ample_hits = reducer.ample_hits
+        report.ample_deferred = reducer.ample_deferred
+        report.full_expansions = reducer.full_expansions
+        reducer.emit_stats(tracer)
     if tracer.enabled:
         tracer.instant(
             "mc.done",
@@ -534,8 +640,11 @@ def _check_cover(
             spec, committed_ops, candidate, tracer=options.tracer
         ):
             return
+    # The witness lists payloads in sorted order (not G order) so that the
+    # message is an invariant of the both-mover trace class — POR-on and
+    # POR-off runs report textually identical witnesses.
     report.cover_violations.append(
-        f"committed log {payloads(committed_ops)} not covered by any atomic "
+        f"committed log {committed_payloads} not covered by any atomic "
         f"run of committed transactions {sorted(subset)}"
     )
 

@@ -1,0 +1,618 @@
+"""Work-stealing parallel exploration of one model-checking scope.
+
+``repro modelcheck --jobs N`` used to parallelise across *scopes*; this
+module parallelises the frontier of a *single* scope: a master process
+owns the authoritative visited set — 16-byte BLAKE2b digests of the
+payload-level canonical keys (no ids, no salted ``hash()``, so digests
+agree across workers) — and a frontier deque; worker processes restore
+state snapshots, expand them (including the per-state invariant checks
+and the Theorem 5.17 cover check at terminals), and stream back
+``(digest, depth)`` successor pairs plus counter deltas — successor
+*construction* is skipped entirely in this phase (:class:`_AllSeen`).
+The master dedups the digests against the authoritative seen-set and
+pulls the snapshots of the genuinely new ones with :func:`_worker_fetch`,
+a pure function of the producing batch, so each unique state is built
+exactly once fleet-wide however many workers meet its key.  Hand-off is
+batched in both directions to amortize IPC, and workers pull new batches
+as they finish — an idle worker steals whatever frontier the others have
+produced.
+
+Determinism: the master merges worker results in *submission* order, and
+the snapshot entering the frontier for a digest is always the one derived
+by its first-merged batch (fetches may be *requested* out of order as
+expansions finish, but :func:`_worker_fetch` is pure and the master
+consumes a deterministic subset of each answer), so the whole run is a
+deterministic dataflow — every parallel run, whatever ``jobs`` or worker
+timing, visits the identical state set, transition count and rule counts.
+Only ``max_depth`` differs from the sequential explorer by construction
+(BFS depths vs DFS).  State *counts* may also differ slightly from the
+sequential run on scopes with dangling pulls: visited-state keys are
+payload-level while successor derivation depends on op-identity linkage
+(a pulled entry whose owner unpushed can re-link on re-push), so two
+raw states can share a key yet enable different PULLs, and whichever
+representative an exploration order reaches first defines the outgoing
+edges for that key.  DFS and BFS can pick different representatives.
+Verdicts are unaffected: invariants and the cover check hold on *every*
+reachable raw state or terminal, of which either visited set is a
+key-complete sample, and violation witnesses are payload-level.
+
+Snapshots are payload-level: global rows ``(method, args, ret,
+committed)`` plus per-thread entries that reference pushed/pulled ops by
+global *index* — restore mints fresh operation ids while preserving the
+op-identity links between local and global logs that the machine's rules
+rely on.  Restored states are bit-for-bit ``state_key()``-equal to the
+originals.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from hashlib import blake2b
+from time import perf_counter
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.language import Code
+from repro.core.logs import (
+    COMMITTED,
+    PULLED,
+    UNCOMMITTED,
+    GlobalEntry,
+    GlobalLog,
+    LocalEntry,
+    LocalLog,
+    NotPushed,
+    Pushed,
+)
+from repro.core.machine import Machine, Thread
+from repro.core.ops import IdGenerator, Op
+from repro.core.spec import SequentialSpec
+from repro.checking.model_checker import (
+    ExplorationReport,
+    ExploreOptions,
+    _check_cover,
+    _Node,
+    _successors,
+    explore,
+)
+from repro.checking.reduction import Reducer
+from repro.core.invariants import check_all_invariants_cached
+from repro.core.rewind import check_cmtpres_all
+from repro.obs.tracer import NULL_TRACER
+
+#: frontier states handed to a worker per task (amortizes pickling and
+#: process-pool dispatch; small enough to keep the pool load-balanced)
+BATCH_SIZE = 48
+#: in-flight tasks per worker (double-buffering: a worker finishing a
+#: batch finds the next one already queued)
+PIPELINE_DEPTH = 2
+
+
+def key_digest(key: Tuple) -> bytes:
+    """16-byte BLAKE2b digest of a canonical key.
+
+    Keys repr structurally — tuples, ints, strings and Code ASTs whose
+    ``__repr__`` is the literal program text — so the digest agrees across
+    processes (unlike ``hash()``, which is salted per process).  The
+    shared seen-set stores these 16-byte digests instead of the full key
+    tuples: an order of magnitude less master memory and IPC, at a 2^-128
+    collision risk — far below hardware error rates."""
+    return blake2b(repr(key).encode(), digest_size=16).digest()
+
+
+class _AllSeen:
+    """The universal seen-set: :func:`_successors` consults ``seen`` to
+    decide whether to *construct* a successor; claiming everything is seen
+    turns expansion into pure key derivation — no machine construction at
+    all.  Workers expand with this guard and ship digests only; the master
+    pulls the few snapshots it actually needs via :func:`_worker_fetch`,
+    so each unique state is constructed exactly once fleet-wide instead of
+    once per worker that happens to meet it."""
+
+    __slots__ = ()
+
+    def __contains__(self, key: Tuple) -> bool:
+        return True
+
+
+_ALL_SEEN = _AllSeen()
+
+
+# ---------------------------------------------------------------------------
+# Snapshots
+# ---------------------------------------------------------------------------
+
+
+def snapshot(node: _Node) -> Tuple:
+    """A picklable, id-free image of a checker node.
+
+    Operation *identity* is the load-bearing structure: one op object can
+    appear in G and in several local logs at once (a pushed entry, other
+    threads' pulls), and a pulled entry may reference an op no longer in G
+    at all (the owner unpushed it — a "dangling" pull that re-links when
+    the owner pushes again).  The snapshot therefore assigns every
+    distinct op a slot in one table, and every occurrence — global entry
+    or local entry — references its slot; :func:`restore` mints exactly
+    one fresh op per slot, rebuilding the same sharing graph.
+    """
+    machine = node.machine
+    slot_of: Dict[int, int] = {}
+    table: List[Tuple] = []
+
+    def slot(op: Op) -> int:
+        index = slot_of.get(op.op_id)
+        if index is None:
+            index = slot_of[op.op_id] = len(table)
+            table.append((op.method, op.args, op.ret))
+        return index
+
+    g_snap = tuple(
+        (slot(e.op), e.is_committed) for e in machine.global_log
+    )
+    threads_snap = []
+    for t in machine.threads:
+        entries: List[Tuple] = []
+        for e in t.local:
+            if e.is_not_pushed:
+                entries.append((
+                    "npshd",
+                    slot(e.op),
+                    e.flag.saved_code,
+                    e.flag.saved_stack,
+                ))
+            elif e.is_pushed:
+                entries.append((
+                    "pshd",
+                    slot(e.op),
+                    e.flag.saved_code,
+                    e.flag.saved_stack,
+                ))
+            else:
+                entries.append(("pld", slot(e.op)))
+        threads_snap.append((t.tid, t.code, t.stack, tuple(entries)))
+    return (tuple(table), g_snap, tuple(threads_snap), node.committed)
+
+
+def restore(
+    snap: Tuple,
+    spec: SequentialSpec,
+    ids: IdGenerator,
+    originals: Dict[int, Tuple[Code, object]],
+    check_gray_criteria: bool = True,
+) -> _Node:
+    """Rebuild a live checker node from :func:`snapshot` output.
+
+    Fresh ids are minted per op-table slot; all canonical keys are
+    payload-level so the result is ``state_key()``-identical to the
+    snapshotted state.  ``originals`` maps tid → ``(original_code,
+    original_stack)`` (constant per scope, so it ships once per worker,
+    not once per snapshot).
+    """
+    table, g_snap, threads_snap, committed = snap
+    ops = [Op(method, args, ret, ids.fresh()) for method, args, ret in table]
+    global_log = GlobalLog(
+        GlobalEntry(ops[index], COMMITTED if is_committed else UNCOMMITTED)
+        for index, is_committed in g_snap
+    )
+    threads = []
+    for tid, code, stack, entries_snap in threads_snap:
+        entries: List[LocalEntry] = []
+        for entry in entries_snap:
+            kind = entry[0]
+            if kind == "npshd":
+                _, index, saved_code, saved_stack = entry
+                entries.append(
+                    LocalEntry(ops[index], NotPushed(saved_code, saved_stack))
+                )
+            elif kind == "pshd":
+                _, index, saved_code, saved_stack = entry
+                entries.append(
+                    LocalEntry(ops[index], Pushed(saved_code, saved_stack))
+                )
+            else:
+                entries.append(LocalEntry(ops[entry[1]], PULLED))
+        original_code, original_stack = originals[tid]
+        threads.append(
+            Thread(
+                tid,
+                code,
+                stack,
+                LocalLog(entries),
+                original_code=original_code,
+                original_stack=original_stack,
+            )
+        )
+    machine = Machine(
+        spec,
+        threads,
+        global_log,
+        ids=ids,
+        check_gray_criteria=check_gray_criteria,
+    )
+    return _Node(machine, committed)
+
+
+# ---------------------------------------------------------------------------
+# Worker side
+# ---------------------------------------------------------------------------
+
+_WORKER: Dict[str, object] = {}
+
+
+def _worker_init(spec: SequentialSpec, programs: Tuple[Code, ...], opts: Dict) -> None:
+    """Per-process context: spec (one instance, so the shared mover and
+    denotation caches accumulate across batches), the scope's original
+    programs, the reduction layer, and worker-local caches."""
+    options = ExploreOptions(**opts)
+    machine = Machine(spec, check_gray_criteria=options.check_gray_criteria)
+    tids = []
+    for program in programs:
+        machine, tid = machine.spawn(program)
+        tids.append(tid)
+    originals = {
+        t.tid: (t.original_code, t.original_stack) for t in machine.threads
+    }
+    reducer = None
+    if options.por:
+        reducer = Reducer(
+            spec,
+            programs=tuple(zip(tids, programs)),
+            symmetry=options.por_symmetry,
+            movers=machine.movers,
+        )
+    _WORKER.update(
+        spec=spec,
+        options=options,
+        originals=originals,
+        program_of={tid: prog for tid, prog in zip(tids, programs)},
+        reducer=reducer,
+        invariant_cache={},
+        cover_cache={},
+    )
+
+
+def _worker_expand(batch: List[Tuple[Tuple, int]]) -> Dict:
+    """Expand a batch of ``(snapshot, depth)`` frontier items.
+
+    Runs the same per-state work as the sequential loop — invariant /
+    cmtpres checks, successor derivation (through the reduction layer),
+    terminal classification and the cover check — and returns counter
+    deltas plus one ``(digest, depth)`` pair per batch-unique successor.
+    No successor is *constructed* here (see :class:`_AllSeen`): the master
+    dedups the digests against its authoritative seen-set and pulls the
+    snapshots of the genuinely new ones with :func:`_worker_fetch`.
+    """
+    t_start = perf_counter()
+    spec = _WORKER["spec"]
+    options: ExploreOptions = _WORKER["options"]
+    reducer: Optional[Reducer] = _WORKER["reducer"]
+    result = {
+        "states": 0,
+        "transitions": 0,
+        "finals": 0,
+        "stuck": 0,
+        "max_depth": 0,
+        "rule_counts": {},
+        "invariant_violations": [],
+        "cover_violations": [],
+        "cmtpres_violations": [],
+        "successors": [],
+        "dedup": 0,
+    }
+    report_proxy = ExplorationReport()
+    rule_counts: Dict[str, int] = result["rule_counts"]
+    batch_local: Set[bytes] = set()
+    for snap, depth in batch:
+        # A generator per restore: ids need only be unique within one
+        # machine lineage (keys are payload-level), and a shared generator
+        # would accumulate every issued id for the whole run.
+        node = restore(
+            snap,
+            spec,
+            IdGenerator(start=1_000_000),
+            _WORKER["originals"],
+            options.check_gray_criteria,
+        )
+        result["states"] += 1
+        if depth > result["max_depth"]:
+            result["max_depth"] = depth
+        if options.check_invariants:
+            violations = check_all_invariants_cached(
+                node.machine, _WORKER["invariant_cache"]
+            )
+            if violations:
+                result["invariant_violations"].extend(violations)
+        if options.check_cmtpres:
+            result["cmtpres_violations"].extend(
+                check_cmtpres_all(node.machine, fuel=options.bigstep_fuel)
+            )
+        successors = _successors(node, options, _ALL_SEEN, reducer)
+        result["transitions"] += len(successors)
+        if not successors:
+            if node.machine.threads:
+                result["stuck"] += 1
+            else:
+                result["finals"] += 1
+            if options.check_atomic_cover:
+                _check_cover(
+                    spec,
+                    node,
+                    _WORKER["program_of"],
+                    _WORKER["cover_cache"],
+                    options,
+                    report_proxy,
+                )
+        elif options.check_atomic_cover and options.check_every_state_cover:
+            _check_cover(
+                spec,
+                node,
+                _WORKER["program_of"],
+                _WORKER["cover_cache"],
+                options,
+                report_proxy,
+            )
+        next_depth = depth + 1
+        for rule, key, _successor in successors:
+            rule_counts[rule] = rule_counts.get(rule, 0) + 1
+            d = key_digest(key)
+            if d in batch_local:
+                result["dedup"] += 1
+                continue
+            batch_local.add(d)
+            result["successors"].append((d, next_depth))
+    result["cover_violations"].extend(report_proxy.cover_violations)
+    if reducer is not None:
+        result["ample_hits"] = reducer.ample_hits
+        result["ample_deferred"] = reducer.ample_deferred
+        result["full_expansions"] = reducer.full_expansions
+        # Deltas, not totals: reset so the next batch reports only its own.
+        reducer.ample_hits = 0
+        reducer.ample_deferred = 0
+        reducer.full_expansions = 0
+    result["busy"] = perf_counter() - t_start
+    return result
+
+
+def _worker_fetch(
+    batch: List[Tuple[Tuple, int]], wanted: Tuple[bytes, ...]
+) -> Dict[bytes, Tuple[Tuple, int]]:
+    """Materialize successor snapshots: re-expand ``batch`` and return
+    ``digest → (snapshot, depth)`` for its first (in batch order)
+    successor matching each ``wanted`` digest.
+
+    This is the *only* place successors are constructed — and only the
+    ones the master actually lacks.  A pure function of its arguments:
+    any worker produces the identical answer, and each digest's snapshot
+    is independent of what else ``wanted`` contains (snapshots are
+    id-free, so re-minted operation ids leave no residue).  Counters are
+    not touched: :func:`_worker_expand` already counted this batch once.
+    """
+    spec = _WORKER["spec"]
+    options: ExploreOptions = _WORKER["options"]
+    reducer: Optional[Reducer] = _WORKER["reducer"]
+    remaining = set(wanted)
+    found: Dict[bytes, Tuple[Tuple, int]] = {}
+    if reducer is not None:
+        saved = (
+            reducer.ample_hits,
+            reducer.ample_deferred,
+            reducer.full_expansions,
+        )
+
+    class _AllButWanted:
+        # "Seen" from _successors' point of view: construct only the
+        # successors whose digests we still need.
+        def __contains__(self, key: Tuple) -> bool:
+            return key_digest(key) not in remaining
+
+    guard = _AllButWanted()
+    for snap, depth in batch:
+        if not remaining:
+            break
+        node = restore(
+            snap,
+            spec,
+            IdGenerator(start=1_000_000),
+            _WORKER["originals"],
+            options.check_gray_criteria,
+        )
+        for _rule, key, successor in _successors(node, options, guard, reducer):
+            if successor is None:
+                continue
+            d = key_digest(key)
+            if d in remaining:
+                remaining.discard(d)
+                found[d] = (snapshot(successor), depth + 1)
+                if not remaining:
+                    break
+    if reducer is not None:
+        (
+            reducer.ample_hits,
+            reducer.ample_deferred,
+            reducer.full_expansions,
+        ) = saved
+    return found
+
+
+# ---------------------------------------------------------------------------
+# Master side
+# ---------------------------------------------------------------------------
+
+
+def explore_parallel(
+    spec: SequentialSpec,
+    programs: Sequence[Code],
+    options: Optional[ExploreOptions] = None,
+    jobs: int = 2,
+) -> ExplorationReport:
+    """:func:`repro.checking.model_checker.explore`, fanned out over
+    ``jobs`` worker processes sharing one scope's frontier.
+
+    Deterministic: any two parallel runs (any ``jobs`` ≥ 2) report the
+    same states, transitions, rule counts, terminal counts and violation
+    sets (see the module docstring for why state counts can differ
+    slightly from the sequential DFS, and why verdicts never do).
+    Tracing is disabled in workers (tracers are process-local event
+    sinks), matching the behaviour of the old scope-parallel mode.
+    """
+    if jobs <= 1:
+        return explore(spec, programs, options)
+    options = options or ExploreOptions()
+    if options.max_pulled_per_thread is None:
+        from repro.core.language import methods_of
+
+        total_methods = sum(len(methods_of(p)) for p in programs)
+        options = ExploreOptions(**{
+            **options.__dict__,
+            "max_pulled_per_thread": total_methods,
+        })
+    opts = {
+        k: v
+        for k, v in options.__dict__.items()
+        if k not in ("tracer",)
+    }
+    tracer = options.tracer
+
+    # Master-side context: the initial node and the canonicalizer.  The
+    # master never expands states; it only keys them.
+    machine = Machine(spec, check_gray_criteria=options.check_gray_criteria)
+    tids = []
+    for program in programs:
+        machine, tid = machine.spawn(program)
+        tids.append(tid)
+    reducer = None
+    if options.por:
+        reducer = Reducer(
+            spec,
+            programs=tuple(zip(tids, programs)),
+            symmetry=options.por_symmetry,
+            movers=machine.movers,
+        )
+    initial = _Node(machine, ())
+    initial_key = (
+        reducer.canonical(initial.key()) if reducer else initial.key()
+    )
+
+    report = ExplorationReport()
+    report.por = bool(reducer)
+    seen: Set[bytes] = {key_digest(initial_key)}
+    frontier: deque = deque([(snapshot(initial), 0)])
+    rule_counts = report.rule_counts
+    states = 0
+    max_in_flight = jobs * PIPELINE_DEPTH
+    with ProcessPoolExecutor(
+        max_workers=jobs,
+        initializer=_worker_init,
+        initargs=(spec, tuple(programs), opts),
+    ) as pool:
+        # Results are merged in SUBMISSION order, not completion order.
+        # Batch composition, the seen-set's arbitration between duplicate
+        # digests, and the frontier order then depend only on the
+        # initial state — never on worker timing — so every run (any
+        # ``jobs`` ≥ 2) explores the identical reduced graph.  Workers
+        # still run concurrently: up to ``max_in_flight`` batches are
+        # dispatched before the master blocks on the oldest.
+        #
+        # Pending entries are ``[expand_future, batch, fetch]`` where
+        # ``fetch`` graduates from the ``_UNSET`` sentinel to either a
+        # :func:`_worker_fetch` future or a plain dict when the batch
+        # produced nothing the master lacked.
+        _UNSET = object()
+        pending: deque = deque()
+
+        def prefetch() -> None:
+            # Pre-submit snapshot fetches for expansions that finished
+            # while the master was merging older ones.  Requesting out of
+            # merge order is sound: the wanted set — prefiltered by the
+            # *current* seen-set — is a superset of what the in-order
+            # merge will consume (seen only grows), and _worker_fetch is
+            # pure, each digest's snapshot independent of its companions.
+            for entry in pending:
+                if entry[2] is _UNSET and entry[0].done():
+                    wanted = tuple(
+                        d
+                        for d, _depth in entry[0].result()["successors"]
+                        if d not in seen
+                    )
+                    entry[2] = (
+                        pool.submit(_worker_fetch, entry[1], wanted)
+                        if wanted
+                        else {}
+                    )
+
+        while frontier or pending:
+            while frontier and len(pending) < max_in_flight:
+                batch = [
+                    frontier.popleft()
+                    for _ in range(min(len(frontier), BATCH_SIZE))
+                ]
+                pending.append(
+                    [pool.submit(_worker_expand, batch), batch, _UNSET]
+                )
+            prefetch()
+            future, batch, fetch = pending.popleft()
+            result = future.result()
+            if fetch is _UNSET:
+                wanted = tuple(
+                    d for d, _depth in result["successors"] if d not in seen
+                )
+                fetch = (
+                    pool.submit(_worker_fetch, batch, wanted)
+                    if wanted
+                    else {}
+                )
+            states += result["states"]
+            if states > options.max_states:
+                for queued in pending:
+                    queued[0].cancel()
+                    if queued[2] is not _UNSET and not isinstance(
+                        queued[2], dict
+                    ):
+                        queued[2].cancel()
+                report.states = states
+                raise MemoryError(
+                    f"model checker exceeded {options.max_states} states"
+                )
+            report.transitions += result["transitions"]
+            report.final_states += result["finals"]
+            report.stuck_states += result["stuck"]
+            report.dedup_hits += result["dedup"]
+            report.ample_hits += result.get("ample_hits", 0)
+            report.ample_deferred += result.get("ample_deferred", 0)
+            report.full_expansions += result.get("full_expansions", 0)
+            report.worker_busy += result.get("busy", 0.0)
+            if result["max_depth"] > report.max_depth:
+                report.max_depth = result["max_depth"]
+            for rule, count in result["rule_counts"].items():
+                rule_counts[rule] = rule_counts.get(rule, 0) + count
+            report.invariant_violations.extend(
+                result["invariant_violations"]
+            )
+            report.cover_violations.extend(result["cover_violations"])
+            report.cmtpres_violations.extend(
+                result["cmtpres_violations"]
+            )
+            fetched: Dict[bytes, Tuple[Tuple, int]] = (
+                fetch if isinstance(fetch, dict) else fetch.result()
+            )
+            for d, _depth in result["successors"]:
+                if d in seen:
+                    report.dedup_hits += 1
+                    continue
+                seen.add(d)
+                frontier.append(fetched[d])
+            if len(frontier) > report.peak_frontier:
+                report.peak_frontier = len(frontier)
+    report.states = states
+    if tracer.enabled:
+        tracer.instant(
+            "mc.parallel_done",
+            "mc",
+            args={
+                "states": report.states,
+                "transitions": report.transitions,
+                "jobs": jobs,
+            },
+        )
+    return report

@@ -31,7 +31,7 @@ import sys
 import time
 from typing import List, Optional
 
-from repro.checking import explore
+from repro.checking import explore, explore_parallel
 from repro.checking.model_checker import ExploreOptions
 from repro.core.language import call, choice, tx
 from repro.obs import (
@@ -149,34 +149,28 @@ SCOPES = {
             tx(call("put", "b", 2)),
         ],
     ),
+    # Three identical programs: the showcase for the thread-permutation
+    # symmetry quotient (>60× fewer states than the unreduced space).
+    "counter-sym": (
+        CounterSpec,
+        [tx(call("inc")), tx(call("inc")), tx(call("inc"))],
+    ),
 }
 
 
-def _modelcheck_scope(task) -> tuple:
-    """Worker for ``modelcheck --jobs N``: explore one named scope.
-
-    Module-level so it pickles; each worker process re-imports the scope
-    table and runs untraced (tracers are process-local event sinks — a
-    forked recorder would be silently dropped, so parallel runs disable
-    tracing up front instead)."""
-    name, max_states, cmtpres = task
-    spec_cls, programs = SCOPES[name]
-    start = time.time()
-    report = explore(
-        spec_cls(), programs,
-        ExploreOptions(max_states=max_states, check_cmtpres=cmtpres),
-    )
-    return name, report, time.time() - start
-
-
-def _print_scope_report(name: str, report, elapsed: float) -> int:
+def _print_scope_report(
+    name: str, report, elapsed: float, baseline_states: Optional[int] = None
+) -> int:
     verdict = "OK" if report.ok else "VIOLATION"
+    reduction = ""
+    if report.por and baseline_states:
+        reduction = f"reduction={baseline_states / max(report.states, 1):.1f}x "
     print(
         f"{name:<14} states={report.states:<7} "
         f"transitions={report.transitions:<8} "
         f"finals={report.final_states:<3} "
         f"dedup={report.dedup_hits:<7} depth={report.max_depth:<4} "
-        f"{verdict} ({elapsed:.1f}s)"
+        f"{reduction}{verdict} ({elapsed:.1f}s)"
     )
     if report.ok:
         return 0
@@ -187,34 +181,58 @@ def _print_scope_report(name: str, report, elapsed: float) -> int:
     return 1
 
 
+def _por_baselines() -> dict:
+    """POR-off state counts per scope from a committed ``BENCH_por.json``
+    (for the reduction-ratio column), or ``{}`` when absent."""
+    import json
+    from pathlib import Path
+
+    path = Path(__file__).resolve().parents[2] / "benchmarks" / "BENCH_por.json"
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, ValueError):
+        return {}
+    return {
+        name: row["off"]["states"]
+        for name, row in data.get("scopes", {}).items()
+        if "off" in row
+    }
+
+
 def cmd_modelcheck(args: argparse.Namespace) -> int:
     failures = 0
     jobs = getattr(args, "jobs", 1) or 1
+    por = getattr(args, "por", True)
     tracer = RecordingTracer() if getattr(args, "trace", None) else NULL_TRACER
-    if jobs > 1:
-        if tracer.enabled:
-            print(
-                "modelcheck: --trace is ignored with --jobs > 1",
-                file=sys.stderr,
-            )
-        import multiprocessing
-
-        tasks = [
-            (name, args.max_states, args.cmtpres) for name in SCOPES
-        ]
-        with multiprocessing.Pool(processes=min(jobs, len(tasks))) as pool:
-            for name, report, elapsed in pool.map(_modelcheck_scope, tasks):
-                failures += _print_scope_report(name, report, elapsed)
-        return 1 if failures else 0
-    for name, (spec_cls, programs) in SCOPES.items():
-        start = time.time()
-        report = explore(
-            spec_cls(), programs,
-            ExploreOptions(max_states=args.max_states,
-                           check_cmtpres=args.cmtpres,
-                           tracer=tracer),
+    if jobs > 1 and tracer.enabled:
+        # Tracers are process-local event sinks; the frontier workers run
+        # untraced, so a parallel run has no event stream to export.
+        print(
+            "modelcheck: --trace is ignored with --jobs > 1",
+            file=sys.stderr,
         )
-        failures += _print_scope_report(name, report, time.time() - start)
+        tracer = NULL_TRACER
+    baselines = _por_baselines() if por else {}
+    for name, (spec_cls, programs) in SCOPES.items():
+        options = ExploreOptions(
+            max_states=args.max_states,
+            check_cmtpres=args.cmtpres,
+            por=por,
+            tracer=tracer,
+        )
+        start = time.time()
+        if jobs > 1:
+            # Work-stealing frontier parallelism *within* the scope (the
+            # pre-PR3 mode farmed whole scopes out instead, capping the
+            # speedup at the slowest scope).
+            report = explore_parallel(
+                spec_cls(), programs, options, jobs=jobs
+            )
+        else:
+            report = explore(spec_cls(), programs, options)
+        failures += _print_scope_report(
+            name, report, time.time() - start, baselines.get(name)
+        )
     if tracer.enabled:
         _export_trace(tracer, args.trace)
     return 1 if failures else 0
@@ -264,8 +282,14 @@ def build_parser() -> argparse.ArgumentParser:
                             dest="max_states")
     modelcheck.add_argument("--cmtpres", action="store_true")
     modelcheck.add_argument("--jobs", type=int, default=1, metavar="N",
-                            help="explore the scopes in N worker processes "
-                                 "(opt-in; disables --trace)")
+                            help="work-stealing frontier exploration with N "
+                                 "worker processes per scope (opt-in; "
+                                 "disables --trace)")
+    modelcheck.add_argument("--por", action=argparse.BooleanOptionalAction,
+                            default=True,
+                            help="mover-guided partial-order reduction "
+                                 "(default on; --no-por explores the full "
+                                 "state space)")
     modelcheck.add_argument("--trace", metavar="PATH",
                             help="record exploration stats to PATH "
                                  "(.json = Chrome trace, else JSONL)")

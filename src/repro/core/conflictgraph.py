@@ -18,7 +18,7 @@ so the harness escalates cyclic cases to the exact checker.)
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.history import History
 from repro.core.machine import Machine
@@ -65,35 +65,50 @@ class ConflictGraph:
         return order
 
     def cycle_witness(self) -> Optional[List[int]]:
-        """Some cycle (as a node list), or ``None`` if acyclic."""
+        """Some cycle (as a node list), or ``None`` if acyclic.
+
+        Iterative DFS with an explicit stack: the graphs built from the
+        benchmark scopes can have thousands of transactions, and a
+        recursive walk (one Python frame per node on a long chain) hits
+        the interpreter's recursion limit long before memory matters.
+        Visits nodes and edges in sorted order, so the witness is the same
+        cycle the previous recursive implementation reported."""
         WHITE, GRAY, BLACK = 0, 1, 2
         color = {node: WHITE for node in self.nodes}
         parent: Dict[int, Optional[int]] = {}
 
-        def dfs(node: int) -> Optional[List[int]]:
-            color[node] = GRAY
-            for nxt in sorted(self.edges.get(node, ())):
-                if color[nxt] == GRAY:
-                    cycle = [nxt, node]
-                    cursor = parent.get(node)
-                    while cursor is not None and cursor != nxt:
-                        cycle.append(cursor)
-                        cursor = parent.get(cursor)
-                    cycle.reverse()
-                    return cycle
-                if color[nxt] == WHITE:
-                    parent[nxt] = node
-                    found = dfs(nxt)
-                    if found:
-                        return found
-            color[node] = BLACK
-            return None
-
-        for node in sorted(self.nodes):
-            if color[node] == WHITE:
-                found = dfs(node)
-                if found:
-                    return found
+        for root in sorted(self.nodes):
+            if color[root] != WHITE:
+                continue
+            color[root] = GRAY
+            # Each stack slot is (node, iterator over its sorted successors);
+            # pushing a slot == entering the recursive call.
+            stack: List[Tuple[int, Iterator[int]]] = [
+                (root, iter(sorted(self.edges.get(root, ()))))
+            ]
+            while stack:
+                node, successors = stack[-1]
+                advanced = False
+                for nxt in successors:
+                    if color[nxt] == GRAY:
+                        cycle = [nxt, node]
+                        cursor = parent.get(node)
+                        while cursor is not None and cursor != nxt:
+                            cycle.append(cursor)
+                            cursor = parent.get(cursor)
+                        cycle.reverse()
+                        return cycle
+                    if color[nxt] == WHITE:
+                        parent[nxt] = node
+                        color[nxt] = GRAY
+                        stack.append(
+                            (nxt, iter(sorted(self.edges.get(nxt, ()))))
+                        )
+                        advanced = True
+                        break
+                if not advanced:
+                    color[node] = BLACK
+                    stack.pop()
         return None
 
 

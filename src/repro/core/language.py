@@ -177,6 +177,24 @@ def seq_cont(cont: Code, rest: Code) -> Code:
     return Seq(cont, rest)
 
 
+def sorted_choices(code: Code) -> Tuple[Tuple[Call, Code], ...]:
+    """``step(code)`` in a deterministic order, cached on the (immutable)
+    code node itself.
+
+    The model checker resolves every APP instance through this on every
+    visit of every state; ``repr`` of program ASTs is recursive and even an
+    ``lru_cache`` lookup re-hashes the (recursive) node per call, so the
+    tuple is stored as an attribute on the node — the same discipline as
+    the log-projection caches (one pointer load on every revisit)."""
+    try:
+        return code._schoices  # type: ignore[attr-defined]
+    except AttributeError:
+        pass
+    choices = tuple(sorted(step(code), key=repr))
+    object.__setattr__(code, "_schoices", choices)
+    return choices
+
+
 @functools.lru_cache(maxsize=None)
 def fin(code: Code) -> bool:
     """``fin(c)``: ``c`` can reduce to ``skip`` with no method call.

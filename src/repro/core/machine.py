@@ -1155,6 +1155,82 @@ class Machine:
 
     # -------------------------------------------------------------- inspection
 
+    #: Figure 5 rule footprints — which components a rule instance reads
+    #: and writes.  ``local`` rules touch only the acting thread's
+    #: ``(c, σ, L)`` and are read by no other rule (no criterion of any
+    #: rule inspects another thread's local log): they are independent of
+    #: every rule instance on every other thread, which is what the model
+    #: checker's ample-set reduction leans on.  ``global`` rules read or
+    #: write ``G`` (their enabledness can change under other threads'
+    #: moves).
+    RULE_FOOTPRINT = {
+        "APP": "local",
+        "UNAPP": "local",
+        "PUSH": "global",
+        "UNPUSH": "global",
+        "PULL": "global",
+        "UNPULL": "local",  # writes only L; enabledness reads only L
+        "CMT": "global",
+        "END": "structural",  # removes the thread; reads only L
+    }
+
+    def nonlocal_move_enabled(
+        self,
+        tid: int,
+        pull_allowed: bool = True,
+        pull_committed_only: bool = False,
+        pull_budget: Optional[int] = None,
+        include_backward: bool = True,
+    ) -> bool:
+        """Whether thread ``tid`` has any enabled rule instance that reads
+        or writes the global log (PUSH/PULL/CMT, and the backward
+        UNPUSH/UNPULL when ``include_backward``).
+
+        This is the ample-set eligibility probe: a thread whose enabled
+        instances are *all* APP/UNAPP touches nothing another thread can
+        observe (see :data:`RULE_FOOTPRINT`), so the checker may explore
+        only that thread's moves at the current state.  UNPULL writes only
+        the local log, but it is grouped with the global moves here: its
+        *successor* changes which PULLs are within budget, and deferring a
+        thread's own non-APP moves is exactly what the reduction must not
+        do (an ample set contains every enabled move of its thread).
+
+        Check-only (shares the rules' ``_check_*`` halves): no successor
+        states, no exceptions, no fresh ids.  The ``pull_*`` parameters
+        mirror the model checker's PULL enumeration policy so eligibility
+        agrees exactly with what :func:`~repro.checking.model_checker.explore`
+        would expand.
+        """
+        thread = self.thread(tid)
+        entries = thread.local.entries
+        # PUSH — any npshd entry whose criteria pass.
+        for entry in entries:
+            if entry.is_not_pushed and self._check_push(thread, entry.op) is None:
+                return True
+        # CMT.
+        if self._check_cmt(thread) is None:
+            return True
+        if include_backward:
+            # UNPUSH / UNPULL.
+            for entry in entries:
+                if entry.is_pushed and self._check_unpush(thread, entry.op) is None:
+                    return True
+                if entry.is_pulled and self._check_unpull(thread, entry.op) is None:
+                    return True
+        # PULL — most expensive probe, checked last.
+        if pull_allowed and (
+            pull_budget is None or len(thread.local.pulled_ops()) < pull_budget
+        ):
+            local = thread.local
+            for g_entry in self.global_log:
+                if g_entry.op in local:
+                    continue
+                if pull_committed_only and not g_entry.is_committed:
+                    continue
+                if self._check_pull(thread, g_entry.op) is None:
+                    return True
+        return False
+
     def enabled_rules(self, tid: int) -> List[str]:
         """Names of Figure 5 rules with at least one enabled instance for
         ``tid`` (used by the model checker and by tests).

@@ -189,6 +189,51 @@ def left_mover_bounded(
 
 
 # ---------------------------------------------------------------------------
+# Trace normal forms (the POR quotient's representative function)
+# ---------------------------------------------------------------------------
+
+
+def trace_normal_form(items, commutes, sort_key) -> Tuple:
+    """The lexicographically-least representative of ``items``'s
+    Mazurkiewicz trace class under the independence relation ``commutes``.
+
+    Two sequences are trace-equivalent when one rewrites into the other by
+    swapping *adjacent* independent elements — exactly the both-mover
+    swaps of Definition 4.1 when ``commutes`` is instantiated with the
+    spec's mover oracle, in which case trace-equivalent logs are mutually
+    ``≼`` (both-movers commute under every context, and ``≼`` is a
+    precongruence, so the equivalence lifts from the swapped pair to the
+    whole log).  The model checker's reduction layer keys visited states
+    on this normal form, so all both-mover interleavings of the global log
+    collapse to one explored representative.
+
+    Greedy algorithm: repeatedly extract the ``sort_key``-least element
+    that commutes with everything before it (a minimal element of the
+    trace's dependence order).  The dependence order is an invariant of
+    the class, so the result is canonical: equal on two sequences iff they
+    are trace-equivalent.  O(n²) ``commutes`` queries; ``commutes`` must
+    be symmetric, and ``sort_key`` a total order on the elements.
+    """
+    pending = list(items)
+    if len(pending) < 2:
+        return tuple(pending)
+    out = []
+    while pending:
+        best_index = 0
+        best_key = None
+        for index, item in enumerate(pending):
+            if any(
+                not commutes(pending[j], item) for j in range(index)
+            ):
+                continue  # blocked: cannot slide to the front
+            key = sort_key(item)
+            if best_key is None or key < best_key:
+                best_index, best_key = index, key
+        out.append(pending.pop(best_index))
+    return tuple(out)
+
+
+# ---------------------------------------------------------------------------
 # Lifted (list) forms used by the Figure 5 criteria
 # ---------------------------------------------------------------------------
 

@@ -33,6 +33,7 @@ CAT_TX = "tx"  # driver-level transaction lifecycle (begin/commit/abort)
 CAT_SCHED = "sched"  # scheduler quanta and retry/backoff decisions
 CAT_RUNTIME = "runtime"  # runtime events: rollback spans, log compaction
 CAT_MC = "mc"  # model-checker exploration statistics
+CAT_POR = "por"  # partial-order-reduction decisions and cache traffic
 
 # Chrome trace_event phases used by this library.
 PH_COMPLETE = "X"  # a span with a duration

@@ -1,0 +1,103 @@
+"""ISSUE 4 — the chaos/conformance benchmark (``BENCH_faults.json``).
+
+Runs the full nemesis suite — every registered TM strategy × seeded
+fault plans under the contention-maximising scheduler — with the
+conformance gate on every run (serializability, opacity for the opaque
+fragment, clean aborts, quiescent end state; see
+:mod:`repro.faults.conformance`).
+
+Hard gates (exit 1):
+
+* any conformance failure anywhere in the suite;
+* zero injected faults for some strategy — a chaos suite that never
+  actually faults a strategy proves nothing about it;
+* below the plan floor: the full suite must run >= 200 plans total,
+  ``--tiny`` >= 20 (ISSUE 4's acceptance numbers).
+
+This is a standalone script, not a pytest module, so CI can run it
+cheaply and publish the refreshed JSON as an artifact::
+
+    PYTHONPATH=src python benchmarks/bench_faults.py          # full suite
+    PYTHONPATH=src python benchmarks/bench_faults.py --tiny   # CI smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from repro.faults.conformance import run_suite
+from repro.runtime import WorkloadConfig
+from repro.tm import ALL_ALGORITHMS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "BENCH_faults.json"
+
+FULL_PLANS = 20   # x 12 strategies = 240 plans (floor: 200)
+TINY_PLANS = 2    # x 12 strategies = 24 plans (floor: 20)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke: 2 plans per strategy")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    args = parser.parse_args(argv)
+
+    plans = TINY_PLANS if args.tiny else FULL_PLANS
+    floor = 20 if args.tiny else 200
+    config = WorkloadConfig(
+        transactions=5, ops_per_tx=3, keys=4, read_ratio=0.5, seed=args.seed
+    )
+    strategies = sorted(ALL_ALGORITHMS)
+    print(
+        f"bench_faults: {len(strategies)} strategies x {plans} plans "
+        f"(seed={args.seed}, floor={floor})"
+    )
+    report = run_suite(
+        strategies, config, plans_per_strategy=plans, base_seed=args.seed
+    )
+
+    failed = False
+    for name, row in report.strategies.items():
+        status = "ok"
+        if row["gate_failures"]:
+            status = f"GATE FAIL x{row['gate_failures']}"
+            failed = True
+        if row["injected"] == 0:
+            status = "NO INJECTIONS"
+            failed = True
+        print(
+            f"  {name:<12} plans={row['plans']:<3} injected={row['injected']:<5} "
+            f"commits={row['commits']:<5} aborts={row['aborts']:<6} "
+            f"escalations={row['recovery'].get('recovery.escalation', 0):<4} "
+            f"{status}"
+        )
+    for failure in report.failures:
+        print(f"  FAIL {failure.algorithm} seed={failure.seed}: "
+              f"{[str(f) for f in failure.failures]}")
+        print(f"       plan: {failure.plan.describe()}")
+    if report.total_plans < floor:
+        print(f"  FAIL: only {report.total_plans} plans (< {floor})")
+        failed = True
+
+    document = {
+        "suite": "chaos-conformance",
+        "mode": "tiny" if args.tiny else "full",
+        "report": report.to_dict(),
+    }
+    args.out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(
+        f"{report.total_plans} plans, {report.total_injected} injections, "
+        f"{len(report.failures)} failures, {report.elapsed_sec:.1f}s "
+        f"-> {args.out}"
+    )
+    return 1 if failed else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -19,6 +19,12 @@ Commands
     export the structured event stream (JSONL, Chrome ``trace_event`` or
     a summary table — see docs/OBSERVABILITY.md).
 
+``chaos``
+    Fault-injection nemesis suite: seeded fault plans injected into every
+    TM strategy under the adversarial scheduler, each run gated on
+    serializability/opacity conformance (see DESIGN.md "Faults &
+    recovery").  Exits nonzero on any gate failure.
+
 ``compare``/``modelcheck`` additionally accept ``--trace PATH`` to record
 the same event stream while doing their normal job (``.json`` paths get
 the Chrome format, everything else JSONL).
@@ -41,7 +47,13 @@ from repro.obs import (
     write_chrome_trace,
     write_jsonl,
 )
-from repro.runtime import WorkloadConfig, make_workload, run_experiment, summarize
+from repro.runtime import (
+    WorkloadConfig,
+    make_scheduler,
+    make_workload,
+    run_experiment,
+    summarize,
+)
 from repro.specs import CounterSpec, KVMapSpec, MemorySpec, get_spec
 from repro.tm import ALL_ALGORITHMS
 
@@ -90,6 +102,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         spec = get_spec(_spec_for(args.workload))
         result = run_experiment(
             algorithm, spec, programs, concurrency=args.concurrency,
+            scheduler=make_scheduler(args.scheduler, args.seed),
             seed=args.seed, tracer=tracer,
         )
         print(result.summary_row())
@@ -113,6 +126,7 @@ def cmd_trace(args: argparse.Namespace) -> int:
     tracer = RecordingTracer()
     result = run_experiment(
         algorithm, spec, programs, concurrency=args.concurrency,
+        scheduler=make_scheduler(args.scheduler, args.seed),
         seed=args.seed, verify=not args.no_verify, tracer=tracer,
     )
     print(result.summary_row())
@@ -238,11 +252,90 @@ def cmd_modelcheck(args: argparse.Namespace) -> int:
     return 1 if failures else 0
 
 
+def cmd_chaos(args: argparse.Namespace) -> int:
+    """Conformance-gated chaos suite: strategies × seeded fault plans under
+    the nemesis scheduler.  Exit status 1 on any gate failure."""
+    import json
+
+    from repro.faults.conformance import chaos_setup, run_chaos, run_suite, shrink_plan
+
+    strategies = sorted(ALL_ALGORITHMS) if args.strategy == "all" else [args.strategy]
+    plans = args.plans
+    transactions, ops, keys = args.transactions, args.ops, args.keys
+    if args.tiny:
+        plans = min(plans, 2)
+        transactions = min(transactions, 4)
+        ops = min(ops, 3)
+    config = WorkloadConfig(
+        transactions=transactions,
+        ops_per_tx=ops,
+        keys=keys,
+        read_ratio=args.read_ratio,
+        seed=args.seed,
+    )
+    print(
+        f"chaos: {len(strategies)} strategies x {plans} plans "
+        f"({args.events} events each), scheduler={args.scheduler}, "
+        f"workload={args.workload}, txns={transactions}, seed={args.seed}"
+    )
+    report = run_suite(
+        strategies,
+        config,
+        plans_per_strategy=plans,
+        base_seed=args.seed,
+        events_per_plan=args.events,
+        scheduler=args.scheduler,
+        workload=args.workload,
+        max_retries=args.max_retries,
+    )
+    for name, row in report.strategies.items():
+        gate = "ok" if row["gate_failures"] == 0 else f"FAIL x{row['gate_failures']}"
+        print(
+            f"{name:<12} plans={row['plans']:<3} commits={row['commits']:<4} "
+            f"aborts={row['aborts']:<5} injected={row['injected']:<4} "
+            f"escalations={row['recovery'].get('recovery.escalation', 0):<3} "
+            f"gate={gate}"
+        )
+    print(
+        f"total: {report.total_plans} plans, {report.total_injected} injections, "
+        f"{len(report.failures)} gate failures, {report.elapsed_sec:.1f}s"
+    )
+    for failure in report.failures:
+        print(f"\nFAIL {failure.algorithm} seed={failure.seed}")
+        print(f"  plan: {failure.plan.describe()}")
+        for item in failure.failures:
+            print(f"  {item}")
+        if args.shrink:
+            def failing(candidate, _strategy=failure.algorithm, _seed=failure.seed):
+                # Same derivation as run_suite: the workload seed is the
+                # plan seed, so the witness rebuilds from the failure alone.
+                from dataclasses import replace
+
+                algo, spec, progs = chaos_setup(
+                    _strategy, replace(config, seed=_seed), args.workload
+                )
+                return not run_chaos(
+                    algo, spec, progs, candidate, seed=_seed,
+                    scheduler=args.scheduler, max_retries=args.max_retries,
+                ).ok
+
+            minimal = shrink_plan(failure.plan, failing)
+            print(
+                f"  shrunk: {len(failure.plan.events)} -> "
+                f"{len(minimal.events)} events: {minimal.describe()}"
+            )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"report -> {args.out}")
+    return 0 if report.ok else 1
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     print("== E2/E3 style comparison (readwrite, memory) ==")
     compare_args = argparse.Namespace(
         workload="readwrite", transactions=40, ops=4, keys=8,
-        read_ratio=0.6, seed=99, concurrency=4,
+        read_ratio=0.6, seed=99, concurrency=4, scheduler="random",
     )
     cmd_compare(compare_args)
     print()
@@ -272,6 +365,11 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="read_ratio")
     compare.add_argument("--seed", type=int, default=0)
     compare.add_argument("--concurrency", type=int, default=4)
+    compare.add_argument("--scheduler", default="random",
+                         choices=["random", "roundrobin", "nemesis"],
+                         help="interleaving policy (one factory everywhere: "
+                              "--seed means the same schedule in every "
+                              "command)")
     compare.add_argument("--trace", metavar="PATH",
                          help="record a trace of every run to PATH "
                               "(.json = Chrome trace, else JSONL)")
@@ -313,10 +411,48 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="read_ratio")
     trace.add_argument("--seed", type=int, default=0)
     trace.add_argument("--concurrency", type=int, default=4)
+    trace.add_argument("--scheduler", default="random",
+                       choices=["random", "roundrobin", "nemesis"])
     trace.add_argument("--no-verify", action="store_true", dest="no_verify",
                        help="skip the serializability check (lets the "
                             "runtime compact its log)")
     trace.set_defaults(func=cmd_trace)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="fault-injection nemesis suite with the conformance gate",
+    )
+    chaos.add_argument("--strategy", default="all",
+                       choices=["all"] + sorted(ALL_ALGORITHMS))
+    chaos.add_argument("--workload", default="readwrite",
+                       choices=["readwrite", "map", "set", "counter", "bank"])
+    chaos.add_argument("--transactions", type=int, default=5,
+                       help="small by default so the gate's serializability "
+                            "search stays exhaustive and opacity checkable")
+    chaos.add_argument("--ops", type=int, default=3)
+    chaos.add_argument("--keys", type=int, default=4,
+                       help="few keys = high contention for the nemesis")
+    chaos.add_argument("--read-ratio", type=float, default=0.5,
+                       dest="read_ratio")
+    chaos.add_argument("--seed", type=int, default=0,
+                       help="base seed; every plan seed derives from it and "
+                            "any failure reproduces from its printed seed")
+    chaos.add_argument("--plans", type=int, default=20,
+                       help="fault plans per strategy")
+    chaos.add_argument("--events", type=int, default=4,
+                       help="fault events per plan")
+    chaos.add_argument("--scheduler", default="nemesis",
+                       choices=["random", "roundrobin", "nemesis"])
+    chaos.add_argument("--max-retries", type=int, default=12,
+                       dest="max_retries")
+    chaos.add_argument("--tiny", action="store_true",
+                       help="CI smoke mode: 2 plans/strategy, small workload")
+    chaos.add_argument("--shrink", action="store_true",
+                       help="delta-debug each failing plan to a minimal "
+                            "witness")
+    chaos.add_argument("--out", metavar="PATH",
+                       help="write the JSON suite report to PATH")
+    chaos.set_defaults(func=cmd_chaos)
 
     evaluate = sub.add_parser("evaluate", help="regenerate the evaluation")
     evaluate.set_defaults(func=cmd_evaluate)

@@ -37,6 +37,11 @@ class AbortKind(enum.Enum):
     CAPACITY = "capacity"
     #: driver-requested abort that fits no category above
     EXPLICIT = "explicit"
+    #: a fault deliberately injected by the :mod:`repro.faults` nemesis
+    #: (forced abort, simulated crash, dropped publication, ...); always a
+    #: *clean* abort — the generic rollback runs and the machine state
+    #: stays criterion-consistent
+    INJECTED = "injected"
 
 
 class ReproError(Exception):

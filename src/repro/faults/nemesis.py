@@ -1,0 +1,141 @@
+"""Adversarial and replay schedulers.
+
+:class:`NemesisScheduler` is the hostile counterpart of the harness's
+friendly schedulers: at every quantum it advances the transaction whose
+pending work conflicts with the *most* in-flight work, scored with the
+spec's own mover oracle (``call_commutes`` — the same commutativity
+judgement the machine's criteria and the model checker's POR use).  Under
+it, conflict windows that a uniform scheduler hits with low probability
+are hit constantly, which is exactly what the conformance gate wants to
+stress.
+
+:class:`ReplayScheduler` replays a recorded choice log (every scheduler
+records one when ``record_choices`` is set).  Because every component of
+a chaos run is deterministic given ``(seed, plan)`` — plan events fire on
+counted hook hits, recovery jitter is seeded, the nemesis breaks ties
+with a seeded PRNG — a failing run reproduces either by rebuilding the
+same nemesis from the seed *or* byte-for-byte from the recorded choices,
+and the replay path diverging raises instead of silently exploring a
+different interleaving.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.core.errors import MachineError
+from repro.core.language import Call, methods_of
+from repro.runtime.scheduler import Scheduler
+from repro.tm.base import TxStepper
+
+
+class NemesisScheduler(Scheduler):
+    """Contention-maximising scheduler.
+
+    Score of a runnable stepper = number of non-commuting (pending call,
+    in-flight operation) pairs against *other* active transactions, per
+    the spec's ``call_commutes`` oracle.  Highest score steps next; ties
+    break by seeded PRNG, so runs are deterministic per seed.  Choice
+    recording is on by default (chaos runs want the replay log).
+    """
+
+    record_choices = True
+
+    #: after this many quanta with zero machine-rule progress, fall back
+    #: to uniform picks until a rule fires again (see :meth:`pick`)
+    stale_factor = 4
+
+    def __init__(self, seed: int = 0):
+        super().__init__()
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self._calls_cache: Dict[int, Tuple[Call, ...]] = {}
+        self._last_rules = -1
+        self._stale = 0
+
+    def _calls_of(self, stepper: TxStepper) -> Tuple[Call, ...]:
+        key = id(stepper)
+        cached = self._calls_cache.get(key)
+        if cached is None:
+            # methods_of handles arbitrary programs (choices, stars) where
+            # resolve_steps would insist on straight-line code.
+            cached = tuple(methods_of(stepper.program))
+            self._calls_cache[key] = cached
+        return cached
+
+    def _score(self, stepper: TxStepper) -> int:
+        rt = stepper.runtime
+        calls = self._calls_of(stepper)
+        if not calls:
+            return 0
+        spec = rt.spec
+        machine = rt.machine
+        mine = stepper.tid
+        score = 0
+        for tid in rt.active_tids:
+            if tid == mine:
+                continue
+            thread = machine.thread(tid)
+            for op in thread.local.own_ops():
+                for call_node in calls:
+                    if not spec.call_commutes(call_node.method, call_node.args, op):
+                        score += 1
+        return score
+
+    def pick(self, runnable: Sequence[TxStepper]) -> TxStepper:
+        # Livelock-breaker: an adversary that *starves* is useless — e.g.
+        # repeatedly scheduling a transaction spinning on the global token
+        # while never giving the holder a quantum proves nothing.  Machine
+        # rule applications are the progress signal (spin yields and
+        # backoff quanta apply none); after `stale_factor * |runnable|`
+        # progress-free quanta, picks go seeded-uniform until a rule
+        # fires, which hands every spinner's counterpart a turn
+        # eventually while staying deterministic per seed.
+        rules_now = sum(runnable[0].runtime.rule_counts.values())
+        if rules_now == self._last_rules:
+            self._stale += 1
+        else:
+            self._last_rules = rules_now
+            self._stale = 0
+        if self._stale >= self.stale_factor * max(1, len(runnable)):
+            return runnable[self._rng.randrange(len(runnable))]
+        best: list = []
+        best_score = -1
+        for stepper in runnable:
+            score = self._score(stepper)
+            if score > best_score:
+                best, best_score = [stepper], score
+            elif score == best_score:
+                best.append(stepper)
+        if len(best) == 1:
+            return best[0]
+        return best[self._rng.randrange(len(best))]
+
+
+class ReplayScheduler(Scheduler):
+    """Replay a recorded choice log, strictly.
+
+    Any divergence (log exhausted while steppers still run, or a recorded
+    job not runnable at its turn) raises :class:`MachineError` — a replay
+    that silently substitutes choices would defeat its purpose as a
+    reproduction witness.
+    """
+
+    def __init__(self, choices: Sequence[Optional[int]]):
+        super().__init__()
+        self._log = list(choices)
+        self._cursor = 0
+
+    def pick(self, runnable: Sequence[TxStepper]) -> TxStepper:
+        if self._cursor >= len(self._log):
+            raise MachineError(
+                "replay diverged: choice log exhausted with "
+                f"{len(runnable)} steppers still runnable"
+            )
+        job = self._log[self._cursor]
+        self._cursor += 1
+        for stepper in runnable:
+            if stepper.job_id == job:
+                return stepper
+        raise MachineError(f"replay diverged: job {job} not runnable")

@@ -1,0 +1,315 @@
+"""Deterministic fault-injection plans and the runtime injector.
+
+The paper's theorem quantifies over *every* disciplined use of the seven
+rules, but a friendly scheduler with benign abort paths only ever
+exercises easy executions.  This module manufactures the hostile ones: a
+:class:`FaultPlan` is a seed-derived, fully deterministic schedule of
+:class:`FaultEvent`\\ s, and a :class:`FaultInjector` fires those events
+from three hook points shared by **all** TM strategies:
+
+* :meth:`~repro.tm.base.Runtime.apply` — intercept a forward rule
+  (``app``/``push``/``pull``/``cmt``) and raise :class:`InjectedFault`
+  before it runs (crash-before-CMT, dropped PUSH, spurious HTM abort);
+* the :class:`~repro.tm.base.TxStepper` quantum — force an abort or a
+  stall at the k-th scheduling quantum of a target job (forced abort,
+  delayed publication, dependency-producer abort);
+* :meth:`~repro.tm.base.LockTable.try_acquire` — spuriously deny an
+  abstract-lock acquisition, driving the bounded-wait/timeout paths.
+
+Hooks fire only on *forward* rules, never on the rollback rules
+(``unapp``/``unpush``/``unpull``), so an injected fault always surfaces
+as a clean :class:`~repro.core.errors.TMAbort` with
+:attr:`~repro.core.errors.AbortKind.INJECTED` — the conformance gate
+(:mod:`repro.faults.conformance`) asserts exactly that.
+
+Determinism contract: given the same ``(seed, plan)`` and a deterministic
+scheduler, a run fires the same faults at the same points, because event
+matching counts deterministic hook hits — no clock, no ambient RNG.
+"""
+
+from __future__ import annotations
+
+import collections
+import random
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import AbortKind, TMAbort
+
+
+class FaultKind(Enum):
+    """The seven nemesis behaviours (ISSUE 4's fault taxonomy)."""
+
+    #: abort the target transaction at its k-th scheduling quantum
+    FORCED_ABORT = "forced-abort"
+    #: crash just before the CMT rule applies (effects must roll back)
+    CRASH_COMMIT = "crash-commit"
+    #: drop a PUSH: the publication is refused, the driver must recover
+    DROP_PUSH = "drop-push"
+    #: stall the target job for ``duration`` quanta (delayed publication /
+    #: a slow thread holding its locks and tokens meanwhile)
+    STALL = "stall"
+    #: spuriously deny a LockTable acquisition (lock-acquire timeout path)
+    LOCK_DENY = "lock-deny"
+    #: spurious hardware abort at APP time (interrupt/false sharing)
+    SPURIOUS_HTM = "spurious-htm"
+    #: abort a transaction *only once it has registered consumers* — the
+    #: §6.5 dependency-producer abort, forcing the cascade path
+    CASCADE_PRODUCER = "cascade-producer"
+
+
+#: rules the apply-site hook may intercept (forward rules only; the
+#: rollback rules are never injection targets so recovery itself is safe)
+INJECTABLE_RULES = ("app", "push", "pull", "cmt")
+
+#: apply-site kinds and the rule each one intercepts
+_APPLY_RULE = {
+    FaultKind.CRASH_COMMIT: "cmt",
+    FaultKind.DROP_PUSH: "push",
+    FaultKind.SPURIOUS_HTM: "app",
+}
+
+_QUANTUM_KINDS = (
+    FaultKind.FORCED_ABORT,
+    FaultKind.STALL,
+    FaultKind.CASCADE_PRODUCER,
+)
+
+
+class InjectedFault(TMAbort):
+    """A deliberately injected abort.  Flows through the exact same
+    rollback-and-retry machinery as an organic conflict abort — that it
+    *can't* be told apart structurally is the point of the exercise."""
+
+    def __init__(self, fault_kind: FaultKind):
+        super().__init__(f"injected: {fault_kind.value}", AbortKind.INJECTED)
+        self.fault_kind = fault_kind
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``job`` targets a harness job id (``None`` = any job); ``after`` skips
+    that many matching hook hits before arming; ``count`` bounds how many
+    times the event fires; ``duration`` is the stall length in quanta
+    (:attr:`FaultKind.STALL` only).
+    """
+
+    kind: FaultKind
+    job: Optional[int] = None
+    after: int = 0
+    count: int = 1
+    duration: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind.value,
+            "job": self.job,
+            "after": self.after,
+            "count": self.count,
+            "duration": self.duration,
+        }
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "FaultEvent":
+        return FaultEvent(
+            kind=FaultKind(data["kind"]),
+            job=data.get("job"),
+            after=int(data.get("after", 0)),
+            count=int(data.get("count", 1)),
+            duration=int(data.get("duration", 0)),
+        )
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of fault events, derived from a seed.
+
+    ``(seed, plan)`` is the complete reproduction token for a chaos run:
+    the seed drives the scheduler and the recovery jitter, the plan drives
+    the injector, and neither consults anything else.
+    """
+
+    seed: int
+    events: Tuple[FaultEvent, ...] = ()
+
+    @staticmethod
+    def generate(
+        seed: int,
+        events: int = 4,
+        jobs: Optional[int] = None,
+        kinds: Optional[Sequence[FaultKind]] = None,
+    ) -> "FaultPlan":
+        """Derive a plan from ``seed`` alone (same seed → same plan)."""
+        rng = random.Random(seed)
+        pool = tuple(kinds) if kinds else tuple(FaultKind)
+        out: List[FaultEvent] = []
+        for _ in range(events):
+            kind = pool[rng.randrange(len(pool))]
+            job = None
+            if jobs and rng.random() < 0.75:
+                job = rng.randrange(jobs)
+            after = rng.randrange(10)
+            count = 1
+            duration = 0
+            if kind is FaultKind.LOCK_DENY:
+                count = 1 + rng.randrange(3)
+            elif kind is FaultKind.STALL:
+                duration = 1 + rng.randrange(5)
+            elif kind is FaultKind.FORCED_ABORT:
+                count = 1 + rng.randrange(2)
+            out.append(FaultEvent(kind, job, after, count, duration))
+        return FaultPlan(seed=seed, events=tuple(out))
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"seed": self.seed, "events": [e.to_dict() for e in self.events]}
+
+    @staticmethod
+    def from_dict(data: Dict[str, Any]) -> "FaultPlan":
+        return FaultPlan(
+            seed=int(data["seed"]),
+            events=tuple(FaultEvent.from_dict(e) for e in data.get("events", ())),
+        )
+
+    def describe(self) -> str:
+        parts = []
+        for e in self.events:
+            target = f"@job{e.job}" if e.job is not None else "@any"
+            parts.append(f"{e.kind.value}{target}+{e.after}x{e.count}")
+        return " ".join(parts) or "(empty)"
+
+
+class _EventState:
+    __slots__ = ("seen", "fired")
+
+    def __init__(self) -> None:
+        self.seen = 0
+        self.fired = 0
+
+
+class NullInjector:
+    """The permanently disarmed injector — the library-wide default.
+    Hook sites guard on :attr:`armed`, so it costs one attribute load."""
+
+    armed: bool = False
+
+    __slots__ = ()
+
+    def bind(self, runtime: Any) -> None:  # pragma: no cover - never armed
+        pass
+
+
+class FaultInjector(NullInjector):
+    """Fires a :class:`FaultPlan`'s events from the runtime hook points.
+
+    Stateful but deterministic: per-event ``seen``/``fired`` counters are
+    advanced only by hook hits, which are themselves deterministic given
+    the scheduler seed.  ``stats`` aggregates what actually fired (plain
+    Python counters, so chaos runs need no tracer); with an enabled
+    tracer the same increments are mirrored as ``fault.*`` counts.
+    """
+
+    armed = True
+
+    __slots__ = ("plan", "_states", "_runtime", "stats", "fired_log")
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self._states = [_EventState() for _ in plan.events]
+        self._runtime: Any = None
+        self.stats: collections.Counter = collections.Counter()
+        #: chronological record of fired events (diagnostics and tests)
+        self.fired_log: List[Dict[str, Any]] = []
+
+    def bind(self, runtime: Any) -> None:
+        """Attach to the owning :class:`~repro.tm.base.Runtime` (called
+        from its constructor); needed to map lock owners to job ids."""
+        self._runtime = runtime
+
+    # -- internals -----------------------------------------------------------
+
+    def _note(self, event: FaultEvent, site: str, tid: Optional[int], job) -> None:
+        self.stats["fault.injected"] += 1
+        self.stats[f"fault.injected.{event.kind.value}"] += 1
+        self.fired_log.append(
+            {"kind": event.kind.value, "site": site, "tid": tid, "job": job}
+        )
+        rt = self._runtime
+        if rt is not None and rt.tracer.enabled:
+            rt.tracer.count("fault.injected")
+            rt.tracer.count(f"fault.injected.{event.kind.value}")
+
+    def _window(self, index: int, event: FaultEvent) -> bool:
+        """Advance the event's match counter; ``True`` iff it fires now."""
+        state = self._states[index]
+        state.seen += 1
+        if state.seen <= event.after or state.fired >= event.count:
+            return False
+        state.fired += 1
+        return True
+
+    # -- hook points -----------------------------------------------------------
+
+    def on_apply(self, rt: Any, rule: str, args: Tuple) -> None:
+        """Before a forward machine rule; may raise :class:`InjectedFault`."""
+        if rule not in INJECTABLE_RULES:
+            return
+        tid = args[0] if args else None
+        job = rt.tid_to_job.get(tid)
+        for index, event in enumerate(self.plan.events):
+            if _APPLY_RULE.get(event.kind) != rule:
+                continue
+            if event.job is not None and event.job != job:
+                continue
+            if self._window(index, event):
+                self._note(event, f"apply:{rule}", tid, job)
+                raise InjectedFault(event.kind)
+
+    def on_quantum(self, rt: Any, tid: Optional[int], job) -> int:
+        """Before each scheduling quantum of a stepper.  Returns stall
+        quanta (0 = run normally); may raise :class:`InjectedFault`."""
+        stall = 0
+        for index, event in enumerate(self.plan.events):
+            if event.kind not in _QUANTUM_KINDS:
+                continue
+            if event.job is not None and event.job != job:
+                continue
+            if event.kind is FaultKind.CASCADE_PRODUCER and (
+                tid is None or not rt.dependencies.consumers(tid)
+            ):
+                # A producer abort is only meaningful once someone depends
+                # on us; until then the event does not match (and does not
+                # consume its ``after`` budget).
+                continue
+            if self._window(index, event):
+                if event.kind is FaultKind.STALL:
+                    quanta = max(1, event.duration)
+                    stall = max(stall, quanta)
+                    self.stats["fault.stall_quanta"] += quanta
+                    self._note(event, "quantum:stall", tid, job)
+                    continue
+                self._note(event, "quantum", tid, job)
+                raise InjectedFault(event.kind)
+        return stall
+
+    def on_acquire(self, owner: int, keys: frozenset, shared: bool) -> bool:
+        """Before a LockTable acquisition; ``True`` = spuriously deny."""
+        rt = self._runtime
+        job = rt.tid_to_job.get(owner) if rt is not None else None
+        deny = False
+        for index, event in enumerate(self.plan.events):
+            if event.kind is not FaultKind.LOCK_DENY:
+                continue
+            if event.job is not None and event.job != job:
+                continue
+            if self._window(index, event):
+                deny = True
+                self.stats["fault.lock_denied"] += 1
+                self._note(event, "acquire", owner, job)
+        return deny
+
+
+#: The shared disarmed injector every Runtime defaults to.
+NULL_INJECTOR = NullInjector()

@@ -1,0 +1,110 @@
+"""Recovery policies: what a transaction does *after* the fault.
+
+A :class:`RecoveryPolicy` replaces the :class:`~repro.tm.base.TxStepper`'s
+built-in backoff formula with a configurable discipline:
+
+* **exponential backoff with jitter** — the classic contention-management
+  answer to symmetric conflicts, with a seeded jitter fraction so two
+  victims of the same fault don't retry in lockstep (and so runs stay
+  reproducible from the seed);
+* **retry budgets** — the stepper's ``max_retries`` remains the hard
+  ceiling; the policy tracks give-ups so the harness can report
+  ``recovery.giveup`` alongside ``permanently_aborted``;
+* **escalation** — after ``escalate_after`` doomed attempts the stepper
+  serialises the transaction under a single global *recovery token*
+  (the lock-elision fallback shape HTM deployments use): escalated
+  transactions run one at a time, so repeat offenders stop aborting each
+  other.  Escalation cannot impose pessimism on an arbitrary strategy's
+  internals — optimists may still abort against non-escalated traffic —
+  but it bounds the mutual-destruction cases, and the counters make the
+  effect measurable.
+
+All decisions are recorded in ``stats`` (plain counters, tracer-free) and
+mirrored as ``recovery.*`` tracer counts by the stepper when tracing is
+enabled (see docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import collections
+import random
+from typing import Dict, Optional, Tuple
+
+#: the token escalated transactions serialise under (see
+#: :class:`~repro.tm.base.TxStepper`)
+RECOVERY_TOKEN = "recovery-fallback"
+
+
+class RecoveryPolicy:
+    """Backoff/retry/escalation discipline for aborted transactions.
+
+    Deterministic given ``seed`` and the abort order (which a seeded
+    scheduler makes deterministic), so chaos runs reproduce exactly.
+    """
+
+    def __init__(
+        self,
+        name: str = "default",
+        base: int = 2,
+        cap: int = 64,
+        jitter: float = 0.5,
+        escalate_after: Optional[int] = 6,
+        seed: int = 0,
+    ):
+        if base < 1:
+            raise ValueError("backoff base must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be a fraction in [0, 1]")
+        self.name = name
+        self.base = base
+        self.cap = cap
+        self.jitter = jitter
+        self.escalate_after = escalate_after
+        self.seed = seed
+        self._rng = random.Random(seed)
+        self.stats: collections.Counter = collections.Counter()
+
+    def on_abort(self, job_id: Optional[int], aborts: int, kind) -> Tuple[int, bool]:
+        """Decide the response to the ``aborts``-th abort of ``job_id``:
+        returns ``(backoff_quanta, escalate)``."""
+        raw = min(self.cap, self.base ** min(aborts, 16)) if self.cap > 0 else 0
+        span = int(raw * self.jitter)
+        quanta = raw - span + (self._rng.randrange(span + 1) if span > 0 else 0)
+        escalate = (
+            self.escalate_after is not None and aborts >= self.escalate_after
+        )
+        self.stats["recovery.retry"] += 1
+        self.stats["recovery.backoff_quanta"] += quanta
+        if escalate:
+            self.stats["recovery.escalation"] += 1
+        return quanta, escalate
+
+    def on_giveup(self, job_id: Optional[int]) -> None:
+        """The stepper exhausted its retry budget (permanent abort)."""
+        self.stats["recovery.giveup"] += 1
+
+    def snapshot(self) -> Dict[str, int]:
+        return dict(self.stats)
+
+
+#: Named presets for the CLI and benchmarks.
+def make_policy(name: str = "default", seed: int = 0) -> RecoveryPolicy:
+    """Build one of the preset policies (seeded for reproducibility)."""
+    if name == "default":
+        return RecoveryPolicy("default", seed=seed)
+    if name == "aggressive":
+        # Short fuse: tiny backoff, escalate almost immediately.
+        return RecoveryPolicy("aggressive", base=2, cap=8, jitter=0.25,
+                              escalate_after=3, seed=seed)
+    if name == "patient":
+        # Long backoff, never escalate: pure contention management.
+        return RecoveryPolicy("patient", base=2, cap=256, jitter=0.5,
+                              escalate_after=None, seed=seed)
+    if name == "none":
+        # No backoff, no escalation: immediate hammering retries.
+        return RecoveryPolicy("none", base=1, cap=0, jitter=0.0,
+                              escalate_after=None, seed=seed)
+    raise ValueError(f"unknown recovery policy {name!r}")
+
+
+POLICY_NAMES = ("default", "aggressive", "patient", "none")

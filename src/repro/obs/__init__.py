@@ -19,6 +19,7 @@ See ``docs/OBSERVABILITY.md`` for the event taxonomy.
 
 from repro.obs.tracer import (
     CAT_CRITERION,
+    CAT_FAULT,
     CAT_MC,
     CAT_MOVER,
     CAT_RULE,
@@ -54,6 +55,7 @@ __all__ = [
     "NULL_TRACER",
     "CAT_RULE",
     "CAT_CRITERION",
+    "CAT_FAULT",
     "CAT_MOVER",
     "CAT_TX",
     "CAT_SCHED",

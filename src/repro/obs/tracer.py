@@ -34,6 +34,7 @@ CAT_SCHED = "sched"  # scheduler quanta and retry/backoff decisions
 CAT_RUNTIME = "runtime"  # runtime events: rollback spans, log compaction
 CAT_MC = "mc"  # model-checker exploration statistics
 CAT_POR = "por"  # partial-order-reduction decisions and cache traffic
+CAT_FAULT = "fault"  # fault injection and recovery-policy decisions
 
 # Chrome trace_event phases used by this library.
 PH_COMPLETE = "X"  # a span with a duration

@@ -10,7 +10,12 @@ runs the fleet to completion, verifies serializability of the committed
 history and reports metrics.
 """
 
-from repro.runtime.scheduler import RandomScheduler, RoundRobinScheduler, Scheduler
+from repro.runtime.scheduler import (
+    RandomScheduler,
+    RoundRobinScheduler,
+    Scheduler,
+    make_scheduler,
+)
 from repro.runtime.workload import (
     WorkloadConfig,
     bank_transfer_workload,
@@ -26,6 +31,7 @@ __all__ = [
     "Scheduler",
     "RoundRobinScheduler",
     "RandomScheduler",
+    "make_scheduler",
     "WorkloadConfig",
     "make_workload",
     "readwrite_workload",

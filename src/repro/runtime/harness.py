@@ -23,14 +23,21 @@ from repro.core.history import History
 from repro.core.language import Code
 from repro.core.serializability import SerializationResult, check_history
 from repro.core.spec import SequentialSpec
+from repro.faults.plan import NULL_INJECTOR, NullInjector
+from repro.faults.recovery import RecoveryPolicy
 from repro.obs.tracer import CAT_RUNTIME, NULL_TRACER, Tracer
-from repro.runtime.scheduler import RandomScheduler, Scheduler
+from repro.runtime.scheduler import Scheduler, make_scheduler
 from repro.tm.base import Runtime, StepStatus, TMAlgorithm, TxStepper
 
 
 @dataclass
 class ExperimentResult:
-    """Aggregated outcome of one harness run."""
+    """Aggregated outcome of one harness run.
+
+    ``runtime`` is ``None`` only for results constructed by hand (e.g. in
+    tests); every :func:`run_experiment` result carries its runtime so
+    callers can inspect the history and machine.
+    """
 
     algorithm: str
     commits: int
@@ -39,18 +46,29 @@ class ExperimentResult:
     total_steps: int
     rule_counts: Dict[str, int]
     serialization: Optional[SerializationResult]
-    runtime: Runtime = field(repr=False, default=None)
+    runtime: Optional[Runtime] = field(repr=False, default=None)
     steppers: List[TxStepper] = field(repr=False, default_factory=list)
 
     @property
     def throughput(self) -> float:
-        """Committed transactions per scheduling quantum (see module doc)."""
-        return self.commits / max(1, self.total_steps)
+        """Committed transactions per scheduling quantum (see module doc).
+
+        An *empty run* (no programs, hence no scheduling quanta) has no
+        meaningful rate; it reports ``0.0`` explicitly rather than hiding
+        behind a ``max(1, …)`` denominator."""
+        if self.total_steps == 0:
+            return 0.0
+        return self.commits / self.total_steps
 
     @property
     def abort_rate(self) -> float:
+        """Aborted attempts per attempt.  ``0.0`` on an empty run (zero
+        attempts), by the same explicit-empty-case convention as
+        :attr:`throughput`."""
         attempts = self.commits + self.aborts
-        return self.aborts / max(1, attempts)
+        if attempts == 0:
+            return 0.0
+        return self.aborts / attempts
 
     def summary_row(self) -> str:
         serial = "-"
@@ -76,6 +94,9 @@ def run_experiment(
     check_gray_criteria: bool = True,
     strict: bool = True,
     tracer: Tracer = NULL_TRACER,
+    injector: NullInjector = NULL_INJECTOR,
+    recovery: Optional[RecoveryPolicy] = None,
+    compact: Optional[bool] = None,
 ) -> ExperimentResult:
     """Run ``programs`` under ``algorithm`` with up to ``concurrency``
     transactions in flight.
@@ -83,20 +104,33 @@ def run_experiment(
     ``verify=True`` keeps the full global log (no compaction) and runs the
     serializability checker on the committed history; benchmarks that only
     measure throughput pass ``verify=False`` and let the runtime compact.
+    ``compact`` overrides that coupling: the chaos harness passes
+    ``verify=False, compact=False`` because its conformance gate runs the
+    checkers itself over the *uncompacted* log.
 
     ``tracer`` is threaded through every layer (machine rules, mover
     oracles, scheduler quanta, driver lifecycle); the default
     :data:`~repro.obs.tracer.NULL_TRACER` records nothing and costs
     (almost) nothing.
+
+    ``injector`` arms the :mod:`repro.faults` hook points (disarmed by
+    default); ``recovery`` swaps the steppers' built-in backoff for a
+    :class:`~repro.faults.recovery.RecoveryPolicy`.
     """
-    scheduler = scheduler or RandomScheduler(seed)
+    scheduler = scheduler or make_scheduler("random", seed)
+    if compact is None:
+        compact = not verify
     runtime = Runtime(
         spec,
         check_gray_criteria=check_gray_criteria,
-        compact_every=None if verify else 64,
+        compact_every=64 if compact else None,
         tracer=tracer,
+        injector=injector,
     )
     if tracer.enabled:
+        # Replayability: the harness seed alone is not enough when the
+        # caller passed a pre-built scheduler — record the scheduler's own
+        # class and seed too (ISSUE 4 satellite).
         tracer.instant(
             "harness.run",
             CAT_RUNTIME,
@@ -105,10 +139,12 @@ def run_experiment(
                 "programs": len(programs),
                 "concurrency": concurrency,
                 "seed": seed,
+                "scheduler": scheduler.describe(),
             },
         )
     steppers = [
-        TxStepper(algorithm, runtime, program, max_retries=max_retries, job_id=i)
+        TxStepper(algorithm, runtime, program, max_retries=max_retries, job_id=i,
+                  recovery=recovery)
         for i, program in enumerate(programs)
     ]
     # Admission control: release steppers in waves of `concurrency`.

@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import random
 from abc import ABC, abstractmethod
-from typing import List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.core.errors import MachineError
 from repro.obs.tracer import CAT_SCHED, NULL_TRACER, Tracer
@@ -21,6 +21,20 @@ class Scheduler(ABC):
     """Drive a fleet of steppers until none is runnable."""
 
     max_total_steps: int = 2_000_000
+    #: seeded schedulers set this so trace metadata can replay them
+    seed: Optional[int] = None
+    #: when True, :meth:`run` appends every chosen job id to ``choices``
+    #: — the recorded-choice log a :class:`~repro.faults.nemesis.
+    #: ReplayScheduler` consumes to reproduce the exact interleaving
+    record_choices: bool = False
+
+    def __init__(self) -> None:
+        self.choices: List[Optional[int]] = []
+
+    def describe(self) -> Dict[str, Any]:
+        """Replay metadata: enough to rebuild this scheduler (traced runs
+        embed it in the ``harness.run`` event, see ISSUE 4)."""
+        return {"class": type(self).__name__, "seed": self.seed}
 
     @abstractmethod
     def pick(self, runnable: Sequence[TxStepper]) -> TxStepper:
@@ -41,6 +55,8 @@ class Scheduler(ABC):
         total = 0
         while pending:
             stepper = self.pick(pending)
+            if self.record_choices:
+                self.choices.append(stepper.job_id)
             if tracer.enabled:
                 start = tracer.now()
                 status = stepper.step()
@@ -68,6 +84,7 @@ class RoundRobinScheduler(Scheduler):
     """Cycle through runnable steppers in order."""
 
     def __init__(self) -> None:
+        super().__init__()
         self._cursor = 0
 
     def pick(self, runnable: Sequence[TxStepper]) -> TxStepper:
@@ -80,7 +97,32 @@ class RandomScheduler(Scheduler):
     """Uniformly random choice from a seeded PRNG."""
 
     def __init__(self, seed: int = 0):
+        super().__init__()
+        self.seed = seed
         self._rng = random.Random(seed)
 
     def pick(self, runnable: Sequence[TxStepper]) -> TxStepper:
         return runnable[self._rng.randrange(len(runnable))]
+
+
+def make_scheduler(name: str = "random", seed: int = 0) -> Scheduler:
+    """The one scheduler factory (ISSUE 4 satellite): every entry point
+    that turns ``--seed`` into a scheduler routes through here, so a seed
+    means the same interleaving in ``run_experiment``, ``repro compare``,
+    ``repro trace`` and ``repro chaos``.
+
+    Names: ``random`` (seeded uniform), ``roundrobin`` (seed-free cycle),
+    ``nemesis`` (the adversarial contention-maximising scheduler from
+    :mod:`repro.faults.nemesis`).
+    """
+    if name == "random":
+        return RandomScheduler(seed)
+    if name in ("roundrobin", "rr"):
+        return RoundRobinScheduler()
+    if name == "nemesis":
+        from repro.faults.nemesis import NemesisScheduler
+
+        return NemesisScheduler(seed)
+    raise ValueError(
+        f"unknown scheduler {name!r} (expected random, roundrobin or nemesis)"
+    )

@@ -40,6 +40,8 @@ from repro.core.logs import NotPushed, Pulled, Pushed
 from repro.core.machine import Machine
 from repro.core.ops import Op
 from repro.core.spec import RebasedStateSpec, SequentialSpec, StateSpec
+from repro.faults.plan import NULL_INJECTOR, NullInjector
+from repro.faults.recovery import RECOVERY_TOKEN, RecoveryPolicy
 from repro.obs.tracer import CAT_RUNTIME, CAT_TX, NULL_TRACER, Tracer
 
 
@@ -56,12 +58,17 @@ class LockTable:
 
     Non-blocking acquire: :meth:`try_acquire` returns ``False`` (taking
     nothing) when any requested key is unavailable.  Re-entrant per owner.
+
+    ``injector`` is a :mod:`repro.faults` hook: an armed injector may
+    spuriously deny an acquisition (simulating a lock-acquire timeout),
+    which surfaces through the driver's normal bounded-wait path.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, injector: NullInjector = NULL_INJECTOR) -> None:
         self._exclusive: Dict[Any, int] = {}
         self._shared: Dict[Any, Set[int]] = collections.defaultdict(set)
         self._held: Dict[int, Set[Any]] = collections.defaultdict(set)
+        self._injector = injector
 
     def _can_take(self, owner: int, key: Any, shared: bool) -> bool:
         holder = self._exclusive.get(key)
@@ -76,6 +83,8 @@ class LockTable:
     def try_acquire(
         self, owner: int, keys: frozenset, shared: bool = False
     ) -> bool:
+        if self._injector.armed and self._injector.on_acquire(owner, keys, shared):
+            return False
         for key in keys:
             if not self._can_take(owner, key, shared):
                 return False
@@ -103,6 +112,15 @@ class LockTable:
 
     def held_by(self, owner: int) -> frozenset:
         return frozenset(self._held.get(owner, ()))
+
+    def all_held(self) -> Dict[int, frozenset]:
+        """Every owner currently holding at least one key (the chaos
+        conformance gate asserts this is empty after a run)."""
+        return {
+            owner: frozenset(keys)
+            for owner, keys in self._held.items()
+            if keys
+        }
 
 
 class DependencyRegistry:
@@ -141,6 +159,14 @@ class DependencyRegistry:
     def producers(self, consumer_tid: int) -> frozenset:
         return frozenset(self._producers_of.get(consumer_tid, ()))
 
+    def consumers(self, producer_tid: int) -> frozenset:
+        return frozenset(self._consumers_of.get(producer_tid, ()))
+
+    def doomed_tids(self) -> frozenset:
+        """Currently doomed (not yet detangled) consumers — the chaos
+        conformance gate asserts this drains to empty."""
+        return frozenset(self._doomed)
+
     def on_abort(self, producer_tid: int) -> None:
         """Doom every (transitive) consumer of ``producer_tid``."""
         frontier = [producer_tid]
@@ -175,6 +201,7 @@ class Runtime:
         compact_every: Optional[int] = 64,
         record_trace: bool = False,
         tracer: Tracer = NULL_TRACER,
+        injector: NullInjector = NULL_INJECTOR,
     ):
         self.spec = spec
         self.tracer = tracer
@@ -186,10 +213,16 @@ class Runtime:
         #: rule) — lets a driver run be rendered in Figure-7 style.
         self.record_trace = record_trace
         self.trace: list = []
-        self.locks = LockTable()
+        #: fault-injection hooks (repro.faults); NULL_INJECTOR is disarmed
+        self.injector = injector
+        injector.bind(self)
+        self.locks = LockTable(injector)
         self.dependencies = DependencyRegistry()
         self.tokens: Dict[str, Optional[int]] = {}
         self.active_tids: Set[int] = set()
+        #: machine tid → harness job id (fault events target job ids,
+        #: which are stable across retries; tids are per-spawn)
+        self.tid_to_job: Dict[int, Optional[int]] = {}
         self.rule_counts: collections.Counter = collections.Counter()
         self.compact_every = compact_every
         self._commits_since_compaction = 0
@@ -198,7 +231,15 @@ class Runtime:
 
     def apply(self, rule: str, *args) -> Machine:
         """Invoke machine rule ``rule`` with ``args``; commit the successor
-        state and count the application."""
+        state and count the application.
+
+        An armed fault injector sees every *forward* rule before it runs
+        and may raise :class:`~repro.faults.plan.InjectedFault` (a
+        :class:`TMAbort`), which drivers propagate like any conflict
+        abort.  Rollback rules are never intercepted, so recovery from an
+        injected fault cannot itself be faulted."""
+        if self.injector.armed:
+            self.injector.on_apply(self, rule, args)
         previous = self.machine
         successor = getattr(self.machine, rule)(*args)
         self.machine = successor
@@ -481,6 +522,7 @@ class TxStepper:
         job_id: Optional[int] = None,
         backoff: bool = True,
         backoff_cap: int = 64,
+        recovery: Optional[RecoveryPolicy] = None,
     ):
         self.algorithm = algorithm
         self.runtime = runtime
@@ -489,6 +531,9 @@ class TxStepper:
         self.job_id = job_id
         self.backoff = backoff
         self.backoff_cap = backoff_cap
+        #: optional repro.faults recovery policy; replaces the built-in
+        #: backoff formula and may escalate to the serialised fallback
+        self.recovery = recovery
         self.status = StepStatus.RUNNING
         self.stats = StepperStats()
         self.record: Optional[TxRecord] = None
@@ -496,6 +541,7 @@ class TxStepper:
         self._tid: Optional[int] = None
         self._previous_record_id: Optional[int] = None
         self._backoff_remaining = 0
+        self._escalated = False
 
     @property
     def tid(self) -> Optional[int]:
@@ -507,6 +553,7 @@ class TxStepper:
             rt.machine, self._tid = rt.machine.spawn(
                 self.algorithm.prepare_program(self.program)
             )
+        rt.tid_to_job[self._tid] = self.job_id
         self.record = rt.history.begin(self._tid, retries_of=self._previous_record_id)
         self._previous_record_id = self.record.tx_id
         rt.active_tids.add(self._tid)
@@ -554,9 +601,27 @@ class TxStepper:
                 rt.tracer.count("sched.backoff_wait")
             return self.status
         if self._generator is None:
+            if self._escalated and self._tid is not None:
+                # Escalation: serialise this retry under the recovery
+                # token (the lock-elision fallback shape) so repeat
+                # offenders stop destroying each other.
+                if not rt.try_token(RECOVERY_TOKEN, self._tid):
+                    self.stats.waits += 1
+                    self.stats.steps += 1
+                    if rt.tracer.enabled:
+                        rt.tracer.count("recovery.fallback_wait")
+                    return self.status
             self._begin_attempt()
         try:
             self.stats.steps += 1
+            if rt.injector.armed:
+                stall = rt.injector.on_quantum(rt, self._tid, self.job_id)
+                if stall > 0:
+                    # Delayed publication / slow thread: sit out the stall
+                    # with locks and tokens held (maximal interference).
+                    self._backoff_remaining = max(self._backoff_remaining, stall)
+                    self.stats.waits += 1
+                    return self.status
             next(self._generator)
             return self.status
         except StopIteration:
@@ -576,7 +641,10 @@ class TxStepper:
                 )
             rt.active_tids.discard(self._tid)
             rt.dependencies.on_commit(self._tid)
+            if self._escalated:
+                rt.release_token(RECOVERY_TOKEN, self._tid)
             rt.machine = rt.machine.end_thread(self._tid)
+            rt.tid_to_job.pop(self._tid, None)
             self._tid = None
             self._generator = None
             self.status = StepStatus.COMMITTED
@@ -600,6 +668,22 @@ class TxStepper:
             self._generator = None
             if self.stats.aborts > self.max_retries:
                 self.status = StepStatus.ABORTED
+                if self.recovery is not None:
+                    self.recovery.on_giveup(self.job_id)
+                    if rt.tracer.enabled:
+                        rt.tracer.count("recovery.giveup")
+            elif self.recovery is not None:
+                quanta, escalate = self.recovery.on_abort(
+                    self.job_id, self.stats.aborts, abort.kind
+                )
+                self._backoff_remaining = quanta
+                if escalate and not self._escalated:
+                    self._escalated = True
+                    if rt.tracer.enabled:
+                        rt.tracer.count("recovery.escalation")
+                if rt.tracer.enabled:
+                    rt.tracer.count("recovery.retry")
+                    rt.tracer.count("recovery.backoff_quanta", quanta)
             elif self.backoff:
                 self._backoff_remaining = min(
                     self.backoff_cap, 2 ** min(self.stats.aborts, 16)

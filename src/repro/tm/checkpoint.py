@@ -39,7 +39,15 @@ class CheckpointTM(TMAlgorithm):
     """TL2 with placemarkers and partial (checkpoint) rollback."""
 
     name = "checkpoint"
-    opaque = True
+    #: Partial rollback trades opacity for cheap recovery: a doomed
+    #: attempt may pull a freshly committed write *after* reading state
+    #: that write contradicts, and the rewind machinery re-validates only
+    #: the surviving prefix — so an aborted attempt's full observed view
+    #: can be inconsistent even though every committed history stays
+    #: serializable.  The chaos nemesis finds fault-free witnesses (see
+    #: tests/test_faults.py); eager whole-readset revalidation on every
+    #: refresh would restore opacity at plain-TL2 cost.
+    opaque = False
 
     def __init__(self, checkpoint_every: int = 2, max_partial_rewinds: int = 32):
         self.checkpoint_every = checkpoint_every

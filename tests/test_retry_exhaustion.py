@@ -1,0 +1,82 @@
+"""Driving ``max_retries`` to exhaustion (ISSUE 4 satellite).
+
+A recurring forced-abort fault makes every attempt die, so each stepper
+burns its whole retry budget and lands in ``permanently_aborted``.  The
+assertions pin the accounting *and* the cleanup: whatever a strategy
+acquired mid-attempt (abstract locks, tokens, dependency registrations,
+local-log entries) must be gone once it gives up — a permanently aborted
+transaction may not wedge the survivors.
+"""
+
+import pytest
+
+from repro.core.errors import AbortKind
+from repro.faults.conformance import chaos_setup
+from repro.faults.plan import FaultEvent, FaultInjector, FaultKind, FaultPlan
+from repro.faults.recovery import RecoveryPolicy
+from repro.runtime import WorkloadConfig, run_experiment
+from repro.runtime.harness import ExperimentResult
+from repro.tm import ALL_ALGORITHMS
+from repro.tm.base import StepStatus
+
+CFG = WorkloadConfig(transactions=3, ops_per_tx=3, keys=2, read_ratio=0.4, seed=2)
+
+#: fires on every quantum of every job, forever: no attempt can finish
+EVERLASTING_ABORT = FaultPlan(
+    seed=0,
+    events=(FaultEvent(FaultKind.FORCED_ABORT, job=None, after=0, count=10**9),),
+)
+
+MAX_RETRIES = 3
+
+
+def _run_to_exhaustion(strategy: str) -> ExperimentResult:
+    algorithm, spec, programs = chaos_setup(strategy, CFG)
+    return run_experiment(
+        algorithm,
+        spec,
+        programs,
+        concurrency=len(programs),
+        seed=2,
+        verify=False,
+        compact=False,
+        max_retries=MAX_RETRIES,
+        injector=FaultInjector(EVERLASTING_ABORT),
+        # jitter-free policy: exhaustion runs shouldn't wait around
+        recovery=RecoveryPolicy(base=1, cap=0, jitter=0.0, escalate_after=2),
+    )
+
+
+@pytest.mark.parametrize("strategy", sorted(ALL_ALGORITHMS))
+class TestRetryExhaustion:
+    def test_accounting(self, strategy):
+        result = _run_to_exhaustion(strategy)
+        n = CFG.transactions
+        assert result.commits == 0
+        assert result.permanently_aborted == n
+        assert all(s.status is StepStatus.ABORTED for s in result.steppers)
+        # every stepper burned exactly its budget (max_retries + 1 attempts)
+        assert result.aborts == n * (MAX_RETRIES + 1)
+        for stepper in result.steppers:
+            assert stepper.stats.aborts == MAX_RETRIES + 1
+        # and every abort is the injected one, cleanly kinded
+        records = result.runtime.history.aborted_records()
+        assert len(records) == n * (MAX_RETRIES + 1)
+        assert all(r.abort_kind is AbortKind.INJECTED for r in records)
+
+    def test_cleanup(self, strategy):
+        """Nothing held, nothing doomed, nothing stranded after give-up."""
+        result = _run_to_exhaustion(strategy)
+        rt = result.runtime
+        assert rt.locks.all_held() == {}
+        assert {k: v for k, v in rt.tokens.items() if v is not None} == {}
+        assert rt.dependencies.doomed_tids() == set()
+        assert rt.active_tids == set()
+        assert all(len(t.local) == 0 for t in rt.machine.threads)
+        assert all(e.is_committed for e in rt.machine.global_log)
+
+    def test_giveups_reported_by_policy(self, strategy):
+        result = _run_to_exhaustion(strategy)
+        # recovery stats live on the policy; fish it off a stepper
+        policy = result.steppers[0].recovery
+        assert policy.stats["recovery.giveup"] == CFG.transactions

@@ -25,6 +25,15 @@ Commands
     serializability/opacity conformance (see DESIGN.md "Faults &
     recovery").  Exits nonzero on any gate failure.
 
+``fuzz``
+    Coverage-guided differential fuzzing: the committed seed corpus (and
+    ``--budget`` mutants of it) runs through every enabled TM strategy
+    and a differential oracle whose reference is the atomic machine; the
+    known-bug zoo and the criterion-coverage ratchet gate the run (see
+    docs/FUZZING.md).  ``--replay ARTIFACT`` deterministically re-executes
+    a recorded failure instead.  Exits nonzero on any real-strategy
+    failure, zoo escape or coverage gap.
+
 ``compare``/``modelcheck`` additionally accept ``--trace PATH`` to record
 the same event stream while doing their normal job (``.json`` paths get
 the Chrome format, everything else JSONL).
@@ -331,6 +340,93 @@ def cmd_chaos(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def cmd_fuzz(args: argparse.Namespace) -> int:
+    """Coverage-guided differential fuzzing (or artifact replay).  Exit
+    status 1 on real-strategy failures, zoo escapes or coverage gaps."""
+    import json
+    import os
+
+    from repro.fuzz.engine import Fuzzer
+
+    def _ensure_parent(path: str) -> str:
+        parent = os.path.dirname(path)
+        if parent:
+            os.makedirs(parent, exist_ok=True)
+        return path
+
+    if args.replay:
+        from repro.fuzz.artifacts import replay_artifact
+
+        result = replay_artifact(args.replay, max_retries=args.max_retries)
+        verdict = "REPRODUCED" if result.reproduced else "DID NOT REPRODUCE"
+        print(f"{verdict}: {args.replay}")
+        print(f"  strategy: {result.strategy}")
+        print(f"  checks:   expected {result.expected_checks}, "
+              f"got {result.actual_checks}")
+        print(f"  verdict fingerprint: expected {result.expected_fingerprint}, "
+              f"got {result.actual_fingerprint}")
+        if result.shrunk_reproduced is not None:
+            print(f"  shrunk witness reproduced: {result.shrunk_reproduced}")
+        return 0 if result.reproduced else 1
+
+    budget = args.budget
+    if args.tiny:
+        budget = min(budget, 5)
+    strategies = None if args.strategy == "all" else [args.strategy]
+    fuzzer = Fuzzer(
+        args.corpus_dir,
+        strategies=strategies,
+        seed=args.seed,
+        max_retries=args.max_retries,
+        artifacts_dir=args.artifacts_dir,
+        jobs=args.jobs,
+        shrink=not args.no_shrink,
+    )
+    print(
+        f"fuzz: corpus={args.corpus_dir} budget={budget} seed={args.seed} "
+        f"jobs={args.jobs} strategies="
+        f"{args.strategy if args.strategy != 'all' else len(fuzzer.strategies)}"
+    )
+    started = time.monotonic()
+    report = fuzzer.fuzz(budget)
+    elapsed = time.monotonic() - started
+    for strategy, points in sorted(report.coverage.by_strategy().items()):
+        print(f"  {strategy:<22} {points:>4} coverage points")
+    print(
+        f"total: {report.executions} runs, {len(report.coverage)} coverage "
+        f"points, {len(report.admitted)} mutants admitted, {elapsed:.1f}s"
+    )
+    for failure in report.failures:
+        print(f"\nFAIL {failure['strategy']} on {failure['entry']}: "
+              f"{failure['checks']}")
+        for check, detail in failure["failures"]:
+            print(f"  {check}: {detail}")
+    for path in report.artifacts:
+        print(f"artifact -> {path}")
+    for name, checks in sorted(report.zoo_caught.items()):
+        verdict = f"caught via {checks}" if checks else "ESCAPED"
+        print(f"zoo {name:<22} {verdict}")
+    if report.coverage_gaps:
+        print(f"\nCOVERAGE GAPS ({len(report.coverage_gaps)} expected points "
+              "never exercised):")
+        for gap in report.coverage_gaps:
+            print(f"  {gap}")
+    if args.coverage_out:
+        report.coverage.write(_ensure_parent(args.coverage_out))
+        print(f"coverage map -> {args.coverage_out}")
+    if args.coverage_trace:
+        from repro.obs import write_jsonl
+
+        write_jsonl(report.coverage.to_events(),
+                    _ensure_parent(args.coverage_trace))
+        print(f"coverage events -> {args.coverage_trace}")
+    if args.out:
+        with open(_ensure_parent(args.out), "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"report -> {args.out}")
+    return 0 if report.ok else 1
+
+
 def cmd_evaluate(args: argparse.Namespace) -> int:
     print("== E2/E3 style comparison (readwrite, memory) ==")
     compare_args = argparse.Namespace(
@@ -453,6 +549,39 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--out", metavar="PATH",
                        help="write the JSON suite report to PATH")
     chaos.set_defaults(func=cmd_chaos)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="coverage-guided differential fuzzing (docs/FUZZING.md)",
+    )
+    fuzz.add_argument("--budget", type=int, default=25,
+                      help="mutants to evaluate after the corpus baseline")
+    fuzz.add_argument("--tiny", action="store_true",
+                      help="CI smoke mode: clamp the budget to 5 mutants")
+    fuzz.add_argument("--replay", metavar="ARTIFACT",
+                      help="re-execute a failure artifact instead of fuzzing")
+    fuzz.add_argument("--corpus-dir", default="tests/corpus",
+                      help="seed corpus directory (default: tests/corpus)")
+    fuzz.add_argument("--artifacts-dir", default="fuzz-artifacts",
+                      help="where failure artifacts are written")
+    fuzz.add_argument("--strategy", default="all",
+                      help="fuzz a single strategy instead of all enabled")
+    fuzz.add_argument("--seed", type=int, default=0,
+                      help="session seed (mutation + schedules)")
+    fuzz.add_argument("--jobs", type=int, default=1,
+                      help="parallel oracle workers (results are identical "
+                           "for any value)")
+    fuzz.add_argument("--max-retries", type=int, default=20,
+                      help="per-transaction retry budget in the oracle")
+    fuzz.add_argument("--no-shrink", action="store_true",
+                      help="skip ddmin minimisation of failures")
+    fuzz.add_argument("--coverage-out", metavar="PATH",
+                      help="write the final coverage map as JSON")
+    fuzz.add_argument("--coverage-trace", metavar="PATH",
+                      help="export coverage counters as obs-layer JSONL")
+    fuzz.add_argument("--out", metavar="PATH",
+                      help="write the full fuzz report as JSON")
+    fuzz.set_defaults(func=cmd_fuzz)
 
     evaluate = sub.add_parser("evaluate", help="regenerate the evaluation")
     evaluate.set_defaults(func=cmd_evaluate)

@@ -1,0 +1,56 @@
+"""Coverage-guided differential fuzzing for the PUSH/PULL machine.
+
+The theorem-falsifier built on four PRs of infrastructure: the tracer's
+per-rule criterion events (PR 1) define a *coverage map* of
+``(strategy, rule, criterion-outcome)`` triples plus abort and fault
+kinds; seeded schedules, replayable choice logs and ddmin-shrinkable
+fault plans (PR 4) make every run a pure function of its corpus entry.
+A mutated entry joins the corpus only if it lights a triple nothing
+before it reached; every corpus entry is run through every registered TM
+strategy and judged by a differential oracle whose reference is the
+*atomic machine* — not any single checker.
+
+Modules
+-------
+
+``coverage``   the coverage map: triple extraction from trace events
+``corpus``     corpus entries (programs × schedule prefix × fault plan)
+               and their JSON round-trip
+``mutators``   seeded mutation over the three entry dimensions
+``oracle``     one entry × one strategy → verdict (the differential gate)
+``shrink``     failure minimisation: plan ddmin, prefix truncation,
+               program reduction
+``artifacts``  replayable failure artifacts and their deterministic replay
+``engine``     the fuzzing loop, the bug-zoo sensitivity gate and the
+               criterion-coverage check
+
+See ``docs/FUZZING.md`` for the full mutator catalogue, oracle checks and
+triage workflow.
+"""
+
+from repro.fuzz.coverage import CoverageMap, coverage_from_events
+from repro.fuzz.corpus import CorpusEntry, load_corpus, save_entry
+from repro.fuzz.mutators import mutate_entry
+from repro.fuzz.oracle import StrategyRun, enabled_strategies, run_entry
+from repro.fuzz.shrink import shrink_failure
+from repro.fuzz.artifacts import replay_artifact, write_artifact
+from repro.fuzz.engine import FuzzReport, Fuzzer, criterion_coverage_gaps, zoo_sensitivity
+
+__all__ = [
+    "CoverageMap",
+    "coverage_from_events",
+    "CorpusEntry",
+    "load_corpus",
+    "save_entry",
+    "mutate_entry",
+    "StrategyRun",
+    "enabled_strategies",
+    "run_entry",
+    "shrink_failure",
+    "replay_artifact",
+    "write_artifact",
+    "FuzzReport",
+    "Fuzzer",
+    "criterion_coverage_gaps",
+    "zoo_sensitivity",
+]

@@ -421,6 +421,16 @@ class TMAlgorithm(ABC):
     name: str = "abstract"
     #: whether the discipline stays inside the opaque fragment (§6.1)
     opaque: bool = True
+    #: whether every committed effect is coverable by an atomic execution
+    #: of the *submitted* programs (the Theorem 5.17 simulation target).
+    #: Elastic transactions honestly set this ``False`` — their contract
+    #: is piece-level serializability, and another transaction may
+    #: serialize between two pieces of one submitted program — so the
+    #: differential oracle (:mod:`repro.fuzz.oracle`) knows not to hold
+    #: them to whole-program atomicity.  A strategy that rewrites or
+    #: partially commits programs while leaving this ``True`` is lying
+    #: about its contract, which is exactly what the oracle catches.
+    atomic_reference: bool = True
 
     @abstractmethod
     def attempt(

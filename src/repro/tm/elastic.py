@@ -65,6 +65,11 @@ class ElasticTM(TMAlgorithm):
     #: transaction's commit.  The chaos nemesis finds fault-free witnesses
     #: (see tests/test_faults.py); committed histories stay serializable.
     opaque = False
+    #: A cut lets another transaction serialize between two pieces of one
+    #: submitted program, so committed effects are *not* promised to be
+    #: coverable by an atomic execution of the original programs — the
+    #: differential fuzz oracle must not hold elastic to that bar.
+    atomic_reference = False
 
     def __init__(self, max_cuts: int = 8):
         self.max_cuts = max_cuts

@@ -1,0 +1,83 @@
+"""The known-bug zoo gates the oracle's sensitivity (ISSUE 5).
+
+Every deliberately broken strategy in :mod:`repro.tm.broken` must be
+caught by the differential oracle somewhere in the committed seed corpus
+— with the failure *kind* its docstring promises — while every real
+strategy stays green on the exact same entries.  If a refactor ever
+weakens a checker, the corresponding zoo member escapes and this file
+fails before the weakened oracle can certify anything.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz.corpus import load_corpus
+from repro.fuzz.engine import zoo_sensitivity
+from repro.fuzz.oracle import enabled_strategies, make_algorithm, run_entry
+from repro.tm import ALL_ALGORITHMS
+from repro.tm.broken import BROKEN_ALGORITHMS
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+
+#: the check kind each zoo member's bug is designed to surface through
+EXPECTED_CHECKS = {
+    "broken-crash": "exception",       # MS_END rejects the dirty teardown
+    "broken-push-nocheck": "exception",  # CMT criterion (ii) escapes raw
+    "broken-stale-pull": "divergence",   # only the atomic cover sees it
+    "broken-lost-unapp": "exception",    # stranded local-log entry
+    "broken-dirty-read": "opacity",      # uncommitted PULL, opaque claim
+}
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    entries = load_corpus(CORPUS_DIR)
+    assert entries, "committed seed corpus is missing"
+    return entries
+
+
+@pytest.fixture(scope="module")
+def zoo_result(corpus):
+    return zoo_sensitivity(corpus)
+
+
+class TestZooRegistry:
+    def test_zoo_covers_the_issue_checklist(self):
+        assert set(BROKEN_ALGORITHMS) == set(EXPECTED_CHECKS)
+
+    def test_zoo_is_never_registered_as_real(self):
+        assert not set(BROKEN_ALGORITHMS) & set(ALL_ALGORITHMS)
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_CHECKS))
+    def test_zoo_resolves_through_the_oracle_factory(self, name):
+        assert make_algorithm(name).name == name
+
+
+class TestZooSensitivity:
+    def test_no_zoo_strategy_escapes(self, zoo_result):
+        _, escapes = zoo_result
+        assert escapes == [], (
+            f"oracle lost sensitivity: {escapes} never caught on the seed "
+            "corpus (regenerate with tools/make_seed_corpus.py or fix the "
+            "weakened checker)"
+        )
+
+    @pytest.mark.parametrize("name", sorted(EXPECTED_CHECKS))
+    def test_caught_with_the_designed_check_kind(self, zoo_result, name):
+        caught, _ = zoo_result
+        assert EXPECTED_CHECKS[name] in caught[name], (
+            f"{name} was caught via {caught[name]}, but its designed "
+            f"failure mode {EXPECTED_CHECKS[name]!r} never fired"
+        )
+
+
+class TestRealStrategiesStayGreen:
+    @pytest.mark.parametrize("strategy", enabled_strategies())
+    def test_seed_corpus_is_green(self, corpus, strategy):
+        for entry in corpus:
+            run = run_entry(entry, strategy)
+            assert run.ok, (
+                f"real strategy {strategy} failed on {entry.name}: "
+                f"{[(f.check, f.detail) for f in run.failures]}"
+            )

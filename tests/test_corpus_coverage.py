@@ -1,0 +1,66 @@
+"""Satellite 2: the criterion-coverage ratchet.
+
+Running the committed seed corpus (real strategies + zoo) must exercise
+every coverage point recorded in ``tests/corpus/expected_coverage.json``
+— each being one ``(strategy, rule, criterion-outcome)`` triple, abort
+kind or fault kind that the corpus demonstrably reached when the file was
+generated.  A failure here means a checker, driver or corpus change made
+some criterion unreachable; the assertion message lists exactly which
+points went dark.  Regenerate the expectation deliberately with
+``PYTHONPATH=src python tools/make_seed_corpus.py`` when the change is
+intended.
+"""
+
+import os
+
+import pytest
+
+from repro.fuzz.corpus import EXPECTED_COVERAGE_FILE, load_corpus
+from repro.fuzz.coverage import CoverageMap, key_to_str
+from repro.fuzz.engine import zoo_sensitivity
+from repro.fuzz.oracle import enabled_strategies, run_entry
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "corpus")
+EXPECTED_PATH = os.path.join(CORPUS_DIR, EXPECTED_COVERAGE_FILE)
+
+
+@pytest.fixture(scope="module")
+def observed():
+    entries = load_corpus(CORPUS_DIR)
+    cover = CoverageMap()
+    for entry in entries:
+        for strategy in enabled_strategies():
+            cover.add(run_entry(entry, strategy).coverage)
+    zoo_sensitivity(entries, coverage=cover)
+    return cover
+
+
+def test_expectation_file_is_committed():
+    assert os.path.exists(EXPECTED_PATH)
+    expected = CoverageMap.read(EXPECTED_PATH)
+    assert len(expected) > 100
+
+
+def test_every_enabled_strategy_has_criterion_coverage(observed):
+    for strategy in enabled_strategies():
+        rules = {rule for s, rule, _ in observed.keys if s == strategy}
+        assert "CMT" in rules, f"{strategy} never exercised a commit criterion"
+        assert "APP" in rules, f"{strategy} never exercised an apply criterion"
+
+
+def test_no_expected_coverage_point_went_dark(observed):
+    expected = CoverageMap.read(EXPECTED_PATH)
+    missing = observed.missing(expected.keys)
+    assert not missing, (
+        "never-exercised coverage points (criterion went dark):\n  "
+        + "\n  ".join(key_to_str(k) for k in missing)
+    )
+
+
+def test_violation_outcomes_are_exercised_not_just_ok(observed):
+    violated = [
+        (s, rule, outcome)
+        for s, rule, outcome in observed.keys
+        if outcome.startswith("violated(")
+    ]
+    assert violated, "corpus never drives any rule criterion to refusal"

@@ -292,27 +292,10 @@ class TestConformanceGate:
 
 
 # -- the known-bug fixture: a strategy that mishandles a crash ----------------
+# Promoted to the bug zoo (repro.tm.broken) for the fuzzer's sensitivity
+# gate; the shrinker tests keep using it as their reference fixture.
 
-
-class BrokenCrashTM(TL2TM):
-    """Deliberately broken (tests only): swallows an injected fault once
-    work is buffered and pretends the attempt finished — leaving the
-    thread's local log dirty, which the machine itself then rejects."""
-
-    name = "broken-crash"
-
-    def attempt(self, rt, tid, program, record):
-        inner = super().attempt(rt, tid, program, record)
-        while True:
-            try:
-                next(inner)
-            except StopIteration:
-                return
-            except InjectedFault:
-                if len(rt.machine.thread(tid).local) > 0:
-                    return  # the bug: "commit" with a dirty local log
-                raise
-            yield
+from repro.tm.broken import BrokenCrashTM
 
 
 class TestShrinker:

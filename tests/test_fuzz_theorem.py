@@ -8,6 +8,8 @@ import pytest
 from hypothesis import HealthCheck, given, settings, strategies as st
 
 from repro.checking import explore
+
+pytestmark = pytest.mark.slow  # long hypothesis suite: tier-1 runs -m "not slow"
 from repro.checking.model_checker import ExploreOptions
 from repro.core.language import call, choice, tx
 from repro.specs import CounterSpec, KVMapSpec, MemorySpec, SetSpec

@@ -18,6 +18,8 @@ from repro.core.precongruence import (
 )
 from repro.specs import BankSpec, CounterSpec, KVMapSpec, MemorySpec, SetSpec
 
+pytestmark = pytest.mark.slow  # long hypothesis suite: tier-1 runs -m "not slow"
+
 SPEC_SETTINGS = settings(
     max_examples=60,
     deadline=None,

@@ -1,0 +1,229 @@
+"""Regenerate the committed seed corpus and its coverage expectation.
+
+Usage::
+
+    PYTHONPATH=src python tools/make_seed_corpus.py [--check-only]
+
+Each entry below is hand-shaped to pin one oracle capability (the
+comments say which); together they must (a) run green on every enabled
+real strategy and (b) let the oracle catch every :mod:`repro.tm.broken`
+strategy — the two gates this script verifies before writing anything.
+``expected_coverage.json`` is then regenerated empirically from the full
+(real + zoo) sweep, so the criterion-coverage test ratchets exactly what
+the committed corpus exercises today.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+from repro.core.language import call, tx
+from repro.faults.plan import FaultEvent, FaultKind, FaultPlan
+from repro.fuzz.corpus import EXPECTED_COVERAGE_FILE, CorpusEntry, save_entry
+from repro.fuzz.coverage import CoverageMap
+from repro.fuzz.engine import zoo_sensitivity
+from repro.fuzz.oracle import enabled_strategies, run_entry
+
+CORPUS_DIR = os.path.join(os.path.dirname(__file__), "..", "tests", "corpus")
+
+
+def seed_entries():
+    """The committed seed corpus, one capability per entry."""
+    return [
+        # Fault-free three-way write contention: organic aborts under
+        # every optimistic strategy.  Kills broken-lost-unapp (abandoned
+        # rollback) and broken-push-nocheck (unvalidated publication).
+        CorpusEntry(
+            name="seed-memory-contend",
+            spec="memory",
+            programs=(
+                tx(call("write", ("k", 0), 1), call("read", ("k", 1))),
+                tx(call("write", ("k", 1), 2), call("read", ("k", 0))),
+                tx(call("read", ("k", 0)), call("write", ("k", 0), 3)),
+            ),
+            plan=FaultPlan(seed=0, events=()),
+            choice_prefix=(0, 1, 2, 0),
+            seed=3,
+        ),
+        # A crash injected at the first commit of job 0: the attempt dies
+        # with a dirty local log.  Kills broken-crash (swallows the fault
+        # and "commits"); real strategies roll back and retry.
+        CorpusEntry(
+            name="seed-memory-crash",
+            spec="memory",
+            programs=(
+                tx(call("write", ("k", 0), 1), call("write", ("k", 1), 2)),
+                tx(call("read", ("k", 0)), call("write", ("k", 0), 9)),
+            ),
+            plan=FaultPlan(
+                seed=1,
+                events=(
+                    FaultEvent(kind=FaultKind.CRASH_COMMIT, job=0, after=0, count=1),
+                ),
+            ),
+            choice_prefix=(0, 1),
+            seed=7,
+        ),
+        # Producer publishes, consumer runs to its commit attempt, then
+        # the producer is forced to abort.  Kills broken-dirty-read (its
+        # consumer PULLed the uncommitted write while claiming opacity).
+        CorpusEntry(
+            name="seed-memory-dirty",
+            spec="memory",
+            programs=(
+                tx(call("write", ("k", 0), 5), call("write", ("k", 1), 6)),
+                tx(call("read", ("k", 0)), call("write", ("k", 2), 7)),
+            ),
+            plan=FaultPlan(
+                seed=2,
+                events=(
+                    FaultEvent(kind=FaultKind.FORCED_ABORT, job=0, after=2, count=1),
+                ),
+            ),
+            choice_prefix=(0, 1, 1, 1),
+            seed=11,
+        ),
+        # A mid-transaction commit by job 1 makes job 0's unrefreshed
+        # snapshot stale *after* a committable prefix.  Kills
+        # broken-stale-pull via the differential atomic-cover check (it
+        # commits the prefix and silently drops `write (k,2)`).
+        CorpusEntry(
+            name="seed-memory-stale",
+            spec="memory",
+            programs=(
+                tx(
+                    call("write", ("k", 1), 5),
+                    call("read", ("k", 0)),
+                    call("write", ("k", 2), 6),
+                ),
+                tx(call("write", ("k", 0), 9)),
+            ),
+            plan=FaultPlan(seed=3, events=()),
+            choice_prefix=(0, 1, 1, 0, 0, 0, 0),
+            seed=5,
+        ),
+        # Counter: all-mutator workload (inc/dec commute, get does not) —
+        # exercises mover-dependent criteria plus a transient stall.
+        CorpusEntry(
+            name="seed-counter-stall",
+            spec="counter",
+            programs=(
+                tx(call("inc"), call("inc")),
+                tx(call("get"), call("dec")),
+                tx(call("inc"), call("get")),
+            ),
+            plan=FaultPlan(
+                seed=4,
+                events=(
+                    FaultEvent(
+                        kind=FaultKind.STALL, job=1, after=1, count=1, duration=3
+                    ),
+                ),
+            ),
+            choice_prefix=(0, 1, 2, 2, 0),
+            seed=13,
+        ),
+        # KV map under a dropped publication and a denied lock: the
+        # DROP_PUSH path plus lock-retry paths light fault-kind coverage
+        # no fault-free entry can reach.
+        CorpusEntry(
+            name="seed-kvmap-droppush",
+            spec="kvmap",
+            programs=(
+                tx(call("put", ("key", 0), 1), call("get", ("key", 1))),
+                tx(call("put", ("key", 1), 2), call("remove", ("key", 0))),
+            ),
+            plan=FaultPlan(
+                seed=5,
+                events=(
+                    FaultEvent(kind=FaultKind.DROP_PUSH, job=0, after=0, count=1),
+                    FaultEvent(kind=FaultKind.LOCK_DENY, job=1, after=0, count=1),
+                ),
+            ),
+            choice_prefix=(0, 0, 1, 1),
+            seed=17,
+        ),
+        # Bank transfers with a spurious HTM capacity abort: arithmetic
+        # state (divergence-sensitive payloads) plus the CAPACITY path.
+        CorpusEntry(
+            name="seed-bank-htmabort",
+            spec="bank",
+            programs=(
+                tx(call("deposit", ("acct", 0), 3), call("withdraw", ("acct", 1), 1)),
+                tx(call("balance", ("acct", 0)), call("deposit", ("acct", 1), 2)),
+            ),
+            plan=FaultPlan(
+                seed=6,
+                events=(
+                    FaultEvent(kind=FaultKind.SPURIOUS_HTM, job=1, after=1, count=1),
+                ),
+            ),
+            choice_prefix=(0, 1, 0, 1),
+            seed=19,
+        ),
+        # Set with add/remove/contains churn, fault-free but with a
+        # contended prefix — broad criterion coverage on a third spec.
+        CorpusEntry(
+            name="seed-set-churn",
+            spec="set",
+            programs=(
+                tx(call("add", ("e", 0)), call("contains", ("e", 1))),
+                tx(call("add", ("e", 1)), call("remove", ("e", 0))),
+                tx(call("contains", ("e", 0)), call("add", ("e", 0))),
+            ),
+            plan=FaultPlan(seed=7, events=()),
+            choice_prefix=(0, 1, 2, 1, 0),
+            seed=23,
+        ),
+    ]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--check-only",
+        action="store_true",
+        help="verify gates without rewriting tests/corpus/",
+    )
+    args = parser.parse_args()
+
+    entries = seed_entries()
+    coverage = CoverageMap()
+    bad = []
+    for entry in entries:
+        for strategy in enabled_strategies():
+            run = run_entry(entry, strategy)
+            coverage.add(run.coverage)
+            if not run.ok:
+                bad.append((entry.name, strategy, run.failure_checks))
+    if bad:
+        print("REAL-STRATEGY FAILURES (corpus must be green):")
+        for name, strategy, checks in bad:
+            print(f"  {name} x {strategy}: {checks}")
+        return 1
+
+    caught, escapes = zoo_sensitivity(entries, coverage=coverage)
+    for name, checks in sorted(caught.items()):
+        print(f"zoo {name:<22} caught via {checks}")
+    if escapes:
+        print(f"ZOO ESCAPES (oracle lost sensitivity): {escapes}")
+        return 1
+
+    print(f"coverage: {len(coverage)} points across {len(entries)} entries")
+    if args.check_only:
+        return 0
+
+    os.makedirs(CORPUS_DIR, exist_ok=True)
+    for entry in entries:
+        path = save_entry(CORPUS_DIR, entry)
+        print(f"wrote {os.path.relpath(path)}")
+    expected = os.path.join(CORPUS_DIR, EXPECTED_COVERAGE_FILE)
+    coverage.write(expected)
+    print(f"wrote {os.path.relpath(expected)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -127,6 +127,9 @@ class ExplorationReport:
     #: summed worker compute seconds (parallel runs only) — utilization is
     #: ``worker_busy / (jobs × wall-clock)``
     worker_busy: float = 0.0
+    #: path of the flight-recorder dump written for a failed verdict
+    #: (``None`` when the run was clean or no flight recorder was armed)
+    flight_dump: Optional[str] = None
 
     @property
     def ok(self) -> bool:
@@ -594,6 +597,22 @@ def explore(
                 "dedup_hits": report.dedup_hits,
                 "max_depth": report.max_depth,
                 "peak_frontier": report.peak_frontier,
+            },
+        )
+    if not report.ok:
+        # A failed verdict ships its black box (no-op unless the tracer
+        # is a flight recorder with a dump directory).
+        from repro.obs.flight import maybe_dump
+
+        report.flight_dump = maybe_dump(
+            tracer,
+            label=f"modelcheck-{type(spec).__name__}",
+            reason="violation",
+            meta={
+                "states": report.states,
+                "violations": len(report.invariant_violations)
+                + len(report.cover_violations)
+                + len(report.cmtpres_violations),
             },
         )
     return report

@@ -74,7 +74,6 @@ from repro.checking.model_checker import (
     _check_cover,
     _Node,
     _successors,
-    explore,
 )
 from repro.checking.reduction import Reducer
 from repro.core.invariants import check_all_invariants_cached
@@ -449,15 +448,19 @@ def explore_parallel(
     """:func:`repro.checking.model_checker.explore`, fanned out over
     ``jobs`` worker processes sharing one scope's frontier.
 
-    Deterministic: any two parallel runs (any ``jobs`` ≥ 2) report the
-    same states, transitions, rule counts, terminal counts and violation
-    sets (see the module docstring for why state counts can differ
-    slightly from the sequential DFS, and why verdicts never do).
-    Tracing is disabled in workers (tracers are process-local event
-    sinks), matching the behaviour of the old scope-parallel mode.
+    Deterministic: any two parallel runs — **any** ``jobs`` ≥ 1 — report
+    the same states, transitions, rule counts, terminal counts and
+    violation sets.  ``jobs=1`` runs the same batched dataflow through a
+    single worker rather than delegating to the sequential DFS, so
+    logical-step attribution (rule counts, state totals) is *identical*
+    across ``--jobs`` values — the profiler-determinism contract.  (The
+    sequential :func:`explore` can visit different representatives of
+    the same quotient; its verdicts agree, its counts need not — see the
+    module docstring.)  Tracing is disabled in workers (tracers are
+    process-local event sinks), matching the behaviour of the old
+    scope-parallel mode.
     """
-    if jobs <= 1:
-        return explore(spec, programs, options)
+    jobs = max(1, jobs)
     options = options or ExploreOptions()
     if options.max_pulled_per_thread is None:
         from repro.core.language import methods_of
@@ -614,5 +617,14 @@ def explore_parallel(
                 "transitions": report.transitions,
                 "jobs": jobs,
             },
+        )
+    if not report.ok:
+        from repro.obs.flight import maybe_dump
+
+        report.flight_dump = maybe_dump(
+            tracer,
+            label=f"modelcheck-parallel-{type(spec).__name__}",
+            reason="violation",
+            meta={"states": report.states, "jobs": jobs},
         )
     return report

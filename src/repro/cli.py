@@ -34,9 +34,28 @@ Commands
     a recorded failure instead.  Exits nonzero on any real-strategy
     failure, zoo escape or coverage gap.
 
+``report``
+    Render the zero-dependency single-file HTML dashboard from the
+    committed BENCH baselines, the coverage ratchet and (optionally) a
+    recorded trace's flamegraph (see docs/OBSERVABILITY.md "Dashboards
+    & perf gates").
+
+``perf``
+    The perf regression watchdog: re-measure the kernel/POR/faults
+    tiers and gate them against the committed ``BENCH_*.json``
+    baselines.  Exits 0 when green, 2 on a regression, 1 on an
+    operational error — the same protocol the per-bench gate scripts
+    used.
+
 ``compare``/``modelcheck`` additionally accept ``--trace PATH`` to record
 the same event stream while doing their normal job (``.json`` paths get
-the Chrome format, everything else JSONL).
+the Chrome format, everything else JSONL).  ``compare``, ``modelcheck``,
+``chaos`` and ``fuzz`` all take ``--profile`` (deterministic rule-level
+profiler table) and ``--flame PATH`` (collapsed stacks); ``compare``,
+``modelcheck`` and ``chaos`` take ``--flight-dir DIR`` to arm the bounded
+flight recorder, whose replayable JSONL dumps are emitted automatically
+when a run fails (``chaos`` arms it by default, ``fuzz`` dumps into its
+``--artifacts-dir``).
 """
 
 from __future__ import annotations
@@ -51,11 +70,14 @@ from repro.checking.model_checker import ExploreOptions
 from repro.core.language import call, choice, tx
 from repro.obs import (
     NULL_TRACER,
+    FlightRecorder,
+    Profile,
     RecordingTracer,
     summary_table,
     write_chrome_trace,
     write_jsonl,
 )
+from repro.obs.profiling import logical_profile, profile_report_table
 from repro.runtime import (
     WorkloadConfig,
     make_scheduler,
@@ -89,6 +111,38 @@ def _export_trace(tracer: RecordingTracer, path: str) -> None:
     print(f"trace: {count} events ({fmt}) -> {path}")
 
 
+def _pick_tracer(args: argparse.Namespace):
+    """The tracer a run command should use, from its observability flags:
+    ``--trace``/``--profile``/``--flame`` need the full recording tracer,
+    ``--flight-dir`` alone arms the bounded (near-free) flight recorder,
+    and with none of them the run stays on the null tracer."""
+    if (
+        getattr(args, "trace", None)
+        or getattr(args, "profile", False)
+        or getattr(args, "flame", None)
+    ):
+        return RecordingTracer()
+    flight_dir = getattr(args, "flight_dir", None)
+    if flight_dir:
+        return FlightRecorder(auto_dump_dir=flight_dir)
+    return NULL_TRACER
+
+
+def _emit_profile(args: argparse.Namespace, tracer) -> None:
+    """Print the top-table and/or write collapsed stacks when asked."""
+    if not (getattr(args, "profile", False) or getattr(args, "flame", None)):
+        return
+    profile = Profile()
+    profile.add_tracer(tracer)
+    if getattr(args, "profile", False):
+        print()
+        print(profile.top_table())
+    flame = getattr(args, "flame", None)
+    if flame:
+        count = profile.write_collapsed(flame)
+        print(f"flamegraph: {count} collapsed stacks -> {flame}")
+
+
 def cmd_compare(args: argparse.Namespace) -> int:
     config = WorkloadConfig(
         transactions=args.transactions,
@@ -98,7 +152,7 @@ def cmd_compare(args: argparse.Namespace) -> int:
         seed=args.seed,
     )
     programs = make_workload(args.workload, config)
-    tracer = RecordingTracer() if getattr(args, "trace", None) else NULL_TRACER
+    tracer = _pick_tracer(args)
     print(
         f"workload={args.workload} txns={config.transactions} "
         f"ops/tx={config.ops_per_tx} keys={config.keys} "
@@ -115,8 +169,9 @@ def cmd_compare(args: argparse.Namespace) -> int:
             seed=args.seed, tracer=tracer,
         )
         print(result.summary_row())
-    if tracer.enabled:
+    if tracer.enabled and getattr(args, "trace", None):
         _export_trace(tracer, args.trace)
+    _emit_profile(args, tracer)
     return 0
 
 
@@ -224,40 +279,63 @@ def _por_baselines() -> dict:
 
 def cmd_modelcheck(args: argparse.Namespace) -> int:
     failures = 0
-    jobs = getattr(args, "jobs", 1) or 1
+    # --jobs is a presence sentinel: omitted (None) runs the sequential
+    # explorer; any explicit N >= 1 runs the deterministic parallel
+    # dataflow, whose attribution is identical for every N.
+    jobs = getattr(args, "jobs", None)
+    parallel = jobs is not None
     por = getattr(args, "por", True)
-    tracer = RecordingTracer() if getattr(args, "trace", None) else NULL_TRACER
-    if jobs > 1 and tracer.enabled:
+    do_profile = getattr(args, "profile", False)
+    if parallel and (getattr(args, "trace", None) or getattr(args, "flame", None)):
         # Tracers are process-local event sinks; the frontier workers run
         # untraced, so a parallel run has no event stream to export.
         print(
-            "modelcheck: --trace is ignored with --jobs > 1",
+            "modelcheck: --trace/--flame are ignored with --jobs "
+            "(worker processes run untraced; --profile still reports the "
+            "logical attribution)",
             file=sys.stderr,
         )
-        tracer = NULL_TRACER
+        args.trace = None
+        args.flame = None
+    tracer = _pick_tracer(args)
     baselines = _por_baselines() if por else {}
+    profiles = []
     for name, (spec_cls, programs) in SCOPES.items():
         options = ExploreOptions(
             max_states=args.max_states,
             check_cmtpres=args.cmtpres,
             por=por,
             tracer=tracer,
+            # profiling wants the span-per-rule stream, not just the
+            # periodic counters
+            trace_rules=bool(
+                tracer.enabled and (do_profile or getattr(args, "flame", None))
+            ),
         )
         start = time.time()
-        if jobs > 1:
+        if parallel:
             # Work-stealing frontier parallelism *within* the scope (the
             # pre-PR3 mode farmed whole scopes out instead, capping the
             # speedup at the slowest scope).
             report = explore_parallel(
-                spec_cls(), programs, options, jobs=jobs
+                spec_cls(), programs, options, jobs=max(1, jobs)
             )
         else:
             report = explore(spec_cls(), programs, options)
         failures += _print_scope_report(
             name, report, time.time() - start, baselines.get(name)
         )
-    if tracer.enabled:
+        if report.flight_dump:
+            print(f"   flight dump -> {report.flight_dump}")
+        if do_profile:
+            profiles.append((name, logical_profile(report)))
+    if tracer.enabled and getattr(args, "trace", None):
         _export_trace(tracer, args.trace)
+    if do_profile:
+        print()
+        print(profile_report_table(profiles))
+    if not parallel:
+        _emit_profile(args, tracer)
     return 1 if failures else 0
 
 
@@ -287,6 +365,11 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         f"({args.events} events each), scheduler={args.scheduler}, "
         f"workload={args.workload}, txns={transactions}, seed={args.seed}"
     )
+    profile = (
+        Profile()
+        if getattr(args, "profile", False) or getattr(args, "flame", None)
+        else None
+    )
     report = run_suite(
         strategies,
         config,
@@ -296,6 +379,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         scheduler=args.scheduler,
         workload=args.workload,
         max_retries=args.max_retries,
+        flight_dir=getattr(args, "flight_dir", None),
+        profile=profile,
     )
     for name, row in report.strategies.items():
         gate = "ok" if row["gate_failures"] == 0 else f"FAIL x{row['gate_failures']}"
@@ -314,6 +399,8 @@ def cmd_chaos(args: argparse.Namespace) -> int:
         print(f"  plan: {failure.plan.describe()}")
         for item in failure.failures:
             print(f"  {item}")
+        if failure.flight_dump:
+            print(f"  flight dump -> {failure.flight_dump}")
         if args.shrink:
             def failing(candidate, _strategy=failure.algorithm, _seed=failure.seed):
                 # Same derivation as run_suite: the workload seed is the
@@ -333,6 +420,14 @@ def cmd_chaos(args: argparse.Namespace) -> int:
                 f"  shrunk: {len(failure.plan.events)} -> "
                 f"{len(minimal.events)} events: {minimal.describe()}"
             )
+    if profile is not None:
+        if getattr(args, "profile", False):
+            print()
+            print(profile.top_table())
+        flame = getattr(args, "flame", None)
+        if flame:
+            count = profile.write_collapsed(flame)
+            print(f"flamegraph: {count} collapsed stacks -> {flame}")
     if args.out:
         with open(args.out, "w", encoding="utf-8") as handle:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
@@ -373,6 +468,11 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
     if args.tiny:
         budget = min(budget, 5)
     strategies = None if args.strategy == "all" else [args.strategy]
+    profile = (
+        Profile()
+        if getattr(args, "profile", False) or getattr(args, "flame", None)
+        else None
+    )
     fuzzer = Fuzzer(
         args.corpus_dir,
         strategies=strategies,
@@ -381,6 +481,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         artifacts_dir=args.artifacts_dir,
         jobs=args.jobs,
         shrink=not args.no_shrink,
+        profile=profile,
     )
     print(
         f"fuzz: corpus={args.corpus_dir} budget={budget} seed={args.seed} "
@@ -403,6 +504,8 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
             print(f"  {check}: {detail}")
     for path in report.artifacts:
         print(f"artifact -> {path}")
+    for path in report.flight_dumps:
+        print(f"flight dump -> {path}")
     for name, checks in sorted(report.zoo_caught.items()):
         verdict = f"caught via {checks}" if checks else "ESCAPED"
         print(f"zoo {name:<22} {verdict}")
@@ -420,11 +523,66 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         write_jsonl(report.coverage.to_events(),
                     _ensure_parent(args.coverage_trace))
         print(f"coverage events -> {args.coverage_trace}")
+    if profile is not None:
+        if getattr(args, "profile", False):
+            print()
+            print(profile.top_table())
+        flame = getattr(args, "flame", None)
+        if flame:
+            count = profile.write_collapsed(flame)
+            print(f"flamegraph: {count} collapsed stacks -> {flame}")
     if args.out:
         with open(_ensure_parent(args.out), "w", encoding="utf-8") as handle:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
         print(f"report -> {args.out}")
     return 0 if report.ok else 1
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    """Render the self-contained HTML dashboard."""
+    from repro.obs.report import build_report
+
+    path = build_report(
+        args.out,
+        trace_path=getattr(args, "trace", None),
+        title=args.title,
+    )
+    print(f"dashboard -> {path}")
+    return 0
+
+
+def cmd_perf(args: argparse.Namespace) -> int:
+    """The performance regression watchdog: 0 green, 2 regression, 1
+    operational error (missing/unreadable baseline)."""
+    import json
+
+    from repro.obs.perf import BaselineError, run_perf
+
+    overrides = {}
+    if args.kernel_baseline:
+        overrides["kernel_path"] = args.kernel_baseline
+    if args.por_baseline:
+        overrides["por_path"] = args.por_baseline
+    if args.faults_baseline:
+        overrides["faults_path"] = args.faults_baseline
+    try:
+        report = run_perf(
+            tiny=args.tiny,
+            repeat=args.repeat,
+            tolerance=args.tolerance,
+            tiers=args.tiers or list(args.all_tiers),
+            seed=args.seed,
+            **overrides,
+        )
+    except BaselineError as exc:
+        print(f"perf: {exc}", file=sys.stderr)
+        return 1
+    print(report.render())
+    if args.json:
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+        print(f"json -> {args.json}")
+    return 0 if report.ok else 2
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
@@ -442,6 +600,26 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     print()
     print("== E8: Theorem 5.17 small scopes ==")
     return cmd_modelcheck(argparse.Namespace(max_states=400_000, cmtpres=False))
+
+
+def _add_obs_flags(
+    command: argparse.ArgumentParser, flight_default: Optional[str] = None
+) -> None:
+    """The shared observability trio (`--profile`, `--flame`,
+    ``--flight-dir``) every run command carries."""
+    command.add_argument("--profile", action="store_true",
+                         help="print the deterministic profiler's top-N "
+                              "self-time table after the run")
+    command.add_argument("--flame", metavar="PATH",
+                         help="write collapsed stacks (speedscope/flamegraph "
+                              "format) to PATH")
+    command.add_argument("--flight-dir", metavar="DIR", dest="flight_dir",
+                         default=flight_default,
+                         help="arm the bounded flight recorder; failing runs "
+                              "auto-dump their event tail as replayable JSONL "
+                              "into DIR"
+                              + (f" (default: {flight_default})"
+                                 if flight_default else ""))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -469,16 +647,19 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument("--trace", metavar="PATH",
                          help="record a trace of every run to PATH "
                               "(.json = Chrome trace, else JSONL)")
+    _add_obs_flags(compare)
     compare.set_defaults(func=cmd_compare)
 
     modelcheck = sub.add_parser("modelcheck", help="verify Theorem 5.17")
     modelcheck.add_argument("--max-states", type=int, default=400_000,
                             dest="max_states")
     modelcheck.add_argument("--cmtpres", action="store_true")
-    modelcheck.add_argument("--jobs", type=int, default=1, metavar="N",
-                            help="work-stealing frontier exploration with N "
-                                 "worker processes per scope (opt-in; "
-                                 "disables --trace)")
+    modelcheck.add_argument("--jobs", type=int, default=None, metavar="N",
+                            help="run the deterministic parallel dataflow "
+                                 "with N worker processes per scope (any N "
+                                 "gives identical attribution, including "
+                                 "N=1; omit for the sequential explorer; "
+                                 "disables --trace/--flame)")
     modelcheck.add_argument("--por", action=argparse.BooleanOptionalAction,
                             default=True,
                             help="mover-guided partial-order reduction "
@@ -487,6 +668,7 @@ def build_parser() -> argparse.ArgumentParser:
     modelcheck.add_argument("--trace", metavar="PATH",
                             help="record exploration stats to PATH "
                                  "(.json = Chrome trace, else JSONL)")
+    _add_obs_flags(modelcheck)
     modelcheck.set_defaults(func=cmd_modelcheck)
 
     trace = sub.add_parser(
@@ -548,6 +730,7 @@ def build_parser() -> argparse.ArgumentParser:
                             "witness")
     chaos.add_argument("--out", metavar="PATH",
                        help="write the JSON suite report to PATH")
+    _add_obs_flags(chaos, flight_default="flight-recordings")
     chaos.set_defaults(func=cmd_chaos)
 
     fuzz = sub.add_parser(
@@ -581,7 +764,53 @@ def build_parser() -> argparse.ArgumentParser:
                       help="export coverage counters as obs-layer JSONL")
     fuzz.add_argument("--out", metavar="PATH",
                       help="write the full fuzz report as JSON")
+    fuzz.add_argument("--profile", action="store_true",
+                      help="in-process profiled sweep; print the top-N "
+                           "self-time table (ignores --jobs)")
+    fuzz.add_argument("--flame", metavar="PATH",
+                      help="write collapsed stacks to PATH (implies an "
+                           "in-process profiled sweep)")
     fuzz.set_defaults(func=cmd_fuzz)
+
+    report = sub.add_parser(
+        "report",
+        help="render the self-contained HTML dashboard (docs/OBSERVABILITY.md)",
+    )
+    report.add_argument("--out", default="report.html",
+                        help="output HTML path (default: report.html)")
+    report.add_argument("--trace", metavar="PATH",
+                        help="JSONL event log to render as a flamegraph "
+                             "section")
+    report.add_argument("--title", default="repro dashboard")
+    report.set_defaults(func=cmd_report)
+
+    perf = sub.add_parser(
+        "perf",
+        help="performance regression watchdog vs the committed BENCH "
+             "baselines (exit 2 on regression)",
+    )
+    perf.add_argument("--tiny", action="store_true",
+                      help="CI smoke mode: smallest scope per tier")
+    perf.add_argument("--repeat", type=int, default=2,
+                      help="kernel-throughput timing repetitions (best run "
+                           "counts)")
+    perf.add_argument("--tolerance", type=float, default=0.35,
+                      help="throughput floor as a fraction of the committed "
+                           "states/sec (deterministic gates ignore this)")
+    perf.add_argument("--tier", action="append", dest="tiers",
+                      choices=["kernel", "por", "faults"],
+                      help="run only this tier (repeatable; default: all)")
+    perf.add_argument("--seed", type=int, default=0,
+                      help="base seed for the faults tier suite")
+    perf.add_argument("--kernel-baseline", dest="kernel_baseline",
+                      default=None, metavar="PATH")
+    perf.add_argument("--por-baseline", dest="por_baseline",
+                      default=None, metavar="PATH")
+    perf.add_argument("--faults-baseline", dest="faults_baseline",
+                      default=None, metavar="PATH")
+    perf.add_argument("--json", metavar="PATH",
+                      help="also write the findings as JSON")
+    perf.set_defaults(func=cmd_perf, all_tiers=("kernel", "por", "faults"))
 
     evaluate = sub.add_parser("evaluate", help="regenerate the evaluation")
     evaluate.set_defaults(func=cmd_evaluate)

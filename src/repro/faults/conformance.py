@@ -36,7 +36,9 @@ from repro.core.spec import SequentialSpec
 from repro.faults.nemesis import ReplayScheduler
 from repro.faults.plan import FaultInjector, FaultPlan
 from repro.faults.recovery import RecoveryPolicy, make_policy
-from repro.obs.tracer import NULL_TRACER, Tracer
+from repro.obs.flight import FlightRecorder, maybe_dump
+from repro.obs.profiling import Profile
+from repro.obs.tracer import NULL_TRACER, RecordingTracer, Tracer
 from repro.runtime.harness import ExperimentResult, run_experiment
 from repro.runtime.scheduler import Scheduler, make_scheduler
 from repro.runtime.workload import WorkloadConfig, make_workload
@@ -77,6 +79,9 @@ class ChaosResult:
     choices: Tuple[Optional[int], ...] = ()
     opacity_checked: bool = False
     elapsed_sec: float = 0.0
+    #: path of the flight-recorder dump auto-written on a gate failure
+    #: (``None`` when the run passed or no recorder was armed)
+    flight_dump: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -93,6 +98,7 @@ class ChaosResult:
             "recovery": dict(self.recovery),
             "opacity_checked": self.opacity_checked,
             "elapsed_sec": round(self.elapsed_sec, 4),
+            "flight_dump": self.flight_dump,
         }
 
 
@@ -190,6 +196,8 @@ def run_chaos(
     concurrency: Optional[int] = None,
     max_retries: int = 12,
     tracer: Tracer = NULL_TRACER,
+    flight_dir: Optional[str] = None,
+    profile: Optional[Profile] = None,
 ) -> ChaosResult:
     """One conformance-gated chaos run.
 
@@ -197,6 +205,12 @@ def run_chaos(
     jitter and the injector all derive from them and nothing else.  Pass
     ``replay_choices`` (a prior result's ``choices``) to byte-replay a
     recorded interleaving instead of rebuilding the scheduler.
+
+    ``profile`` accumulates span attribution (records the run with a
+    full :class:`~repro.obs.tracer.RecordingTracer`); ``flight_dir``
+    arms a bounded :class:`~repro.obs.flight.FlightRecorder` instead,
+    whose tail is auto-dumped there when the gate fails.  Both only
+    apply when the caller didn't pass an explicit ``tracer``.
     """
     seed = plan.seed if seed is None else seed
     injector = FaultInjector(plan)
@@ -207,6 +221,16 @@ def run_chaos(
         sched = make_scheduler(scheduler, seed)
         sched.record_choices = True
     policy = recovery if recovery is not None else make_policy("default", seed)
+    own_tracer = tracer is NULL_TRACER
+    if profile is not None and own_tracer:
+        tracer = RecordingTracer()
+    elif flight_dir is not None and own_tracer:
+        tracer = FlightRecorder(auto_dump_dir=flight_dir)
+
+    def _finish_profile() -> None:
+        if profile is not None and own_tracer:
+            profile.add_tracer(tracer)
+
     started = time.perf_counter()
     try:
         result = run_experiment(
@@ -224,6 +248,7 @@ def run_chaos(
             tracer=tracer,
         )
     except Exception as exc:  # CriterionViolation, MachineError, anything
+        _finish_profile()
         return ChaosResult(
             algorithm=algorithm.name,
             seed=seed,
@@ -234,8 +259,23 @@ def run_chaos(
             recovery=policy.snapshot(),
             choices=tuple(sched.choices),
             elapsed_sec=time.perf_counter() - started,
+            flight_dump=maybe_dump(
+                tracer,
+                label=f"chaos-{algorithm.name}-seed{seed}",
+                reason="exception",
+                meta={"seed": seed, "error": f"{type(exc).__name__}: {exc}"},
+            ),
         )
     failures, opacity_checked = conformance_failures(algorithm, spec, result)
+    _finish_profile()
+    flight_dump = None
+    if failures:
+        flight_dump = maybe_dump(
+            tracer,
+            label=f"chaos-{algorithm.name}-seed{seed}",
+            reason=failures[0].check,
+            meta={"seed": seed, "failures": [str(f) for f in failures]},
+        )
     return ChaosResult(
         algorithm=algorithm.name,
         seed=seed,
@@ -251,6 +291,7 @@ def run_chaos(
         choices=tuple(sched.choices),
         opacity_checked=opacity_checked,
         elapsed_sec=time.perf_counter() - started,
+        flight_dump=flight_dump,
     )
 
 
@@ -351,6 +392,8 @@ def run_suite(
     workload: str = "readwrite",
     max_retries: int = 12,
     on_result: Optional[Callable[[str, ChaosResult], None]] = None,
+    flight_dir: Optional[str] = None,
+    profile: Optional[Profile] = None,
 ) -> SuiteReport:
     """The default nemesis suite: for each strategy, ``plans_per_strategy``
     seed-derived plans under the adversarial scheduler, each run gated.
@@ -358,6 +401,9 @@ def run_suite(
     Plan seeds are a deterministic function of ``(base_seed, strategy
     index, plan index)``, so the whole suite reproduces from its base
     seed, and any single failure reproduces from its printed seed alone.
+
+    ``flight_dir``/``profile`` are forwarded to every :func:`run_chaos`
+    (flight dumps on failing runs, span attribution across the suite).
     """
     report = SuiteReport(
         plans_per_strategy=plans_per_strategy,
@@ -397,6 +443,8 @@ def run_suite(
                 seed=plan_seed,
                 scheduler=scheduler,
                 max_retries=max_retries,
+                flight_dir=flight_dir,
+                profile=profile,
             )
             row["plans"] += 1
             row["commits"] += outcome.commits

@@ -29,13 +29,13 @@ matching counts deterministic hook hits — no clock, no ambient RNG.
 
 from __future__ import annotations
 
-import collections
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from enum import Enum
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import AbortKind, TMAbort
+from repro.obs.metrics import MetricsRegistry
 
 
 class FaultKind(Enum):
@@ -206,22 +206,29 @@ class FaultInjector(NullInjector):
 
     Stateful but deterministic: per-event ``seen``/``fired`` counters are
     advanced only by hook hits, which are themselves deterministic given
-    the scheduler seed.  ``stats`` aggregates what actually fired (plain
-    Python counters, so chaos runs need no tracer); with an enabled
-    tracer the same increments are mirrored as ``fault.*`` counts.
+    the scheduler seed.  Fired-fault accounting lives in a
+    :class:`~repro.obs.metrics.MetricsRegistry` (pass one in to aggregate
+    a whole suite into a single registry); :attr:`stats` is the legacy
+    flat-dict view over its counters.  With an enabled tracer the same
+    increments are mirrored as ``fault.*`` counts.
     """
 
     armed = True
 
-    __slots__ = ("plan", "_states", "_runtime", "stats", "fired_log")
+    __slots__ = ("plan", "_states", "_runtime", "registry", "fired_log")
 
-    def __init__(self, plan: FaultPlan):
+    def __init__(self, plan: FaultPlan, registry: Optional[MetricsRegistry] = None):
         self.plan = plan
         self._states = [_EventState() for _ in plan.events]
         self._runtime: Any = None
-        self.stats: collections.Counter = collections.Counter()
+        self.registry = registry if registry is not None else MetricsRegistry()
         #: chronological record of fired events (diagnostics and tests)
         self.fired_log: List[Dict[str, Any]] = []
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Flat ``fault.* -> count`` dict of everything that fired."""
+        return self.registry.counter_values()
 
     def bind(self, runtime: Any) -> None:
         """Attach to the owning :class:`~repro.tm.base.Runtime` (called
@@ -231,8 +238,8 @@ class FaultInjector(NullInjector):
     # -- internals -----------------------------------------------------------
 
     def _note(self, event: FaultEvent, site: str, tid: Optional[int], job) -> None:
-        self.stats["fault.injected"] += 1
-        self.stats[f"fault.injected.{event.kind.value}"] += 1
+        self.registry.counter("fault.injected").inc()
+        self.registry.counter(f"fault.injected.{event.kind.value}").inc()
         self.fired_log.append(
             {"kind": event.kind.value, "site": site, "tid": tid, "job": job}
         )
@@ -287,7 +294,7 @@ class FaultInjector(NullInjector):
                 if event.kind is FaultKind.STALL:
                     quanta = max(1, event.duration)
                     stall = max(stall, quanta)
-                    self.stats["fault.stall_quanta"] += quanta
+                    self.registry.counter("fault.stall_quanta").inc(quanta)
                     self._note(event, "quantum:stall", tid, job)
                     continue
                 self._note(event, "quantum", tid, job)
@@ -306,7 +313,7 @@ class FaultInjector(NullInjector):
                 continue
             if self._window(index, event):
                 deny = True
-                self.stats["fault.lock_denied"] += 1
+                self.registry.counter("fault.lock_denied").inc()
                 self._note(event, "acquire", owner, job)
         return deny
 

@@ -19,16 +19,19 @@ built-in backoff formula with a configurable discipline:
   but it bounds the mutual-destruction cases, and the counters make the
   effect measurable.
 
-All decisions are recorded in ``stats`` (plain counters, tracer-free) and
-mirrored as ``recovery.*`` tracer counts by the stepper when tracing is
-enabled (see docs/OBSERVABILITY.md).
+All decisions are recorded in a
+:class:`~repro.obs.metrics.MetricsRegistry` (tracer-free; pass one in to
+aggregate a suite) with :attr:`RecoveryPolicy.stats` as the legacy
+flat-dict view, and mirrored as ``recovery.*`` tracer counts by the
+stepper when tracing is enabled (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
 
-import collections
 import random
 from typing import Dict, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
 
 #: the token escalated transactions serialise under (see
 #: :class:`~repro.tm.base.TxStepper`)
@@ -50,6 +53,7 @@ class RecoveryPolicy:
         jitter: float = 0.5,
         escalate_after: Optional[int] = 6,
         seed: int = 0,
+        registry: Optional[MetricsRegistry] = None,
     ):
         if base < 1:
             raise ValueError("backoff base must be >= 1")
@@ -62,7 +66,12 @@ class RecoveryPolicy:
         self.escalate_after = escalate_after
         self.seed = seed
         self._rng = random.Random(seed)
-        self.stats: collections.Counter = collections.Counter()
+        self.registry = registry if registry is not None else MetricsRegistry()
+
+    @property
+    def stats(self) -> Dict[str, int]:
+        """Flat ``recovery.* -> count`` dict of every decision made."""
+        return self.registry.counter_values()
 
     def on_abort(self, job_id: Optional[int], aborts: int, kind) -> Tuple[int, bool]:
         """Decide the response to the ``aborts``-th abort of ``job_id``:
@@ -73,18 +82,18 @@ class RecoveryPolicy:
         escalate = (
             self.escalate_after is not None and aborts >= self.escalate_after
         )
-        self.stats["recovery.retry"] += 1
-        self.stats["recovery.backoff_quanta"] += quanta
+        self.registry.counter("recovery.retry").inc()
+        self.registry.counter("recovery.backoff_quanta").inc(quanta)
         if escalate:
-            self.stats["recovery.escalation"] += 1
+            self.registry.counter("recovery.escalation").inc()
         return quanta, escalate
 
     def on_giveup(self, job_id: Optional[int]) -> None:
         """The stepper exhausted its retry budget (permanent abort)."""
-        self.stats["recovery.giveup"] += 1
+        self.registry.counter("recovery.giveup").inc()
 
     def snapshot(self) -> Dict[str, int]:
-        return dict(self.stats)
+        return self.stats
 
 
 #: Named presets for the CLI and benchmarks.

@@ -40,7 +40,29 @@ from repro.fuzz.coverage import CoverageMap, key_to_str
 from repro.fuzz.mutators import mutate_entry
 from repro.fuzz.oracle import MAX_RETRIES, enabled_strategies, run_entry
 from repro.fuzz.shrink import shrink_failure
+from repro.obs.flight import FlightRecorder, maybe_dump
+from repro.obs.profiling import Profile
+from repro.obs.tracer import RecordingTracer
 from repro.tm.broken import BROKEN_ALGORITHMS
+
+
+def _summarize_run(run, entry_name: str) -> Dict:
+    """The compact dict-shaped verdict of one (entry, strategy) run —
+    what crosses the process boundary under ``--jobs`` and what the
+    engine's admission/failure logic consumes either way."""
+    return {
+        "strategy": run.strategy,
+        "entry_name": entry_name,
+        "ok": run.ok,
+        "failures": [[f.check, f.detail] for f in run.failures],
+        "coverage": sorted(key_to_str(k) for k in run.coverage),
+        "fingerprint": run.fingerprint(),
+        "commits": run.commits,
+        "aborts": run.aborts,
+        "permanently_aborted": run.permanently_aborted,
+        "divergence_checked": run.divergence_checked,
+        "opacity_checked": run.opacity_checked,
+    }
 
 
 def _run_payload(payload: Dict) -> Dict:
@@ -54,19 +76,7 @@ def _run_payload(payload: Dict) -> Dict:
     """
     entry = CorpusEntry.from_dict(payload["entry"])
     run = run_entry(entry, payload["strategy"], max_retries=payload["max_retries"])
-    return {
-        "strategy": run.strategy,
-        "entry_name": entry.name,
-        "ok": run.ok,
-        "failures": [[f.check, f.detail] for f in run.failures],
-        "coverage": sorted(key_to_str(k) for k in run.coverage),
-        "fingerprint": run.fingerprint(),
-        "commits": run.commits,
-        "aborts": run.aborts,
-        "permanently_aborted": run.permanently_aborted,
-        "divergence_checked": run.divergence_checked,
-        "opacity_checked": run.opacity_checked,
-    }
+    return _summarize_run(run, entry.name)
 
 
 @dataclass
@@ -85,6 +95,8 @@ class FuzzReport:
     zoo_caught: Dict[str, List[str]] = field(default_factory=dict)
     zoo_escapes: List[str] = field(default_factory=list)
     coverage_gaps: List[str] = field(default_factory=list)
+    #: flight-recorder dumps auto-written next to the failure artifacts
+    flight_dumps: List[str] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -108,6 +120,7 @@ class FuzzReport:
             "zoo_caught": self.zoo_caught,
             "zoo_escapes": self.zoo_escapes,
             "coverage_gaps": self.coverage_gaps,
+            "flight_dumps": self.flight_dumps,
         }
 
 
@@ -165,6 +178,7 @@ class Fuzzer:
         artifacts_dir: Optional[str] = None,
         jobs: int = 1,
         shrink: bool = True,
+        profile: Optional[Profile] = None,
     ) -> None:
         self.corpus_dir = corpus_dir
         self.strategies = (
@@ -175,6 +189,10 @@ class Fuzzer:
         self.artifacts_dir = artifacts_dir
         self.jobs = max(1, jobs)
         self.shrink = shrink
+        #: when set, every sweep runs in-process and its span attribution
+        #: accumulates here (``--jobs`` is ignored: worker processes
+        #: cannot ship their event streams back affordably)
+        self.profile = profile
 
     # -- execution -----------------------------------------------------------
 
@@ -184,6 +202,16 @@ class Fuzzer:
         """Run (entry, strategy) pairs, in order, possibly in parallel.
         Results come back in submission order either way, which keeps the
         whole session deterministic under any ``--jobs``."""
+        if self.profile is not None:
+            out = []
+            for entry, strategy in pairs:
+                tracer = RecordingTracer()
+                run = run_entry(
+                    entry, strategy, max_retries=self.max_retries, tracer=tracer
+                )
+                self.profile.add_tracer(tracer)
+                out.append(_summarize_run(run, entry.name))
+            return out
         payloads = [
             {
                 "entry": entry.to_dict(),
@@ -215,6 +243,21 @@ class Fuzzer:
         run = run_entry(entry, summary["strategy"], max_retries=self.max_retries)
         if run.ok:  # pragma: no cover - determinism violation guard
             return
+        # ... and once more through the bounded flight recorder: the
+        # black-box tail dump rides along with the artifact (runs are
+        # pure functions of (entry, strategy), so this replays exactly).
+        flight = FlightRecorder(auto_dump_dir=self.artifacts_dir)
+        run_entry(
+            entry, summary["strategy"], max_retries=self.max_retries, tracer=flight
+        )
+        dump = maybe_dump(
+            flight,
+            label=f"fuzz-{entry.name}-{summary['strategy']}",
+            reason=run.failure_checks[0] if run.failure_checks else "failure",
+            meta={"entry": entry.name, "strategy": summary["strategy"]},
+        )
+        if dump:
+            report.flight_dumps.append(dump)
         shrunk = None
         if self.shrink:
             try:

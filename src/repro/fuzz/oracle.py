@@ -187,17 +187,27 @@ class StrategyRun:
 
 
 def run_entry(
-    entry: CorpusEntry, strategy: str, max_retries: int = MAX_RETRIES
+    entry: CorpusEntry,
+    strategy: str,
+    max_retries: int = MAX_RETRIES,
+    tracer=None,
 ) -> StrategyRun:
     """Run ``entry`` under ``strategy`` and judge it.
 
     Deterministic from its arguments: the spec is rebuilt from the
     registry, the scheduler/recovery/injector all derive from the entry,
     and no ambient state leaks in.
+
+    ``tracer`` may be any recorder exposing ``.events`` (a
+    :class:`~repro.obs.tracer.RecordingTracer` by default; the engine
+    passes a bounded :class:`~repro.obs.flight.FlightRecorder` when
+    re-running a failure to produce a dump artifact) — coverage and the
+    normalized stream are derived from whatever it captured.
     """
     algorithm = make_algorithm(strategy)
     spec = get_spec(entry.spec)
-    tracer = RecordingTracer()
+    if tracer is None:
+        tracer = RecordingTracer()
     injector = FaultInjector(entry.plan)
     scheduler = PrefixScheduler(entry.choice_prefix, seed=entry.seed)
     recovery = make_policy("default", entry.seed)

@@ -34,10 +34,18 @@ from repro.obs.tracer import (
 )
 from repro.obs.metrics import (
     CounterMetric,
+    GaugeMetric,
     HistogramMetric,
     MetricsRegistry,
     percentile_nearest_rank,
 )
+from repro.obs.flight import (
+    DEFAULT_CAPACITY,
+    FlightRecorder,
+    maybe_dump,
+    tail_signature,
+)
+from repro.obs.profiling import Profile, logical_profile
 from repro.obs.exporters import (
     events_from_jsonl,
     read_jsonl,
@@ -62,9 +70,16 @@ __all__ = [
     "CAT_RUNTIME",
     "CAT_MC",
     "CounterMetric",
+    "GaugeMetric",
     "HistogramMetric",
     "MetricsRegistry",
     "percentile_nearest_rank",
+    "FlightRecorder",
+    "DEFAULT_CAPACITY",
+    "maybe_dump",
+    "tail_signature",
+    "Profile",
+    "logical_profile",
     "write_jsonl",
     "read_jsonl",
     "events_from_jsonl",

@@ -22,15 +22,20 @@ from repro.obs.tracer import (
     PH_COMPLETE,
     PH_COUNTER,
     PH_INSTANT,
-    RecordingTracer,
     TraceEvent,
     Tracer,
 )
 
 
 def _events_of(source: Union[Tracer, Sequence[TraceEvent]]) -> Sequence[TraceEvent]:
-    if isinstance(source, RecordingTracer):
-        source.flush_counts()
+    # Duck-typed on purpose: RecordingTracer and FlightRecorder both
+    # expose ``events`` (+ ``flush_counts``); a disabled tracer exposes
+    # neither and exports nothing.
+    events = getattr(source, "events", None)
+    if events is not None:
+        flush = getattr(source, "flush_counts", None)
+        if flush is not None:
+            flush()
         return source.events
     if isinstance(source, Tracer):
         return ()

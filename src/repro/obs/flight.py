@@ -1,0 +1,249 @@
+"""The flight recorder: an always-on black box for post-mortem debugging.
+
+A :class:`FlightRecorder` implements the full :class:`~repro.obs.tracer.
+Tracer` protocol but stores events as raw tuples in a bounded ring
+(``collections.deque(maxlen=capacity)``), so it can stay enabled on every
+chaos, fuzz and model-checking run at near-:class:`~repro.obs.tracer.
+NullTracer` cost.  When a conformance gate, fuzz oracle or model-check
+verdict fails, the last ``capacity`` events are dumped to a replayable
+JSONL artifact next to the existing ddmin artifacts — the "what was the
+machine doing just before it died" record.
+
+Two deliberate deviations from :class:`~repro.obs.tracer.RecordingTracer`
+keep the overhead inside the ≤5% budget (measured on a kvmap ``compare``
+run; see ``tests/test_obs.py``):
+
+* **no wall clock** — ``now()`` returns 0.0 and no event calls
+  ``perf_counter``.  Event *order* is the ring order; materialised
+  events carry their ring index as ``ts`` (µs-shaped, monotone) and
+  ``dur=0``.  The two ``perf_counter`` calls per span were the single
+  largest cost of recording tracing; the replay-match contract
+  (:func:`tail_signature`) never looks at wall-clock fields anyway;
+* **no event objects** — the hot methods build one plain tuple and
+  append it; :class:`~repro.obs.tracer.TraceEvent` objects are only
+  materialised on demand (:attr:`FlightRecorder.events`, :meth:`dump`).
+
+Because every instrumentation site fires identically for any enabled
+tracer, a flight dump's tail replay-matches a
+:class:`~repro.obs.tracer.RecordingTracer` capture of the same seeded
+run — the acceptance contract tested in ``tests/test_flight.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import deque
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+from repro.obs.tracer import (
+    CAT_RUNTIME,
+    PH_COMPLETE,
+    PH_COUNTER,
+    PH_INSTANT,
+    RecordingTracer,
+    TraceEvent,
+    Tracer,
+)
+
+#: default ring capacity: enough for the last few thousand rule
+#: applications — the window that matters for a post-mortem
+DEFAULT_CAPACITY = 4096
+
+
+class FlightRecorder(Tracer):
+    """Bounded ring-buffer tracer (``capacity=None`` = unbounded).
+
+    ``auto_dump_dir`` names the directory :func:`maybe_dump` writes
+    artifacts to; ``None`` (the default) disables automatic dumping —
+    the recorder still records, callers can still :meth:`dump`
+    explicitly.
+    """
+
+    enabled = True
+
+    __slots__ = ("capacity", "_ring", "_append", "counts", "pid",
+                 "auto_dump_dir")
+
+    def __init__(
+        self,
+        capacity: Optional[int] = DEFAULT_CAPACITY,
+        auto_dump_dir: Optional[str] = None,
+    ) -> None:
+        self.capacity = capacity
+        self._ring: deque = deque(maxlen=capacity)
+        # Pre-bound append: the hot methods do one call + one tuple build.
+        self._append = self._ring.append
+        self.counts: Dict[str, int] = {}
+        self.pid = next(RecordingTracer._pid_counter)
+        self.auto_dump_dir = auto_dump_dir
+
+    # -- clock (deliberately logical; see module docstring) ------------------
+
+    def now(self) -> float:
+        return 0.0
+
+    # -- hot path ------------------------------------------------------------
+
+    def instant(self, name: str, cat: str, tid: int = 0, args: Optional[dict] = None) -> None:
+        self._append((name, cat, PH_INSTANT, tid, args))
+
+    def span(
+        self,
+        name: str,
+        cat: str,
+        start: float,
+        tid: int = 0,
+        args: Optional[dict] = None,
+    ) -> None:
+        self._append((name, cat, PH_COMPLETE, tid, args))
+
+    def counter(self, name: str, cat: str, values: Dict[str, float], tid: int = 0) -> None:
+        self._append((name, cat, PH_COUNTER, tid, dict(values)))
+
+    def count(self, name: str, delta: int = 1) -> None:
+        self.counts[name] = self.counts.get(name, 0) + delta
+
+    # -- views ---------------------------------------------------------------
+
+    @property
+    def truncated(self) -> bool:
+        """Whether the ring has (probably) wrapped: a full bounded ring
+        means earlier events were evicted."""
+        return self.capacity is not None and len(self._ring) == self.capacity
+
+    def __len__(self) -> int:
+        return len(self._ring)
+
+    @property
+    def events(self) -> List[TraceEvent]:
+        """The ring materialised as :class:`TraceEvent` objects.  ``ts``
+        is the ring index (order, not time); built fresh on every access —
+        this is the cold path."""
+        pid = self.pid
+        return [
+            TraceEvent(name, cat, ph, float(index), tid=tid, pid=pid,
+                       args=args if isinstance(args, dict) else (args or {}))
+            for index, (name, cat, ph, tid, args) in enumerate(self._ring)
+        ]
+
+    def tail(self, n: Optional[int] = None) -> List[TraceEvent]:
+        """The last ``n`` materialised events (all of them if ``None``)."""
+        events = self.events
+        return events if n is None else events[-n:]
+
+    def events_in(self, cat: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.cat == cat]
+
+    def names(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for name, _cat, _ph, _tid, _args in self._ring:
+            out[name] = out.get(name, 0) + 1
+        return out
+
+    def flush_counts(self) -> None:
+        """Materialise the scalar aggregates as counter events (same
+        contract as :meth:`RecordingTracer.flush_counts`), so exporters
+        and dumps include them."""
+        for name, value in sorted(self.counts.items()):
+            self.counter(name, CAT_RUNTIME, {"value": float(value)})
+        self.counts.clear()
+
+    # -- dumping -------------------------------------------------------------
+
+    def dump(
+        self,
+        path: str,
+        reason: str = "",
+        meta: Optional[Dict[str, Any]] = None,
+    ) -> int:
+        """Write the black box to ``path`` as JSONL.
+
+        Line 1 is a ``flight.dump`` meta event (reason, capacity,
+        truncation flag, extra ``meta``); then every ring event in order;
+        then the scalar aggregates as counter events.  Returns the number
+        of event lines written (excluding the meta line)."""
+        header = TraceEvent(
+            "flight.dump",
+            CAT_RUNTIME,
+            PH_INSTANT,
+            0.0,
+            pid=self.pid,
+            args={
+                "reason": reason,
+                "capacity": self.capacity,
+                "recorded": len(self._ring),
+                "truncated": self.truncated,
+                **(meta or {}),
+            },
+        )
+        self.flush_counts()
+        events = self.events
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(header.to_dict(), default=repr) + "\n")
+            for event in events:
+                handle.write(json.dumps(event.to_dict(), default=repr))
+                handle.write("\n")
+        return len(events)
+
+
+def maybe_dump(
+    tracer: Tracer,
+    label: str,
+    reason: str,
+    directory: Optional[str] = None,
+    meta: Optional[Dict[str, Any]] = None,
+) -> Optional[str]:
+    """Dump ``tracer``'s black box if it is a flight recorder with a
+    destination.
+
+    ``directory`` overrides the recorder's ``auto_dump_dir``; when both
+    are ``None`` (or the tracer is not a flight recorder) this is a
+    no-op returning ``None``.  Filenames are deterministic —
+    ``{label}-{reason}.jsonl``, with a numeric suffix on collision — so
+    repeated seeded runs produce stable artifact names."""
+    dump = getattr(tracer, "dump", None)
+    if dump is None:
+        return None
+    target_dir = directory or getattr(tracer, "auto_dump_dir", None)
+    if target_dir is None:
+        return None
+    os.makedirs(target_dir, exist_ok=True)
+    safe = "".join(c if c.isalnum() or c in "-._" else "-"
+                   for c in f"{label}-{reason}")
+    path = os.path.join(target_dir, f"{safe}.jsonl")
+    suffix = 1
+    while os.path.exists(path):
+        path = os.path.join(target_dir, f"{safe}-{suffix}.jsonl")
+        suffix += 1
+    dump(path, reason=reason, meta=meta)
+    return path
+
+
+def tail_signature(
+    source: Union[Tracer, Sequence[TraceEvent]],
+    n: Optional[int] = None,
+) -> tuple:
+    """The wall-clock-free signature of the last ``n`` events: per event
+    ``(name, cat, ph, tid, canonical-args-json)``, with counter events
+    and ``flight.*`` meta events excluded (counters are flushed at
+    different times by different tracers; the meta line is dump-only).
+
+    Two enabled tracers observing the same seeded run have equal tail
+    signatures — the replay-match contract between a flight dump and a
+    :class:`RecordingTracer` capture."""
+    events = getattr(source, "events", source)
+    projected = [
+        (
+            event.name,
+            event.cat,
+            event.ph,
+            event.tid,
+            json.dumps(event.args, sort_keys=True, default=repr),
+        )
+        for event in events
+        if event.ph != PH_COUNTER and not event.name.startswith("flight.")
+    ]
+    if n is not None:
+        projected = projected[-n:]
+    return tuple(projected)

@@ -1,0 +1,368 @@
+"""``repro perf`` — the tolerance-gated performance regression watchdog.
+
+One command re-measures the three CI benchmark tiers against their
+*committed* baselines and answers with a classic watchdog exit-code
+protocol: ``0`` all green, ``2`` at least one regression, ``1``
+operational error (a baseline file is missing or unreadable).  It
+consolidates what used to take three separate gate-script invocations
+(``bench_kernel.py`` / ``bench_por.py`` / ``bench_faults.py``) into a
+single pass that *never rewrites* the baseline files — measuring and
+refreshing stay the bench scripts' job; judging is this module's.
+
+The three tiers and their gates:
+
+* **kernel** (``BENCH_kernel.json``) — untraced exhaustive exploration
+  of the tier scope.  The verdict (states, transitions, final states,
+  rule counts) must equal the committed baseline's **exactly** — a
+  deterministic identity, no tolerance.  Throughput is gated with slack:
+  measured states/sec must reach ``tolerance ×`` the committed rate
+  (default 0.35 — CI containers are noisy and share cores; a true
+  regression from an accidental algorithmic change is far larger).
+* **por** (``benchmarks/BENCH_por.json``) — POR on/off per scope.  All
+  recorded fields are deterministic (state and transition counts, ample
+  hits, full expansions, verdicts), so the gate is exact identity.
+* **faults** (``BENCH_faults.json``) — the seeded nemesis suite.  Hard
+  gates: zero conformance failures and at least one injected fault per
+  strategy.  When the committed baseline was recorded in the same mode
+  (tiny/full), the deterministic per-strategy aggregates (plans,
+  commits, aborts, injections, permanent aborts) must match exactly.
+
+Every baseline path is a parameter, so tests can point a tier at a
+perturbed fixture and watch the exit code flip to 2.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: src/repro/obs/perf.py -> repo root
+REPO_ROOT = Path(__file__).resolve().parents[3]
+KERNEL_BASELINE = REPO_ROOT / "BENCH_kernel.json"
+POR_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_por.json"
+FAULTS_BASELINE = REPO_ROOT / "BENCH_faults.json"
+
+TIERS = ("kernel", "por", "faults")
+
+#: default throughput slack: measured must reach this fraction of the
+#: committed states/sec (see module docstring for why it is generous)
+DEFAULT_TOLERANCE = 0.35
+
+KERNEL_FULL_SCOPE = "kvmap-branch"
+KERNEL_TINY_SCOPE = "mem-ww"
+POR_TINY_SCOPES = ("mem-ww", "counter")
+FAULTS_FULL_PLANS = 20
+FAULTS_TINY_PLANS = 2
+
+
+@dataclass
+class PerfFinding:
+    """One gate's verdict inside one tier."""
+
+    tier: str
+    name: str
+    ok: bool
+    detail: str
+    measured: Optional[float] = None
+    baseline: Optional[float] = None
+
+    def row(self) -> str:
+        status = "ok  " if self.ok else "FAIL"
+        numbers = ""
+        if self.measured is not None and self.baseline is not None:
+            numbers = f" [measured={self.measured:g} baseline={self.baseline:g}]"
+        return f"{status} {self.tier:<7} {self.name:<28} {self.detail}{numbers}"
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "tier": self.tier,
+            "name": self.name,
+            "ok": self.ok,
+            "detail": self.detail,
+            "measured": self.measured,
+            "baseline": self.baseline,
+        }
+
+
+@dataclass
+class PerfReport:
+    """Everything one watchdog pass concluded."""
+
+    tiny: bool
+    tolerance: float
+    findings: List[PerfFinding] = field(default_factory=list)
+    elapsed_sec: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return all(f.ok for f in self.findings)
+
+    @property
+    def regressions(self) -> List[PerfFinding]:
+        return [f for f in self.findings if not f.ok]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "tiny": self.tiny,
+            "tolerance": self.tolerance,
+            "findings": [f.to_dict() for f in self.findings],
+            "elapsed_sec": round(self.elapsed_sec, 3),
+        }
+
+    def render(self) -> str:
+        lines = [f.row() for f in self.findings]
+        verdict = "all gates green" if self.ok else (
+            f"{len(self.regressions)} regression(s)"
+        )
+        lines.append(
+            f"perf: {verdict} "
+            f"({'tiny' if self.tiny else 'full'} tier set, "
+            f"tolerance {self.tolerance}, {self.elapsed_sec:.1f}s)"
+        )
+        return "\n".join(lines)
+
+
+class BaselineError(RuntimeError):
+    """A baseline file is missing or structurally unusable (exit 1,
+    not exit 2 — the watchdog cannot judge without a reference)."""
+
+
+def _load(path: Path, tier: str) -> Dict[str, Any]:
+    if not Path(path).exists():
+        raise BaselineError(f"{tier}: baseline file not found: {path}")
+    try:
+        return json.loads(Path(path).read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"{tier}: unreadable baseline {path}: {exc}")
+
+
+# -- kernel tier ---------------------------------------------------------------
+
+
+def _measure_kernel(scope: str, repeat: int) -> Tuple[float, Dict[str, Any]]:
+    """Best-of-``repeat`` untraced states/sec plus the verdict — the
+    same measurement (and the same POR-off isolation rationale) as
+    ``benchmarks/bench_kernel.py``."""
+    from repro.checking.model_checker import ExploreOptions, explore
+    from repro.cli import SCOPES
+
+    spec_cls, programs = SCOPES[scope]
+    best: Optional[float] = None
+    report = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        report = explore(spec_cls(), programs, ExploreOptions(por=False))
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None or elapsed < best else best
+    verdict = {
+        "states": report.states,
+        "transitions": report.transitions,
+        "final_states": report.final_states,
+        "rule_counts": dict(sorted(report.rule_counts.items())),
+        "ok": report.ok,
+    }
+    return report.states / best, verdict
+
+
+def check_kernel(
+    tiny: bool, repeat: int, tolerance: float, baseline_path: Path
+) -> List[PerfFinding]:
+    scope = KERNEL_TINY_SCOPE if tiny else KERNEL_FULL_SCOPE
+    document = _load(baseline_path, "kernel")
+    baseline = document.get("baselines", {}).get(scope)
+    if baseline is None:
+        raise BaselineError(
+            f"kernel: no committed baseline for scope {scope!r} in {baseline_path}"
+        )
+    rate, verdict = _measure_kernel(scope, repeat)
+    findings = []
+    expected = baseline.get("verdict")
+    if expected is not None:
+        findings.append(
+            PerfFinding(
+                "kernel",
+                f"{scope}/verdict",
+                ok=expected == verdict,
+                detail="exploration verdict identical to baseline"
+                if expected == verdict
+                else f"verdict differs from baseline (got {verdict})",
+            )
+        )
+    committed = float(baseline["states_per_sec"])
+    floor = tolerance * committed
+    findings.append(
+        PerfFinding(
+            "kernel",
+            f"{scope}/throughput",
+            ok=rate >= floor,
+            detail=f"states/sec vs {tolerance} x committed floor ({floor:.0f})",
+            measured=round(rate, 1),
+            baseline=committed,
+        )
+    )
+    return findings
+
+
+# -- por tier ------------------------------------------------------------------
+
+#: the deterministic fields of a BENCH_por scope row, per arm
+_POR_ON_FIELDS = ("states", "transitions", "ample_hits", "full_expansions", "ok")
+_POR_OFF_FIELDS = ("states", "transitions", "ok")
+
+
+def _measure_por(scope: str) -> Dict[str, Dict[str, Any]]:
+    from repro.checking.model_checker import ExploreOptions, explore
+    from repro.cli import SCOPES
+
+    spec_cls, programs = SCOPES[scope]
+    row: Dict[str, Dict[str, Any]] = {}
+    for arm, por in (("on", True), ("off", False)):
+        report = explore(
+            spec_cls(), programs, ExploreOptions(max_states=400_000, por=por)
+        )
+        row[arm] = {
+            "states": report.states,
+            "transitions": report.transitions,
+            "ample_hits": report.ample_hits,
+            "full_expansions": report.full_expansions,
+            "ok": report.ok,
+        }
+    return row
+
+
+def check_por(tiny: bool, baseline_path: Path) -> List[PerfFinding]:
+    document = _load(baseline_path, "por")
+    scopes = document.get("scopes", {})
+    if not scopes:
+        raise BaselineError(f"por: no scopes recorded in {baseline_path}")
+    names: Sequence[str] = (
+        [s for s in POR_TINY_SCOPES if s in scopes] if tiny else sorted(scopes)
+    )
+    findings = []
+    for scope in names:
+        committed = scopes[scope]
+        measured = _measure_por(scope)
+        mismatches = []
+        for arm, fields in (("on", _POR_ON_FIELDS), ("off", _POR_OFF_FIELDS)):
+            for key in fields:
+                want = committed.get(arm, {}).get(key)
+                got = measured[arm].get(key)
+                if want is not None and want != got:
+                    mismatches.append(f"{arm}.{key}: {got} != {want}")
+        findings.append(
+            PerfFinding(
+                "por",
+                scope,
+                ok=not mismatches,
+                detail="POR on/off exploration identical to baseline"
+                if not mismatches
+                else "; ".join(mismatches),
+            )
+        )
+    return findings
+
+
+# -- faults tier ---------------------------------------------------------------
+
+#: the deterministic per-strategy aggregates of a suite row
+_FAULT_FIELDS = ("plans", "commits", "aborts", "injected", "permanently_aborted")
+
+
+def check_faults(tiny: bool, baseline_path: Path, seed: int = 0) -> List[PerfFinding]:
+    from repro.faults.conformance import run_suite
+    from repro.runtime.workload import WorkloadConfig
+    from repro.tm import ALL_ALGORITHMS
+
+    document = _load(baseline_path, "faults")
+    mode = "tiny" if tiny else "full"
+    plans = FAULTS_TINY_PLANS if tiny else FAULTS_FULL_PLANS
+    config = WorkloadConfig(
+        transactions=5, ops_per_tx=3, keys=4, read_ratio=0.5, seed=seed
+    )
+    report = run_suite(
+        sorted(ALL_ALGORITHMS), config, plans_per_strategy=plans, base_seed=seed
+    )
+    findings = [
+        PerfFinding(
+            "faults",
+            "conformance",
+            ok=report.ok,
+            detail=f"{len(report.failures)} gate failure(s) "
+            f"across {report.total_plans} plans"
+            if not report.ok
+            else f"all {report.total_plans} plans passed the gate",
+        )
+    ]
+    silent = [
+        name for name, row in report.strategies.items() if row["injected"] == 0
+    ]
+    findings.append(
+        PerfFinding(
+            "faults",
+            "injection-floor",
+            ok=not silent,
+            detail="every strategy saw injected faults"
+            if not silent
+            else f"no injections for {silent}",
+            measured=float(report.total_injected),
+        )
+    )
+    committed = document.get("report", {}).get("strategies", {})
+    if document.get("mode") == mode and committed:
+        mismatches = []
+        for name, want in sorted(committed.items()):
+            got = report.strategies.get(name)
+            if got is None:
+                mismatches.append(f"{name}: strategy missing from suite")
+                continue
+            for key in _FAULT_FIELDS:
+                if key in want and want[key] != got[key]:
+                    mismatches.append(f"{name}.{key}: {got[key]} != {want[key]}")
+        findings.append(
+            PerfFinding(
+                "faults",
+                "suite-determinism",
+                ok=not mismatches,
+                detail="per-strategy aggregates identical to baseline"
+                if not mismatches
+                else "; ".join(mismatches[:6]),
+            )
+        )
+    return findings
+
+
+# -- the watchdog --------------------------------------------------------------
+
+
+def run_perf(
+    tiny: bool = False,
+    repeat: int = 2,
+    tolerance: float = DEFAULT_TOLERANCE,
+    kernel_path: Path = KERNEL_BASELINE,
+    por_path: Path = POR_BASELINE,
+    faults_path: Path = FAULTS_BASELINE,
+    tiers: Sequence[str] = TIERS,
+    seed: int = 0,
+) -> PerfReport:
+    """One full watchdog pass over the requested ``tiers``.
+
+    Raises :class:`BaselineError` when a reference is unusable; any
+    measured regression lands as a failing finding in the report (the
+    CLI maps ``report.ok`` to exit code 2).
+    """
+    report = PerfReport(tiny=tiny, tolerance=tolerance)
+    started = time.perf_counter()
+    if "kernel" in tiers:
+        report.findings.extend(
+            check_kernel(tiny, repeat, tolerance, Path(kernel_path))
+        )
+    if "por" in tiers:
+        report.findings.extend(check_por(tiny, Path(por_path)))
+    if "faults" in tiers:
+        report.findings.extend(check_faults(tiny, Path(faults_path), seed=seed))
+    report.elapsed_sec = time.perf_counter() - started
+    return report

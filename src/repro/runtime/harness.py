@@ -176,10 +176,23 @@ def run_experiment(
             spec, runtime.history, runtime.machine, strict=strict
         )
         if serialization.conclusive and not serialization.serializable:
-            raise SerializabilityViolation(
-                f"{algorithm.name}: committed history is not serializable "
-                f"(tried {serialization.candidates_tried} orders)"
+            # Black box first: if the tracer is a flight recorder with a
+            # destination, ship the last-N-events dump with the failure.
+            from repro.obs.flight import maybe_dump
+
+            dump_path = maybe_dump(
+                tracer,
+                label=f"harness-{algorithm.name}-seed{seed}",
+                reason="serializability",
+                meta={"algorithm": algorithm.name, "seed": seed},
             )
+            suffix = f" [flight dump: {dump_path}]" if dump_path else ""
+            error = SerializabilityViolation(
+                f"{algorithm.name}: committed history is not serializable "
+                f"(tried {serialization.candidates_tried} orders){suffix}"
+            )
+            error.flight_dump = dump_path
+            raise error
 
     return ExperimentResult(
         algorithm=algorithm.name,

@@ -20,37 +20,53 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.errors import AbortKind
 from repro.core.history import History, TxRecord, TxStatus
-from repro.obs.metrics import percentile_nearest_rank
+from repro.obs.metrics import HistogramMetric, percentile_nearest_rank
 
 
 @dataclass(frozen=True)
 class Distribution:
-    """Order statistics of a sample (nearest-rank percentiles, see
-    :func:`repro.obs.metrics.percentile_nearest_rank`)."""
+    """Order statistics of a sample — a frozen *view* over
+    :class:`repro.obs.metrics.HistogramMetric` (same nearest-rank
+    percentile definition, see :func:`repro.obs.metrics.
+    percentile_nearest_rank`, so the two can never disagree).
+
+    p99/p999 ride along for latency-SLO style reporting; on the small
+    samples the harness produces they usually coincide with ``maximum``,
+    which is exactly what nearest-rank promises.
+    """
 
     count: int
     mean: float
     p50: float
     p95: float
     maximum: float
+    p99: float = 0.0
+    p999: float = 0.0
+
+    @staticmethod
+    def from_histogram(histogram: HistogramMetric) -> "Distribution":
+        summary = histogram.summary()
+        return Distribution(
+            count=int(summary["count"]),
+            mean=summary["mean"],
+            p50=summary["p50"],
+            p95=summary["p95"],
+            maximum=summary["max"],
+            p99=summary["p99"],
+            p999=summary["p999"],
+        )
 
     @staticmethod
     def of(samples: Sequence[float]) -> "Distribution":
-        if not samples:
-            return Distribution(0, 0.0, 0.0, 0.0, 0.0)
-        ordered = sorted(samples)
-        return Distribution(
-            count=len(ordered),
-            mean=sum(ordered) / len(ordered),
-            p50=percentile_nearest_rank(ordered, 0.50),
-            p95=percentile_nearest_rank(ordered, 0.95),
-            maximum=float(ordered[-1]),
-        )
+        histogram = HistogramMetric("distribution")
+        for sample in samples:
+            histogram.observe(sample)
+        return Distribution.from_histogram(histogram)
 
     def row(self) -> str:
         return (
             f"n={self.count} mean={self.mean:.2f} p50={self.p50:.0f} "
-            f"p95={self.p95:.0f} max={self.maximum:.0f}"
+            f"p95={self.p95:.0f} p99={self.p99:.0f} max={self.maximum:.0f}"
         )
 
 

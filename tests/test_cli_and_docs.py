@@ -33,6 +33,35 @@ class TestCLIRuns:
         assert exit_code == 0
         assert out.count("serializable=yes") >= 8
 
+    def test_trace_format_overrides_ambiguous_extension(self, tmp_path, capsys):
+        """``--format jsonl`` must win over the ``.json`` extension that
+        auto-detection would read as Chrome ``trace_event``."""
+        import json
+
+        out = str(tmp_path / "events.json")
+        code = cli_main([
+            "trace", "counter", "--transactions", "4", "--ops", "2",
+            "--out", out, "--format", "jsonl",
+        ])
+        assert code == 0
+        assert "(jsonl)" in capsys.readouterr().out
+        first = json.loads(open(out, encoding="utf-8").readline())
+        assert "traceEvents" not in first
+        assert "name" in first and "ph" in first
+
+    def test_trace_format_chrome_despite_jsonl_extension(self, tmp_path, capsys):
+        import json
+
+        out = str(tmp_path / "events.jsonl")
+        code = cli_main([
+            "trace", "counter", "--transactions", "4", "--ops", "2",
+            "--out", out, "--format", "chrome",
+        ])
+        assert code == 0
+        assert "(chrome-trace)" in capsys.readouterr().out
+        doc = json.load(open(out, encoding="utf-8"))
+        assert "traceEvents" in doc
+
     @pytest.mark.slow
     def test_evaluate(self, capsys):
         exit_code = cli_main(["evaluate"])

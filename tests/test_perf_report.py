@@ -1,0 +1,167 @@
+"""``repro perf`` (the regression watchdog) and ``repro report`` (the
+single-file dashboard) — ISSUE 6.
+
+The watchdog's exit protocol is the contract the CI job relies on:
+0 all green, 2 regression, 1 operational error.  Every baseline path is
+a parameter, so the regression leg is tested with *perturbed* copies of
+the committed baselines — no waiting for real performance to move.
+"""
+
+import json
+import shutil
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.obs import RecordingTracer, write_jsonl
+from repro.obs.perf import (
+    BaselineError,
+    KERNEL_BASELINE,
+    PerfFinding,
+    PerfReport,
+    run_perf,
+)
+from repro.obs.report import build_report
+from repro.runtime import WorkloadConfig, make_workload, run_experiment
+from repro.specs import MemorySpec
+from repro.tm import TL2TM
+
+
+def perturbed_kernel(tmp_path, mutate):
+    """A copy of the committed kernel baseline with ``mutate`` applied to
+    the mem-ww (tiny-scope) entry."""
+    document = json.loads(KERNEL_BASELINE.read_text(encoding="utf-8"))
+    mutate(document["baselines"]["mem-ww"])
+    path = tmp_path / "BENCH_kernel.json"
+    path.write_text(json.dumps(document), encoding="utf-8")
+    return str(path)
+
+
+class TestWatchdog:
+    def test_tiny_pass_is_green(self):
+        report = run_perf(tiny=True, repeat=1)
+        assert report.ok
+        assert report.regressions == []
+        tiers = {f.tier for f in report.findings}
+        assert tiers == {"kernel", "por", "faults"}
+        rendered = report.render()
+        assert "all gates green" in rendered
+        assert "tiny" in rendered
+
+    def test_throughput_regression_flips_the_gate(self, tmp_path):
+        """An absurd committed rate makes the tolerance floor
+        unreachable — the watchdog must report a regression."""
+        path = perturbed_kernel(
+            tmp_path, lambda row: row.update(states_per_sec=10_000_000_000.0)
+        )
+        report = run_perf(
+            tiny=True, repeat=1, kernel_path=path, tiers=["kernel"]
+        )
+        assert not report.ok
+        assert any("throughput" in f.name for f in report.regressions)
+
+    def test_verdict_drift_flips_the_gate(self, tmp_path):
+        path = perturbed_kernel(
+            tmp_path, lambda row: row["verdict"].update(states=9999)
+        )
+        report = run_perf(
+            tiny=True, repeat=1, kernel_path=path, tiers=["kernel"]
+        )
+        assert not report.ok
+        assert any("verdict" in f.name for f in report.regressions)
+
+    def test_missing_baseline_is_operational_not_regression(self, tmp_path):
+        with pytest.raises(BaselineError):
+            run_perf(
+                tiny=True, kernel_path=tmp_path / "nope.json", tiers=["kernel"]
+            )
+
+    def test_report_shape(self):
+        report = PerfReport(tiny=False, tolerance=0.5)
+        report.findings.append(PerfFinding("kernel", "x", ok=False, detail="d"))
+        doc = report.to_dict()
+        assert doc["ok"] is False
+        assert doc["findings"][0]["tier"] == "kernel"
+        assert "FAIL" in report.render()
+
+
+class TestWatchdogCLI:
+    def test_exit_zero_on_green(self, capsys):
+        code = cli_main(["perf", "--tiny", "--repeat", "1"])
+        assert code == 0
+        assert "all gates green" in capsys.readouterr().out
+
+    def test_exit_two_on_regression(self, tmp_path, capsys):
+        path = perturbed_kernel(
+            tmp_path, lambda row: row.update(states_per_sec=10_000_000_000.0)
+        )
+        code = cli_main([
+            "perf", "--tiny", "--repeat", "1", "--tier", "kernel",
+            "--kernel-baseline", path,
+        ])
+        assert code == 2
+        assert "regression" in capsys.readouterr().out
+
+    def test_exit_one_on_missing_baseline(self, tmp_path, capsys):
+        code = cli_main([
+            "perf", "--tiny", "--tier", "kernel",
+            "--kernel-baseline", str(tmp_path / "nope.json"),
+        ])
+        assert code == 1
+
+    def test_json_export(self, tmp_path):
+        out = tmp_path / "perf.json"
+        code = cli_main([
+            "perf", "--tiny", "--repeat", "1", "--tier", "por",
+            "--json", str(out),
+        ])
+        assert code == 0
+        doc = json.loads(out.read_text(encoding="utf-8"))
+        assert doc["ok"] is True
+
+
+class TestDashboard:
+    def test_report_is_self_contained(self, tmp_path):
+        out = str(tmp_path / "report.html")
+        assert build_report(out) == out
+        html = open(out, encoding="utf-8").read()
+        assert html.startswith("<!DOCTYPE html>")
+        assert "<svg" in html
+        # Single-file: nothing fetched from anywhere.
+        for marker in ("http://", "https://", "src=", "href=", "@import"):
+            assert marker not in html, marker
+        # The committed inputs all render their section.
+        for section in ("Kernel", "POR", "Faults", "coverage"):
+            assert section.lower() in html.lower(), section
+
+    def test_flamegraph_section_from_a_recorded_trace(self, tmp_path):
+        tracer = RecordingTracer()
+        config = WorkloadConfig(transactions=6, ops_per_tx=3, keys=3,
+                                read_ratio=0.5, seed=7)
+        run_experiment(
+            TL2TM(), MemorySpec(), make_workload("readwrite", config),
+            concurrency=3, seed=7, tracer=tracer,
+        )
+        trace = str(tmp_path / "run.jsonl")
+        write_jsonl(tracer, trace)
+        out = str(tmp_path / "report.html")
+        build_report(out, trace_path=trace)
+        html = open(out, encoding="utf-8").read()
+        assert "flame" in html.lower()
+        assert "APP" in html
+
+    def test_missing_inputs_degrade_gracefully(self, tmp_path):
+        out = str(tmp_path / "report.html")
+        missing = tmp_path / "nope.json"
+        build_report(
+            out, kernel_path=missing, por_path=missing, faults_path=missing,
+            coverage_path=missing, title="empty board",
+        )
+        html = open(out, encoding="utf-8").read()
+        assert "empty board" in html
+
+    def test_report_cli(self, tmp_path, capsys):
+        out = str(tmp_path / "dash.html")
+        code = cli_main(["report", "--out", out, "--title", "ci board"])
+        assert code == 0
+        assert "ci board" in open(out, encoding="utf-8").read()

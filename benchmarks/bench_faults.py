@@ -33,7 +33,8 @@ from repro.runtime import WorkloadConfig
 from repro.tm import ALL_ALGORITHMS
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUT = REPO_ROOT / "BENCH_faults.json"
+BASELINE_PATH = REPO_ROOT / "BENCH_faults.json"
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "out" / "BENCH_faults.current.json"
 
 FULL_PLANS = 20   # x 12 strategies = 240 plans (floor: 200)
 TINY_PLANS = 2    # x 12 strategies = 24 plans (floor: 20)
@@ -44,7 +45,13 @@ def main(argv=None) -> int:
     parser.add_argument("--tiny", action="store_true",
                         help="CI smoke: 2 plans per strategy")
     parser.add_argument("--seed", type=int, default=0)
-    parser.add_argument("--out", type=Path, default=DEFAULT_OUT)
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="results JSON path (default is gitignored under "
+                             "benchmarks/out/ so runs never dirty the tree)")
+    parser.add_argument("--refresh-baseline", action="store_true",
+                        dest="refresh_baseline",
+                        help="also overwrite the committed "
+                             f"{BASELINE_PATH.name} snapshot (the ratchet)")
     args = parser.parse_args(argv)
 
     plans = TINY_PLANS if args.tiny else FULL_PLANS
@@ -89,6 +96,7 @@ def main(argv=None) -> int:
         "mode": "tiny" if args.tiny else "full",
         "report": report.to_dict(),
     }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
                         encoding="utf-8")
     print(
@@ -96,6 +104,12 @@ def main(argv=None) -> int:
         f"{len(report.failures)} failures, {report.elapsed_sec:.1f}s "
         f"-> {args.out}"
     )
+    if args.refresh_baseline and not failed:
+        BASELINE_PATH.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline snapshot refreshed -> {BASELINE_PATH}")
     return 1 if failed else 0
 
 

@@ -17,10 +17,16 @@ against the pre-refactor baseline committed in ``BENCH_kernel.json``:
 
 This is a standalone script, not a pytest-benchmark module, so CI can run
 it cheaply (``--tiny`` explores the smallest scope only) and publish the
-refreshed JSON as an artifact::
+results JSON as an artifact::
 
     PYTHONPATH=src python benchmarks/bench_kernel.py            # full E8
     PYTHONPATH=src python benchmarks/bench_kernel.py --tiny     # CI smoke
+
+The committed ``BENCH_kernel.json`` holds only the *frozen* baselines;
+every run writes its results to a gitignored file under
+``benchmarks/out/`` so benchmarking never dirties the work tree.  Pass
+``--refresh-baseline`` to deliberately overwrite the committed baselines
+with this run's numbers (the ratchet — a reviewed, intentional act).
 """
 
 from __future__ import annotations
@@ -29,6 +35,7 @@ import argparse
 import json
 import sys
 import time
+import tracemalloc
 from pathlib import Path
 from typing import Optional
 
@@ -37,7 +44,8 @@ from repro.cli import SCOPES
 from repro.obs import RecordingTracer
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUT = REPO_ROOT / "BENCH_kernel.json"
+BASELINE_PATH = REPO_ROOT / "BENCH_kernel.json"
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "out" / "BENCH_kernel.current.json"
 
 FULL_SCOPE = "kvmap-branch"
 TINY_SCOPE = "mem-ww"
@@ -137,11 +145,44 @@ def measure_counters(name: str) -> dict:
         total = hits + misses
         hit_rates[cache] = round(hits / total, 4) if total else None
     criterion_checks = sum(counts.values())
+    # End-of-run packed-kernel gauges (intern tables, memo populations).
+    # Rule tracing disables the key-first packed path by design, so the
+    # memos above read zero there; sample the gauges from a stats-only
+    # traced exploration, where the packed hot path is live.
+    gauge_tracer = RecordingTracer()
+    _explore_scope(name, tracer=gauge_tracer, trace_rules=False)
+    packed_gauges = next(
+        (dict(e.args) for e in reversed(gauge_tracer.events)
+         if e.name == "packed.kernel"),
+        {},
+    )
     return {
         "counters": counts,
         "cache_hit_rates": hit_rates,
+        "packed_gauges": packed_gauges,
         "criterion_checks": criterion_checks,
         "criterion_checks_per_sec": round(criterion_checks / elapsed, 1),
+    }
+
+
+def measure_memory(name: str) -> dict:
+    """Tracemalloc peak of one untraced exploration, per 1k states.
+
+    Allocation tracing slows the interpreter, so this run contributes
+    nothing to the throughput figure; it exists to catch the packed
+    kernel's memo layers silently regressing into memory hogs.
+    """
+    tracemalloc.start()
+    try:
+        report, _ = _explore_scope(name)
+        _, peak = tracemalloc.get_traced_memory()
+    finally:
+        tracemalloc.stop()
+    return {
+        "tracemalloc_peak_kib": round(peak / 1024, 1),
+        "tracemalloc_peak_kib_per_1k_states": round(
+            peak / 1024 / (report.states / 1000), 1
+        ),
     }
 
 
@@ -152,9 +193,16 @@ def main(argv=None) -> int:
                              "scope (no speedup enforcement)")
     parser.add_argument("--repeat", type=int, default=3,
                         help="timing repetitions; the best run counts")
+    parser.add_argument("--baseline", type=Path, default=BASELINE_PATH,
+                        help="committed baseline JSON to compare against "
+                             "(never written unless --refresh-baseline)")
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
-                        help="JSON path to read the baseline from and write "
-                             "the refreshed results to")
+                        help="results JSON path (default is gitignored under "
+                             "benchmarks/out/ so runs never dirty the tree)")
+    parser.add_argument("--refresh-baseline", action="store_true",
+                        dest="refresh_baseline",
+                        help="overwrite this scope's committed baseline with "
+                             "this run's rate and verdict (the ratchet)")
     parser.add_argument("--min-speedup", type=float, default=0.0,
                         dest="min_speedup", metavar="X",
                         help="fail unless states/sec ≥ X × the committed "
@@ -164,6 +212,7 @@ def main(argv=None) -> int:
     scope = TINY_SCOPE if args.tiny else FULL_SCOPE
     current = measure_throughput(scope, args.repeat)
     current.update(measure_counters(scope))
+    current.update(measure_memory(scope))
 
     failures = 0
     absent_pairs = [
@@ -175,10 +224,10 @@ def main(argv=None) -> int:
               "kernel emitted no hit/miss events", file=sys.stderr)
         failures += 1
 
-    document = {}
-    if args.out.exists():
-        document = json.loads(args.out.read_text(encoding="utf-8"))
-    baselines = document.get("baselines", {})
+    baseline_doc = {}
+    if args.baseline.exists():
+        baseline_doc = json.loads(args.baseline.read_text(encoding="utf-8"))
+    baselines = baseline_doc.get("baselines", {})
     baseline = baselines.get(scope)
 
     speedup = None
@@ -202,12 +251,34 @@ def main(argv=None) -> int:
               "--min-speedup against", file=sys.stderr)
         failures += 1
 
-    document["baselines"] = baselines
-    document["current"] = current
+    document = {
+        "_comment": (
+            "Current bench_kernel results — regenerated by every run, "
+            f"never committed.  Frozen baselines live in {args.baseline.name}."
+        ),
+        "baseline_file": str(args.baseline),
+        "current": current,
+    }
+    args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(
         json.dumps(document, indent=2, sort_keys=False) + "\n",
         encoding="utf-8",
     )
+
+    if args.refresh_baseline and not failures:
+        baselines[scope] = {
+            "states_per_sec": current["states_per_sec"],
+            "verdict": current["verdict"],
+        }
+        baseline_doc["baselines"] = baselines
+        # the committed file holds frozen baselines only — runs write
+        # their results under benchmarks/out/, never here
+        baseline_doc.pop("current", None)
+        args.baseline.write_text(
+            json.dumps(baseline_doc, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline for {scope!r} refreshed -> {args.baseline}")
 
     rates = ", ".join(
         f"{cache}={rate}" for cache, rate in current["cache_hit_rates"].items()

@@ -42,7 +42,8 @@ from repro.checking.model_checker import ExploreOptions
 from repro.cli import SCOPES
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
-DEFAULT_OUT = REPO_ROOT / "benchmarks" / "BENCH_por.json"
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "BENCH_por.json"
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "out" / "BENCH_por.current.json"
 
 TINY_SCOPES = ("mem-ww", "counter")
 SPEEDUP_SCOPE = "kvmap-branch"
@@ -133,7 +134,12 @@ def main(argv=None) -> int:
     parser.add_argument("--jobs", type=int, default=4,
                         help="worker count for the parallel-speedup row")
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
-                        help="JSON path for the refreshed results")
+                        help="results JSON path (default is gitignored under "
+                             "benchmarks/out/ so runs never dirty the tree)")
+    parser.add_argument("--refresh-baseline", action="store_true",
+                        dest="refresh_baseline",
+                        help="also overwrite the committed "
+                             f"{BASELINE_PATH.name} snapshot (the ratchet)")
     args = parser.parse_args(argv)
 
     names = TINY_SCOPES if args.tiny else tuple(SCOPES)
@@ -196,11 +202,18 @@ def main(argv=None) -> int:
             print(f"(speedup gate skipped: {jobs_row['usable_cores']} usable "
                   f"cores < {MIN_CORES_FOR_SPEEDUP_GATE})")
 
+    args.out.parent.mkdir(parents=True, exist_ok=True)
     args.out.write_text(
         json.dumps(document, indent=2, sort_keys=False) + "\n",
         encoding="utf-8",
     )
     print(f"results -> {args.out}")
+    if args.refresh_baseline and not failures:
+        BASELINE_PATH.write_text(
+            json.dumps(document, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline snapshot refreshed -> {BASELINE_PATH}")
     for failure in failures:
         print(f"FAIL: {failure}", file=sys.stderr)
     return 1 if failures else 0

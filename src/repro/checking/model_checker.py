@@ -210,8 +210,8 @@ def _successors(
     key_first = seen is not None and not machine.tracer.enabled
     out: List[Tuple[str, Tuple, Optional[_Node]]] = []
     emit = out.append
-    if reducer is not None:
-        canon = reducer.canonical
+    canon = reducer.canonical if reducer is not None else None
+    if canon is not None:
 
         def node_key(skey: Tuple, comm: Tuple) -> Tuple:
             return canon((skey, comm))
@@ -264,118 +264,64 @@ def _successors(
             continue
         local = thread.local
         if key_first:
-            # APP — every step choice.
-            for choice in _sorted_choices(thread.code):
-                skey = machine.app_key(tid, choice)
-                if skey is None:
-                    continue
-                nkey = node_key(skey, committed)
-                if nkey in seen:
-                    emit(("APP", nkey, None))
-                else:
-                    emit((
-                        "APP",
-                        nkey,
-                        _Node(machine.app_state(tid, choice, skey), committed),
-                    ))
-            # PUSH — every npshd entry.
-            for op in local.not_pushed_ops():
-                skey = machine.push_key(tid, op)
-                if skey is None:
-                    continue
-                nkey = node_key(skey, committed)
-                if nkey in seen:
-                    emit(("PUSH", nkey, None))
-                else:
-                    emit((
-                        "PUSH",
-                        nkey,
-                        _Node(machine.push_state(tid, op, skey), committed),
-                    ))
-            # PULL — every global entry not in L (per policy and budget).
-            pull_budget = options.max_pulled_per_thread
-            if options.pull_policy != "none" and (
-                pull_budget is None
-                or len(local.pulled_ops()) < pull_budget
+            # Batched key derivation: one machine call expands every rule
+            # of this thread with the per-state constants hoisted; the
+            # matching ``*_state`` constructor runs only for new keys.
+            for rule, arg, skey in machine.successor_keys(
+                tid,
+                options.include_backward,
+                options.pull_policy != "none",
+                options.forbid_uncommitted_pull
+                or options.pull_policy == "committed",
+                options.max_pulled_per_thread,
             ):
-                committed_only = (
-                    options.forbid_uncommitted_pull
-                    or options.pull_policy == "committed"
-                )
-                for g_entry in machine.global_log:
-                    if g_entry.op in local:
-                        continue
-                    if committed_only and not g_entry.is_committed:
-                        continue
-                    skey = machine.pull_key(tid, g_entry.op)
-                    if skey is None:
-                        continue
-                    nkey = node_key(skey, committed)
-                    if nkey in seen:
-                        emit(("PULL", nkey, None))
-                    else:
-                        emit((
-                            "PULL",
-                            nkey,
-                            _Node(
-                                machine.pull_state(tid, g_entry.op, skey),
-                                committed,
-                            ),
-                        ))
-            # CMT.
-            skey = machine.cmt_key(tid)
-            if skey is not None:
-                cmt_committed = committed + (tid,)
-                nkey = node_key(skey, cmt_committed)
-                if nkey in seen:
-                    emit(("CMT", nkey, None))
+                if rule == "CMT":
+                    comm = committed + (tid,)
                 else:
+                    comm = committed
+                nkey = (skey, comm)
+                if canon is not None:
+                    nkey = canon(nkey)
+                if nkey in seen:
+                    emit((rule, nkey, None))
+                elif rule == "UNPULL":
                     emit((
-                        "CMT",
+                        rule,
                         nkey,
-                        _Node(machine.cmt_state(tid, skey), cmt_committed),
+                        _Node(machine.unpull_state(tid, arg, skey), comm),
                     ))
-            if options.include_backward:
-                # UNAPP (last entry only, by the rule's shape).
-                skey = machine.unapp_key(tid)
-                if skey is not None:
-                    nkey = node_key(skey, committed)
-                    if nkey in seen:
-                        emit(("UNAPP", nkey, None))
-                    else:
-                        emit((
-                            "UNAPP",
-                            nkey,
-                            _Node(machine.unapp_state(tid, skey), committed),
-                        ))
-                # UNPUSH — every pshd entry.
-                for op in local.pushed_ops():
-                    skey = machine.unpush_key(tid, op)
-                    if skey is None:
-                        continue
-                    nkey = node_key(skey, committed)
-                    if nkey in seen:
-                        emit(("UNPUSH", nkey, None))
-                    else:
-                        emit((
-                            "UNPUSH",
-                            nkey,
-                            _Node(machine.unpush_state(tid, op, skey), committed),
-                        ))
-                # UNPULL — every pld entry.
-                for op in local.pulled_ops():
-                    skey = machine.unpull_key(tid, op)
-                    if skey is None:
-                        continue
-                    nkey = node_key(skey, committed)
-                    if nkey in seen:
-                        emit(("UNPULL", nkey, None))
-                    else:
-                        emit((
-                            "UNPULL",
-                            nkey,
-                            _Node(machine.unpull_state(tid, op, skey), committed),
-                        ))
+                elif rule == "UNPUSH":
+                    emit((
+                        rule,
+                        nkey,
+                        _Node(machine.unpush_state(tid, arg, skey), comm),
+                    ))
+                elif rule == "PUSH":
+                    emit((
+                        rule,
+                        nkey,
+                        _Node(machine.push_state(tid, arg, skey), comm),
+                    ))
+                elif rule == "APP":
+                    emit((
+                        rule,
+                        nkey,
+                        _Node(machine.app_state(tid, arg, skey), comm),
+                    ))
+                elif rule == "PULL":
+                    emit((
+                        rule,
+                        nkey,
+                        _Node(machine.pull_state(tid, arg, skey), comm),
+                    ))
+                elif rule == "CMT":
+                    emit((rule, nkey, _Node(machine.cmt_state(tid, skey), comm)))
+                else:  # UNAPP
+                    emit((
+                        rule,
+                        nkey,
+                        _Node(machine.unapp_state(tid, skey), comm),
+                    ))
             continue
         # Construct-first path (traced runs and direct callers).
         # APP — every step choice.
@@ -586,6 +532,16 @@ def explore(
         report.full_expansions = reducer.full_expansions
         reducer.emit_stats(tracer)
     if tracer.enabled:
+        # Packed-kernel gauges, sampled once at end of run: intern-table
+        # populations are process-wide; the recipe/plan memos live on the
+        # exploration's root machine and are shared by reference with
+        # every derived state.
+        from repro.core.ops import intern_stats
+        from repro.core.packed import packed_stats
+
+        tracer.counter(
+            "packed.kernel", CAT_MC, {**intern_stats(), **packed_stats(machine)}
+        )
         tracer.instant(
             "mc.done",
             CAT_MC,

@@ -1,0 +1,117 @@
+"""Packed-kernel identity harness: the packed fast path vs the object model.
+
+The packed kernel (``repro.core.packed``) re-represents state keys as
+interned integer columns and derives successor keys by byte patching;
+its correctness contract is *representation identity*: at every reachable
+state, decoding the packed key must yield exactly the object-level key
+the PR-2 kernel would have computed from the live machine
+(:func:`repro.core.packed.reference_state_key`).
+
+This module walks machines through their actual rule expansion — the same
+batched key-first path the model checker uses — and checks that contract
+at every visited state.  It backs both the ``repro perf`` packed tier and
+the property tests in ``tests/test_packed_kernel.py``.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.checking.model_checker import ExploreOptions, _Node, _successors
+from repro.core.language import Code, methods_of
+from repro.core.machine import Machine
+from repro.core.packed import decode_state_key, reference_state_key
+from repro.core.spec import SequentialSpec
+
+
+def initial_node(spec: SequentialSpec, programs: Sequence[Code]) -> _Node:
+    """The exploration's start state: one spawned thread per program."""
+    machine = Machine(spec)
+    for program in programs:
+        machine, _ = machine.spawn(program)
+    return _Node(machine, ())
+
+
+def identity_mismatch(machine: Machine) -> Optional[str]:
+    """``None`` when the machine's packed key decodes to exactly the
+    object-level reference key, else a description of the divergence."""
+    packed = decode_state_key(machine.state_key())
+    reference = reference_state_key(machine)
+    if packed == reference:
+        return None
+    return f"packed={packed!r} != reference={reference!r}"
+
+
+def walk_identity(
+    spec: SequentialSpec,
+    programs: Sequence[Code],
+    steps: int,
+    seed: int,
+    options: Optional[ExploreOptions] = None,
+) -> Dict[str, object]:
+    """One seeded random walk of ``steps`` rule applications, checking
+    representation identity at every state (including the initial one).
+
+    Successors come from the checker's own key-first expansion with an
+    empty ``seen`` set, so every probe runs the packed derivation *and*
+    constructs the successor machine — exactly the pairing the identity
+    contract is about.  Returns a stats dict; ``mismatches`` must be
+    empty for a healthy kernel.
+    """
+    if options is None:
+        options = ExploreOptions(
+            max_pulled_per_thread=sum(len(methods_of(p)) for p in programs)
+        )
+    rng = random.Random(seed)
+    node = initial_node(spec, programs)
+    mismatches = []
+    rule_counts: Dict[str, int] = {}
+    checked = 1
+    first = identity_mismatch(node.machine)
+    if first is not None:
+        mismatches.append(f"initial state: {first}")
+    for step in range(steps):
+        moves = [
+            (rule, successor)
+            for rule, _, successor in _successors(node, options, seen=set())
+            if successor is not None
+        ]
+        if not moves:
+            break
+        rule, node = moves[rng.randrange(len(moves))]
+        rule_counts[rule] = rule_counts.get(rule, 0) + 1
+        checked += 1
+        found = identity_mismatch(node.machine)
+        if found is not None:
+            mismatches.append(f"step {step} ({rule}): {found}")
+            break
+    return {
+        "checked_states": checked,
+        "rule_counts": dict(sorted(rule_counts.items())),
+        "mismatches": mismatches,
+    }
+
+
+def sweep_identity(
+    scopes: Dict[str, Tuple[type, Sequence[Code]]],
+    steps: int = 60,
+    walks: int = 3,
+    seed: int = 0,
+) -> Dict[str, Dict[str, object]]:
+    """:func:`walk_identity` over every scope, several seeds each."""
+    results: Dict[str, Dict[str, object]] = {}
+    for name, (spec_cls, programs) in scopes.items():
+        checked = 0
+        mismatches = []
+        for walk in range(walks):
+            stats = walk_identity(
+                spec_cls(), programs, steps, seed=seed + walk
+            )
+            checked += stats["checked_states"]  # type: ignore[operator]
+            mismatches.extend(stats["mismatches"])  # type: ignore[arg-type]
+        results[name] = {
+            "checked_states": checked,
+            "mismatches": mismatches,
+        }
+    return results

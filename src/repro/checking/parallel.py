@@ -67,6 +67,7 @@ from repro.core.logs import (
 )
 from repro.core.machine import Machine, Thread
 from repro.core.ops import IdGenerator, Op
+from repro.core.packed import decode_node_key
 from repro.core.spec import SequentialSpec
 from repro.checking.model_checker import (
     ExplorationReport,
@@ -89,15 +90,18 @@ PIPELINE_DEPTH = 2
 
 
 def key_digest(key: Tuple) -> bytes:
-    """16-byte BLAKE2b digest of a canonical key.
+    """16-byte BLAKE2b digest of a packed canonical key.
 
-    Keys repr structurally — tuples, ints, strings and Code ASTs whose
-    ``__repr__`` is the literal program text — so the digest agrees across
-    processes (unlike ``hash()``, which is salted per process).  The
-    shared seen-set stores these 16-byte digests instead of the full key
-    tuples: an order of magnitude less master memory and IPC, at a 2^-128
-    collision risk — far below hardware error rates."""
-    return blake2b(repr(key).encode(), digest_size=16).digest()
+    Packed keys carry process-local intern ids, so they are decoded back
+    to the object-level shape first; the decoded keys repr structurally —
+    tuples, ints, strings and Code ASTs whose ``__repr__`` is the literal
+    program text — so the digest agrees across processes (unlike
+    ``hash()``, which is salted per process, and unlike the raw packed
+    bytes, whose codes depend on interning order).  The shared seen-set
+    stores these 16-byte digests instead of the full key tuples: an order
+    of magnitude less master memory and IPC, at a 2^-128 collision risk —
+    far below hardware error rates."""
+    return blake2b(repr(decode_node_key(key)).encode(), digest_size=16).digest()
 
 
 class _AllSeen:

@@ -54,6 +54,12 @@ from typing import Dict, List, Optional, Sequence, Tuple
 from repro.core.language import Code
 from repro.core.machine import Machine
 from repro.core.ops import Op
+from repro.core.packed import (
+    decode_global_rows,
+    decode_thread_key,
+    encode_node_key,
+    unpack_owners,
+)
 from repro.core.precongruence import trace_normal_form
 from repro.core.spec import MemoizedMovers, SequentialSpec, shared_movers
 from repro.obs.tracer import CAT_POR, NULL_TRACER, Tracer
@@ -116,11 +122,18 @@ class Reducer:
         self._g_cache: Dict[Tuple, Tuple] = {}
         # flag_rows → flag_rows with pld runs normalized.
         self._l_cache: Dict[Tuple, Tuple] = {}
+        # Packed node key → packed canonical key.  The checker calls
+        # :meth:`canonical` once per emitted transition and most states are
+        # revisited, so this front cache keeps the decode→normalize→encode
+        # round-trip off the hot path (bytes keys hash once — CPython
+        # caches ``bytes.__hash__``).
+        self._canon_cache: Dict[Tuple, Tuple] = {}
         # Counters folded into the report / `por.*` trace stream.
         self.ample_hits = 0
         self.ample_deferred = 0
         self.full_expansions = 0
         self.g_cache_misses = 0
+        self.canon_decodes = 0
 
     # ------------------------------------------------------------- movers
 
@@ -192,14 +205,28 @@ class Reducer:
         return got
 
     def canonical(self, nkey: Tuple) -> Tuple:
-        """The canonical key of a checker node key ``(state_key, committed)``.
+        """The canonical key of a packed checker node key
+        ``(state_key, committed)``.
 
         Applies, in order: per-thread pld-run normalization, global-log
         trace normalization, and (when the scope has interchangeable
         threads) minimization over program-preserving tid permutations.
-        Pure and payload-level — safe to compare across processes.
+        The normalization itself runs on the *decoded* object-level rows
+        (intern ids are process-local and carry no payload order, so the
+        packed codes can't be ranked directly); the result is re-encoded
+        to a packed key.  Decode → normalize → encode is pure and
+        payload-level — canonical keys of equal states agree across
+        processes once digested through
+        :func:`repro.checking.parallel.key_digest` (which decodes again).
         """
-        (tkeys, rows, owner_row), committed = nkey
+        got = self._canon_cache.get(nkey)
+        if got is not None:
+            return got
+        self.canon_decodes += 1
+        (ptkeys, gpacked, opacked), committed = nkey
+        tkeys = tuple(decode_thread_key(tb) for tb in ptkeys)
+        rows = decode_global_rows(gpacked)
+        owner_row = tuple(unpack_owners(opacked))
         tkeys = tuple(
             (tid, code, stack, self._canon_local(frows))
             for tid, code, stack, frows in tkeys
@@ -210,28 +237,30 @@ class Reducer:
         # *set* — so CMT-order interleavings collapse to one key.
         committed = tuple(sorted(committed))
         best = ((tkeys, rows, owner_row), committed)
-        if not self.perms:
-            return best
-        # Tids occur inside heterogeneous tuples, so candidates are ranked
-        # by their (deterministic) repr rather than compared structurally.
-        best_rank = repr(best)
-        for perm in self.perms:
-            ptkeys = tuple(
-                sorted(
-                    ((perm.get(tk[0], tk[0]),) + tk[1:] for tk in tkeys),
-                    key=lambda t: t[0],
+        if self.perms:
+            # Tids occur inside heterogeneous tuples, so candidates are
+            # ranked by their (deterministic) repr rather than compared
+            # structurally.
+            best_rank = repr(best)
+            for perm in self.perms:
+                permuted_tkeys = tuple(
+                    sorted(
+                        ((perm.get(tk[0], tk[0]),) + tk[1:] for tk in tkeys),
+                        key=lambda t: t[0],
+                    )
                 )
-            )
-            powners = tuple(
-                perm.get(o, o) if o >= 0 else o for o in owner_row
-            )
-            prows, powners = self._canon_global(rows, powners)
-            pcommitted = tuple(sorted(perm.get(t, t) for t in committed))
-            cand = ((ptkeys, prows, powners), pcommitted)
-            rank = repr(cand)
-            if rank < best_rank:
-                best, best_rank = cand, rank
-        return best
+                powners = tuple(
+                    perm.get(o, o) if o >= 0 else o for o in owner_row
+                )
+                prows, powners = self._canon_global(rows, powners)
+                pcommitted = tuple(sorted(perm.get(t, t) for t in committed))
+                cand = ((permuted_tkeys, prows, powners), pcommitted)
+                rank = repr(cand)
+                if rank < best_rank:
+                    best, best_rank = cand, rank
+        got = encode_node_key(best)
+        self._canon_cache[nkey] = got
+        return got
 
     # -------------------------------------------------------- ample sets
 
@@ -284,6 +313,8 @@ class Reducer:
             "por.g_cache_misses": self.g_cache_misses,
             "por.g_cache_size": len(self._g_cache),
             "por.l_cache_size": len(self._l_cache),
+            "por.canon_decodes": self.canon_decodes,
+            "por.canon_cache_size": len(self._canon_cache),
             "por.symmetry_perms": len(self.perms),
         }
         tracer = tracer or self.tracer

@@ -798,7 +798,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="throughput floor as a fraction of the committed "
                            "states/sec (deterministic gates ignore this)")
     perf.add_argument("--tier", action="append", dest="tiers",
-                      choices=["kernel", "por", "faults"],
+                      choices=["kernel", "por", "faults", "packed"],
                       help="run only this tier (repeatable; default: all)")
     perf.add_argument("--seed", type=int, default=0,
                       help="base seed for the faults tier suite")
@@ -810,7 +810,9 @@ def build_parser() -> argparse.ArgumentParser:
                       default=None, metavar="PATH")
     perf.add_argument("--json", metavar="PATH",
                       help="also write the findings as JSON")
-    perf.set_defaults(func=cmd_perf, all_tiers=("kernel", "por", "faults"))
+    perf.set_defaults(
+        func=cmd_perf, all_tiers=("kernel", "por", "faults", "packed")
+    )
 
     evaluate = sub.add_parser("evaluate", help="regenerate the evaluation")
     evaluate.set_defaults(func=cmd_evaluate)

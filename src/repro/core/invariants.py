@@ -220,6 +220,9 @@ _PER_THREAD_CHECKERS = (
     check_I_localReorder,
 )
 
+#: the shared all-clauses-hold vector (see _thread_invariant_vector)
+_CLEAN_VECTOR = ((),) * len(_PER_THREAD_CHECKERS)
+
 
 def _thread_invariant_vector(
     machine: Machine, thread: Thread, cache: dict
@@ -230,23 +233,31 @@ def _thread_invariant_vector(
     depends only on the thread's local log, the global log, and which
     global entries the thread owns — never on codes, stacks or the other
     threads' logs.  The memo key is that dependency set at *payload* level
-    (the same abstraction as the machine's canonical state key), so the
-    model checker re-pays an invariant sweep only when a thread's actual
-    log configuration is new, not once per product state of the scope.
+    (the same abstraction as the machine's canonical state key), packed to
+    interned byte columns so a revisit costs three pointer loads and one
+    bytes-hash lookup; the model checker re-pays an invariant sweep only
+    when a thread's actual log configuration is new, not once per product
+    state of the scope.
     """
     local = thread.local
     global_log = machine.global_log
     key = (
         thread.tid,
-        local.flag_rows(),
-        global_log.payload_rows(),
-        global_log.own_bits(local.ids()),
+        local.packed(),
+        global_log.packed(),
+        global_log.own_bytes(local.ids()),
     )
     got = cache.get(key)
     if got is None:
-        got = cache[key] = tuple(
+        got = tuple(
             checker(machine, thread) for checker in _PER_THREAD_CHECKERS
         )
+        if not any(got):
+            # The overwhelmingly common case — every clause holds — maps
+            # to one shared sentinel so the sweep can skip the merge loops
+            # with a single identity check per thread.
+            got = _CLEAN_VECTOR
+        cache[key] = got
     return got
 
 
@@ -254,10 +265,15 @@ def check_all_invariants_cached(machine: Machine, cache: dict) -> List[str]:
     """:func:`check_all_invariants`, memoized per thread through ``cache``
     (a plain dict owned by the caller, e.g. one per model-checking run).
     Violations come back in exactly the order of the uncached checker."""
-    vectors = [
-        _thread_invariant_vector(machine, thread, cache)
-        for thread in machine.threads
-    ]
+    clean = True
+    vectors = []
+    for thread in machine.threads:
+        vector = _thread_invariant_vector(machine, thread, cache)
+        if vector is not _CLEAN_VECTOR:
+            clean = False
+        vectors.append(vector)
+    if clean:
+        return []
     violations: List[str] = []
     for index in range(len(ALL_GLOBAL_INVARIANTS)):
         for vector in vectors:

@@ -195,6 +195,20 @@ def sorted_choices(code: Code) -> Tuple[Tuple[Call, Code], ...]:
     return choices
 
 
+def fin_cached(code: Code) -> bool:
+    """:func:`fin` cached as an attribute on the (immutable) code node —
+    the same discipline as :func:`sorted_choices`: the CMT criterion probes
+    ``fin`` on every visit of every state, and even an ``lru_cache`` lookup
+    re-hashes the recursive node per call."""
+    try:
+        return code._fin  # type: ignore[attr-defined]
+    except AttributeError:
+        pass
+    value = fin(code)
+    object.__setattr__(code, "_fin", value)
+    return value
+
+
 @functools.lru_cache(maxsize=None)
 def fin(code: Code) -> bool:
     """``fin(c)``: ``c`` can reduce to ``skip`` with no method call.

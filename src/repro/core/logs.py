@@ -37,6 +37,7 @@ from typing import Any, Callable, Iterable, Iterator, Optional, Tuple, Union
 
 from repro.core.errors import LogError
 from repro.core.ops import Op, payload_class_id
+from repro.core.packed import pack_codes, pack_u32
 
 # ---------------------------------------------------------------------------
 # Local-log flags
@@ -78,6 +79,10 @@ LocalFlag = Union[NotPushed, Pushed, Pulled]
 #: flag *kind* names (the saved code/stack inside ``npshd``/``pshd`` flags
 #: is bookkeeping, not state identity — see ``LocalLog.flag_rows``).
 _FLAG_KIND = {NotPushed: "npshd", Pushed: "pshd", Pulled: "pld"}
+
+#: packed flag-kind codes (the low two bits of a local row code — must
+#: match ``repro.core.packed.KIND_NAMES`` order).
+_FLAG_CODE = {NotPushed: 0, Pushed: 1, Pulled: 2}
 
 # ---------------------------------------------------------------------------
 # Global-log flags
@@ -195,9 +200,15 @@ class LocalLog:
         return self._entries == other._entries
 
     def __hash__(self) -> int:
+        # Hash from the memoized identity/payload columns rather than the
+        # deep entry tuple: consistent with __eq__ (equal logs have equal
+        # ids and codes), and collisions — logs differing only in saved
+        # flags — fall back to the (identity-shortcutting) entry compare.
         cached = self._hash
         if cached is None:
-            cached = self._hash = hash(self._entries)
+            cached = self._hash = hash(
+                (self.packed(), tuple(self._positions()))
+            )
         return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -220,6 +231,15 @@ class LocalLog:
         return index
 
     def _projection(self, name: str, value_fn: Callable[[], Any]) -> Any:
+        """Memoise ``value_fn()`` under ``name`` in the node's cache dict.
+
+        The cache dict is shared by several key families, so projection
+        names are namespaced: every string key carries a ``"L."`` prefix
+        (``"G."`` on :class:`GlobalLog`), and non-projection families —
+        removal memos ``("rm", id)``, ownership rows ``("ownb", own)``,
+        per-cache denotation slots — use tuple keys, which can never
+        collide with any string.  Callers pass the fully namespaced name.
+        """
         proj = self._proj
         if proj is None:
             proj = self._proj = {}
@@ -232,7 +252,7 @@ class LocalLog:
         return op.op_id in self._positions()
 
     def ids(self) -> frozenset:
-        return self._projection("ids", lambda: frozenset(self._positions()))
+        return self._projection("L.ids", lambda: frozenset(self._positions()))
 
     def entry_for(self, op: Op) -> Optional[LocalEntry]:
         position = self._positions().get(op.op_id)
@@ -257,14 +277,21 @@ class LocalLog:
         if proj:
             # Appends extend the parent's row projections by one element.
             inherited = {}
-            pkey = proj.get("pkey")
+            pkey = proj.get("L.pkey")
             if pkey is not None:
-                inherited["pkey"] = pkey + (payload_class_id(op),)
-            frows = proj.get("frows")
+                inherited["L.pkey"] = pkey + (payload_class_id(op),)
+            frows = proj.get("L.frows")
             if frows is not None:
-                inherited["frows"] = frows + (
+                inherited["L.frows"] = frows + (
                     (op.method, op.args, op.ret, _FLAG_KIND[type(flag)]),
                 )
+            codes = proj.get("L.codes")
+            if codes is not None:
+                new_code = (payload_class_id(op) << 2) | _FLAG_CODE[type(flag)]
+                inherited["L.codes"] = codes + (new_code,)
+                packed = proj.get("L.pk")
+                if packed is not None:
+                    inherited["L.pk"] = packed + pack_u32(new_code)
             if inherited:
                 child._proj = inherited
         return child
@@ -276,10 +303,13 @@ class LocalLog:
         proj = self._proj
         if proj:
             inherited = {}
-            for name in ("pkey", "frows"):
+            for name in ("L.pkey", "L.frows", "L.codes"):
                 rows = proj.get(name)
                 if rows is not None:
                     inherited[name] = rows[:-1]
+            packed = proj.get("L.pk")
+            if packed is not None:
+                inherited["L.pk"] = packed[:-4]
             if inherited:
                 child._proj = inherited
         return child
@@ -302,10 +332,13 @@ class LocalLog:
                 self._entries[:idx] + self._entries[idx + 1 :]
             )
             inherited = {}
-            for name in ("pkey", "frows"):
+            for name in ("L.pkey", "L.frows", "L.codes"):
                 rows = proj.get(name)
                 if rows is not None:
                     inherited[name] = rows[:idx] + rows[idx + 1 :]
+            packed = proj.get("L.pk")
+            if packed is not None:
+                inherited["L.pk"] = packed[: 4 * idx] + packed[4 * idx + 4 :]
             if inherited:
                 child._proj = inherited
         return child
@@ -322,18 +355,27 @@ class LocalLog:
             # Flag flips keep the op sequence, so the payload key and the
             # full op tuple carry over unchanged; flag rows patch one row.
             inherited = {}
-            for name in ("pkey", "all"):
+            for name in ("L.pkey", "L.all"):
                 got = proj.get(name)
                 if got is not None:
                     inherited[name] = got
-            frows = proj.get("frows")
+            frows = proj.get("L.frows")
             if frows is not None:
                 row = entry.op
-                inherited["frows"] = (
+                inherited["L.frows"] = (
                     frows[:idx]
                     + ((row.method, row.args, row.ret, _FLAG_KIND[type(flag)]),)
                     + frows[idx + 1 :]
                 )
+            codes = proj.get("L.codes")
+            if codes is not None:
+                new_code = (codes[idx] & ~3) | _FLAG_CODE[type(flag)]
+                inherited["L.codes"] = codes[:idx] + (new_code,) + codes[idx + 1 :]
+                packed = proj.get("L.pk")
+                if packed is not None:
+                    inherited["L.pk"] = (
+                        packed[: 4 * idx] + pack_u32(new_code) + packed[4 * idx + 4 :]
+                    )
             if inherited:
                 child._proj = inherited
         return child
@@ -348,9 +390,9 @@ class LocalLog:
         proj = self._proj
         if proj is None:
             proj = self._proj = {}
-        got = proj.get("pshd")
+        got = proj.get("L.pshd")
         if got is None:
-            got = proj["pshd"] = tuple(
+            got = proj["L.pshd"] = tuple(
                 e.op for e in self._entries if e.is_pushed
             )
         return got
@@ -360,9 +402,9 @@ class LocalLog:
         proj = self._proj
         if proj is None:
             proj = self._proj = {}
-        got = proj.get("npshd")
+        got = proj.get("L.npshd")
         if got is None:
-            got = proj["npshd"] = tuple(
+            got = proj["L.npshd"] = tuple(
                 e.op for e in self._entries if e.is_not_pushed
             )
         return got
@@ -372,9 +414,9 @@ class LocalLog:
         proj = self._proj
         if proj is None:
             proj = self._proj = {}
-        got = proj.get("pld")
+        got = proj.get("L.pld")
         if got is None:
-            got = proj["pld"] = tuple(
+            got = proj["L.pld"] = tuple(
                 e.op for e in self._entries if e.is_pulled
             )
         return got
@@ -384,24 +426,24 @@ class LocalLog:
         proj = self._proj
         if proj is None:
             proj = self._proj = {}
-        got = proj.get("own")
+        got = proj.get("L.own")
         if got is None:
-            got = proj["own"] = tuple(
+            got = proj["L.own"] = tuple(
                 e.op for e in self._entries if e.is_own
             )
         return got
 
-    # The three accessors below are the kernel's hottest projections, so
-    # they hand-inline ``_projection`` to avoid allocating a closure per
-    # call on the (overwhelmingly common) cache-hit path.
+    # The accessors below are the kernel's hottest projections, so they
+    # hand-inline ``_projection`` to avoid allocating a closure per call
+    # on the (overwhelmingly common) cache-hit path.
 
     def all_ops(self) -> Tuple[Op, ...]:
         proj = self._proj
         if proj is None:
             proj = self._proj = {}
-        got = proj.get("all")
+        got = proj.get("L.all")
         if got is None:
-            got = proj["all"] = tuple(e.op for e in self._entries)
+            got = proj["L.all"] = tuple(e.op for e in self._entries)
         return got
 
     def payload_key(self) -> Tuple[int, ...]:
@@ -410,27 +452,54 @@ class LocalLog:
         proj = self._proj
         if proj is None:
             proj = self._proj = {}
-        got = proj.get("pkey")
+        got = proj.get("L.pkey")
         if got is None:
-            got = proj["pkey"] = tuple(
+            got = proj["L.pkey"] = tuple(
                 payload_class_id(e.op) for e in self._entries
             )
         return got
 
     def flag_rows(self) -> Tuple[Tuple, ...]:
         """Per-entry ``(method, args, ret, flag-kind)`` digests (cached) —
-        the id-free rows thread state keys and invariant memo keys consume.
-        Derivations inherit these rows incrementally (append extends,
-        set_flag patches one row, remove slices one out)."""
+        the id-free rows the object-level view of thread state keys
+        consumes.  Derivations inherit these rows incrementally (append
+        extends, set_flag patches one row, remove slices one out)."""
         proj = self._proj
         if proj is None:
             proj = self._proj = {}
-        got = proj.get("frows")
+        got = proj.get("L.frows")
         if got is None:
-            got = proj["frows"] = tuple(
+            got = proj["L.frows"] = tuple(
                 (e.op.method, e.op.args, e.op.ret, _FLAG_KIND[type(e.flag)])
                 for e in self._entries
             )
+        return got
+
+    def codes(self) -> Tuple[int, ...]:
+        """Packed per-entry row codes ``(payload_class << 2) | kind`` —
+        the integer column the Figure 5 rule predicates scan (cached,
+        inherited incrementally like ``flag_rows``)."""
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        got = proj.get("L.codes")
+        if got is None:
+            got = proj["L.codes"] = tuple(
+                (payload_class_id(e.op) << 2) | _FLAG_CODE[type(e.flag)]
+                for e in self._entries
+            )
+        return got
+
+    def packed(self) -> bytes:
+        """The row codes as little-endian uint32 bytes — the flag-row
+        component of packed thread state keys (cached; byte hashes are
+        cached by CPython, unlike tuple hashes)."""
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        got = proj.get("L.pk")
+        if got is None:
+            got = proj["L.pk"] = pack_codes(self.codes())
         return got
 
     # -- relations with a global log ----------------------------------------
@@ -495,9 +564,13 @@ class GlobalLog:
         return self._entries == other._entries
 
     def __hash__(self) -> int:
+        # Same scheme as LocalLog.__hash__: hash the memoized columns,
+        # let the rare collision fall back to the deep entry compare.
         cached = self._hash
         if cached is None:
-            cached = self._hash = hash(self._entries)
+            cached = self._hash = hash(
+                (self.packed(), tuple(self._positions()))
+            )
         return cached
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
@@ -517,6 +590,8 @@ class GlobalLog:
         return index
 
     def _projection(self, name: str, value_fn: Callable[[], Any]) -> Any:
+        """Memoise ``value_fn()`` under ``name`` (namespaced ``"G."`` —
+        see :meth:`LocalLog._projection` for the key conventions)."""
         proj = self._proj
         if proj is None:
             proj = self._proj = {}
@@ -529,7 +604,7 @@ class GlobalLog:
         return op.op_id in self._positions()
 
     def ids(self) -> frozenset:
-        return self._projection("ids", lambda: frozenset(self._positions()))
+        return self._projection("G.ids", lambda: frozenset(self._positions()))
 
     def entry_for(self, op: Op) -> Optional[GlobalEntry]:
         position = self._positions().get(op.op_id)
@@ -555,17 +630,26 @@ class GlobalLog:
         proj = self._proj
         if proj:
             inherited = {}
-            rows = proj.get("rows")
+            rows = proj.get("G.rows")
             if rows is not None:
-                inherited["rows"] = rows + (
+                inherited["G.rows"] = rows + (
                     (op.method, op.args, op.ret, isinstance(flag, Committed)),
                 )
-            idrow = proj.get("idrow")
+            idrow = proj.get("G.idrow")
             if idrow is not None:
-                inherited["idrow"] = idrow + (op.op_id,)
-            pkey = proj.get("pkey")
+                inherited["G.idrow"] = idrow + (op.op_id,)
+            pkey = proj.get("G.pkey")
             if pkey is not None:
-                inherited["pkey"] = pkey + (payload_class_id(op),)
+                inherited["G.pkey"] = pkey + (payload_class_id(op),)
+            codes = proj.get("G.codes")
+            if codes is not None:
+                new_code = (payload_class_id(op) << 1) | (
+                    1 if isinstance(flag, Committed) else 0
+                )
+                inherited["G.codes"] = codes + (new_code,)
+                packed = proj.get("G.pk")
+                if packed is not None:
+                    inherited["G.pk"] = packed + pack_u32(new_code)
             if inherited:
                 child._proj = inherited
         return child
@@ -584,10 +668,13 @@ class GlobalLog:
                 self._entries[:idx] + self._entries[idx + 1 :]
             )
             inherited = {}
-            for name in ("rows", "idrow", "pkey"):
+            for name in ("G.rows", "G.idrow", "G.pkey", "G.codes"):
                 rows = proj.get(name)
                 if rows is not None:
                     inherited[name] = rows[:idx] + rows[idx + 1 :]
+            packed = proj.get("G.pk")
+            if packed is not None:
+                inherited["G.pk"] = packed[: 4 * idx] + packed[4 * idx + 4 :]
             if inherited:
                 child._proj = inherited
         return child
@@ -597,13 +684,13 @@ class GlobalLog:
     def committed_ops(self) -> Tuple[Op, ...]:
         """``⌊G⌋_gCmt``."""
         return self._projection(
-            "gCmt", lambda: tuple(e.op for e in self._entries if e.is_committed)
+            "G.gCmt", lambda: tuple(e.op for e in self._entries if e.is_committed)
         )
 
     def uncommitted_ops(self) -> Tuple[Op, ...]:
         """``⌊G⌋_gUCmt``."""
         return self._projection(
-            "gUCmt",
+            "G.gUCmt",
             lambda: tuple(e.op for e in self._entries if not e.is_committed),
         )
 
@@ -613,20 +700,20 @@ class GlobalLog:
         proj = self._proj
         if proj is None:
             proj = self._proj = {}
-        got = proj.get("all")
+        got = proj.get("G.all")
         if got is None:
-            got = proj["all"] = tuple(e.op for e in self._entries)
+            got = proj["G.all"] = tuple(e.op for e in self._entries)
         return got
 
     def payload_rows(self) -> Tuple[Tuple, ...]:
         """Per-entry ``(method, args, ret, committed?)`` digests (cached) —
-        the id-free rows the machine's canonical state key consumes."""
+        the id-free rows the object-level view of state keys consumes."""
         proj = self._proj
         if proj is None:
             proj = self._proj = {}
-        got = proj.get("rows")
+        got = proj.get("G.rows")
         if got is None:
-            got = proj["rows"] = tuple(
+            got = proj["G.rows"] = tuple(
                 (e.op.method, e.op.args, e.op.ret, e.is_committed)
                 for e in self._entries
             )
@@ -637,9 +724,9 @@ class GlobalLog:
         proj = self._proj
         if proj is None:
             proj = self._proj = {}
-        got = proj.get("idrow")
+        got = proj.get("G.idrow")
         if got is None:
-            got = proj["idrow"] = tuple(e.op.op_id for e in self._entries)
+            got = proj["G.idrow"] = tuple(e.op.op_id for e in self._entries)
         return got
 
     def payload_key(self) -> Tuple[int, ...]:
@@ -647,16 +734,42 @@ class GlobalLog:
         proj = self._proj
         if proj is None:
             proj = self._proj = {}
-        got = proj.get("pkey")
+        got = proj.get("G.pkey")
         if got is None:
-            got = proj["pkey"] = tuple(
+            got = proj["G.pkey"] = tuple(
                 payload_class_id(e.op) for e in self._entries
             )
         return got
 
+    def codes(self) -> Tuple[int, ...]:
+        """Packed per-entry row codes ``(payload_class << 1) | committed``
+        — the integer column the rule predicates scan (cached, inherited
+        incrementally: append extends, remove slices, commit patches)."""
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        got = proj.get("G.codes")
+        if got is None:
+            got = proj["G.codes"] = tuple(
+                (payload_class_id(e.op) << 1) | (1 if e.is_committed else 0)
+                for e in self._entries
+            )
+        return got
+
+    def packed(self) -> bytes:
+        """The row codes as little-endian uint32 bytes — the global-log
+        component of packed machine state keys (cached)."""
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        got = proj.get("G.pk")
+        if got is None:
+            got = proj["G.pk"] = pack_codes(self.codes())
+        return got
+
     def own_bits(self, own: frozenset) -> Tuple[bool, ...]:
         """Which entries belong to a thread owning the id set ``own``
-        (cached per set) — the ownership row of invariant memo keys."""
+        (cached per set)."""
         proj = self._proj
         if proj is None:
             proj = self._proj = {}
@@ -665,6 +778,20 @@ class GlobalLog:
         if got is None:
             got = proj[key] = tuple(
                 e.op.op_id in own for e in self._entries
+            )
+        return got
+
+    def own_bytes(self, own: frozenset) -> bytes:
+        """:meth:`own_bits` packed as one byte per entry (cached per set)
+        — the ownership row of packed invariant memo keys."""
+        proj = self._proj
+        if proj is None:
+            proj = self._proj = {}
+        key = ("ownbp", own)
+        got = proj.get(key)
+        if got is None:
+            got = proj[key] = bytes(
+                1 if e.op.op_id in own else 0 for e in self._entries
             )
         return got
 
@@ -706,8 +833,20 @@ class GlobalLog:
         proj = self._proj
         if proj:
             inherited = {
-                name: proj[name] for name in ("idrow", "pkey") if name in proj
+                name: proj[name]
+                for name in ("G.idrow", "G.pkey")
+                if name in proj
             }
+            codes = proj.get("G.codes")
+            if codes is not None:
+                positions = self._positions()
+                flips = {positions[i] for i in pushed}
+                new_codes = tuple(
+                    c | 1 if i in flips else c for i, c in enumerate(codes)
+                )
+                inherited["G.codes"] = new_codes
+                if proj.get("G.pk") is not None:
+                    inherited["G.pk"] = pack_codes(new_codes)
             if inherited:
                 child._proj = inherited
         return child

@@ -51,7 +51,21 @@ from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.errors import CriterionViolation, MachineError, SpecError
-from repro.core.language import Call, Choice, Code, Seq, Skip, SKIP, Star, Tx, fin, seq_cont, step
+from repro.core.language import (
+    Call,
+    Choice,
+    Code,
+    Seq,
+    Skip,
+    SKIP,
+    Star,
+    Tx,
+    fin,
+    fin_cached,
+    seq_cont,
+    sorted_choices,
+    step,
+)
 from repro.core.logs import (
     COMMITTED,
     EMPTY_GLOBAL,
@@ -63,7 +77,21 @@ from repro.core.logs import (
     Pushed,
     UNCOMMITTED,
 )
-from repro.core.ops import IdGenerator, Op
+from repro.core.ops import (
+    IdGenerator,
+    Op,
+    code_state_id,
+    payload_class_id,
+    payload_class_of,
+)
+from repro.core.packed import (
+    pack_i32,
+    pack_owners,
+    pack_tid_cs,
+    pack_u32,
+    unpack_codes,
+    unpack_owners,
+)
 from repro.core.spec import (
     MemoizedMovers,
     SequentialSpec,
@@ -131,7 +159,15 @@ class Thread:
     original_stack: Any = None
 
     def own_op_ids(self) -> frozenset:
-        return frozenset(op.op_id for op in self.local.own_ops())
+        """The ids of the thread's own operations, cached on the
+        (immutable) thread — the PUSH criteria consult this per probe."""
+        try:
+            return self._ownids  # type: ignore[attr-defined]
+        except AttributeError:
+            pass
+        own = frozenset(op.op_id for op in self.local.own_ops())
+        object.__setattr__(self, "_ownids", own)
+        return own
 
     def evolve(
         self, code: Optional[Code] = None, stack: Any = _UNSET, local: Optional[LocalLog] = None
@@ -152,14 +188,22 @@ class Thread:
         return isinstance(self.code, Skip) and len(self.local) == 0
 
 
-def _thread_key(thread: Thread) -> Tuple:
-    """The payload-level digest of a thread, cached on the (immutable)
-    thread object so successor machines only re-digest changed threads."""
+def _thread_key(thread: Thread) -> bytes:
+    """The packed digest of a thread — ``pack("<ii", tid, code_state_id)``
+    followed by the local log's packed row codes — cached on the
+    (immutable) thread object so successor machines only re-digest changed
+    threads.  Byte strings cache their hash in CPython, so repeated
+    seen-set membership tests never re-hash the code AST or payloads;
+    :func:`repro.core.packed.decode_thread_key` recovers the PR-2
+    object-level tuple."""
     try:
         return thread._tkey  # type: ignore[attr-defined]
     except AttributeError:
         pass
-    key = (thread.tid, thread.code, thread.stack, thread.local.flag_rows())
+    key = (
+        pack_tid_cs(thread.tid, code_state_id(thread.code, thread.stack))
+        + thread.local.packed()
+    )
     object.__setattr__(thread, "_tkey", key)
     return key
 
@@ -189,6 +233,13 @@ class Machine:
         self._by_tid: Dict[int, int] = {t.tid: i for i, t in enumerate(self.threads)}
         self._skey: Optional[Tuple] = None
         self._skey_src: Optional[Tuple] = None
+        # Successor-recipe memo (see successor_keys): payload-level thread
+        # configuration → tid-independent expansion recipe.  Shared by all
+        # successors of this machine root (copied by reference in _with),
+        # so one exploration shares a single memo; never shared across
+        # machine roots (check_gray_criteria and the spec may differ).
+        self._skmemo: Dict[Tuple, Tuple] = {}
+        self._skplans: Dict[Tuple, Tuple] = {}
         if len(self._by_tid) != len(self.threads):
             raise MachineError("duplicate thread ids")
 
@@ -199,7 +250,7 @@ class Machine:
         threads: Tuple[Thread, ...],
         global_log: GlobalLog,
         changed_tid: Optional[int] = None,
-        owner_delta: Optional[Tuple[str, int]] = None,
+        owner_delta: Optional[Tuple[Any, ...]] = None,
     ) -> "Machine":
         """Successor-state constructor: shares every per-spec component and,
         when the thread list shape is unchanged (every rule except
@@ -212,9 +263,9 @@ class Machine:
         fingerprint update) instead of rebuilt from the whole state: one
         thread digest is swapped into the parent key, and the global part
         is either reused verbatim (``global_log`` identical) or patched
-        through ``owner_delta`` — ``("push", tid)`` appends an owner,
-        ``("unpush", position)`` drops one, ``("cmt", tid)`` releases the
-        committer's entries.
+        through ``owner_delta`` — ``("push", tid, payload_class_id)``
+        appends a global row code and its owner, ``("unpush", position)``
+        drops one, ``("cmt", tid)`` releases the committer's entries.
         """
         machine = Machine.__new__(Machine)
         state = machine.__dict__
@@ -348,15 +399,18 @@ class Machine:
 
     def _check_app(self, thread: Thread, choice: Tuple[Call, Code]) -> bool:
         """APP enabledness for a ``step(c)`` member, without minting an id
-        or building the successor (the probe record's id ``-1`` is never
-        stored; criteria depend only on payloads)."""
+        or building the successor (criteria depend only on payloads, which
+        are interned to class ids on the way in)."""
         call_node = choice[0]
         local = thread.local
+        denots = self.denots
         try:
-            ret = self.denots.result_log(local, call_node.method, call_node.args)
+            ret = denots.result_log(local, call_node.method, call_node.args)
         except SpecError:
             return False
-        return self.denots.allows_log(local, Op(call_node.method, call_node.args, ret, -1))
+        return denots.allows_pid(
+            local, payload_class_of(call_node.method, call_node.args, ret)
+        )
 
     def app_enabled(self, tid: int, choice: Optional[Tuple[Call, Code]] = None) -> bool:
         """Whether APP has an enabled instance for ``tid`` (for ``choice``,
@@ -392,7 +446,8 @@ class Machine:
         """The APP successor's canonical :meth:`state_key`, or ``None`` if
         the instance is disabled — criteria checked, no id minted, no
         successor constructed (see :meth:`unpull_key` for the pattern)."""
-        thread = self.threads[self._by_tid[tid]]
+        index = self._by_tid[tid]
+        thread = self.threads[index]
         call_node, continuation = choice
         local = thread.local
         denots = self.denots
@@ -400,17 +455,14 @@ class Machine:
             ret = denots.result_log(local, call_node.method, call_node.args)
         except SpecError:
             return None
-        if not denots.allows_log(
-            local, Op(call_node.method, call_node.args, ret, -1)
-        ):
+        pid = payload_class_of(call_node.method, call_node.args, ret)
+        if not denots.allows_pid(local, pid):
             return None
         parent_key = self.state_key()
-        index = self._by_tid[tid]
         new_tkey = (
-            thread.tid,
-            continuation,
-            ret,
-            local.flag_rows() + ((call_node.method, call_node.args, ret, "npshd"),),
+            pack_tid_cs(tid, code_state_id(continuation, ret))
+            + local.packed()
+            + pack_u32(pid << 2)
         )
         tkeys = parent_key[0]
         return (
@@ -467,7 +519,8 @@ class Machine:
         """The UNAPP successor's canonical :meth:`state_key`, or ``None``
         if disabled — the last flag row drops off and the saved code/stack
         come back; no successor constructed."""
-        thread = self.threads[self._by_tid[tid]]
+        index = self._by_tid[tid]
+        thread = self.threads[index]
         local = thread.local
         if len(local) == 0:
             return None
@@ -476,12 +529,9 @@ class Machine:
             return None
         flag = last.flag
         parent_key = self.state_key()
-        index = self._by_tid[tid]
         new_tkey = (
-            thread.tid,
-            flag.saved_code,
-            flag.saved_stack,
-            local.flag_rows()[:-1],
+            pack_tid_cs(tid, code_state_id(flag.saved_code, flag.saved_stack))
+            + local.packed()[:-4]
         )
         tkeys = parent_key[0]
         return (
@@ -518,7 +568,12 @@ class Machine:
           still serialize before all concurrent uncommitted transactions;
         * criterion (iii): the global log allows ``op``.
         """
-        position = thread.local.index_of(op)
+        local = thread.local
+        position = local.index_of(op)
+        codes = local.codes()
+        op_pid = payload_class_id(op)
+        lm = self.movers.left_mover_pid
+        entries = local.entries
         # criterion (i) — both directions of local-order coherence:
         # (a) op moves left of every earlier unpushed own operation
         #     (preserves I_localOrder, Lemma 5.12);
@@ -527,20 +582,27 @@ class Machine:
         #     against local order, the pattern I_reorderPUSH (Lemma 5.10)
         #     constrains.  In-order pushing never triggers (b); it bites on
         #     re-publication after an UNPUSH (found by the theorem fuzzer).
-        for earlier in thread.local.entries[:position]:
-            if earlier.is_not_pushed and not self.movers.left_mover(op, earlier.op):
+        for i in range(position):
+            c = codes[i]
+            if c & 3 == 0 and not lm(op_pid, c >> 2):
+                earlier = entries[i]
                 return lambda earlier=earlier: CriterionViolation(
                     "PUSH",
                     "i",
                     f"{op.pretty()} does not move left of earlier unpushed "
                     f"{earlier.op.pretty()}",
                 )
-        for later in thread.local.entries[position + 1 :]:
-            if not later.is_pushed:
-                continue
-            g_entry = self.global_log.entry_for(later.op)
-            if g_entry is not None and not g_entry.is_committed:
-                if not self.movers.left_mover(later.op, op):
+        global_log = self.global_log
+        gcodes = global_log.codes()
+        if position + 1 < len(codes):
+            gpos_of = global_log._positions()
+            for i in range(position + 1, len(codes)):
+                c = codes[i]
+                if c & 3 != 1:
+                    continue
+                gpos = gpos_of.get(entries[i].op.op_id)
+                if gpos is not None and not gcodes[gpos] & 1 and not lm(c >> 2, op_pid):
+                    later = entries[i]
                     return lambda later=later: CriterionViolation(
                         "PUSH",
                         "i",
@@ -550,17 +612,19 @@ class Machine:
                     )
         # criterion (ii)
         own = thread.own_op_ids()
-        for other in self.global_log.uncommitted_ops():
-            if other.op_id in own:
+        idrow = global_log.id_row()
+        for i, gc in enumerate(gcodes):
+            if gc & 1 or idrow[i] in own:
                 continue
-            if not self.movers.left_mover(other, op):
+            if not lm(gc >> 1, op_pid):
+                other = global_log.entries[i].op
                 return lambda other=other: CriterionViolation(
                     "PUSH",
                     "ii",
                     f"uncommitted {other.pretty()} does not move right of {op.pretty()}",
                 )
         # criterion (iii)
-        if not self.denots.allows_log(self.global_log, op):
+        if not self.denots.allows_pid(global_log, op_pid):
             return lambda: CriterionViolation(
                 "PUSH", "iii", f"global log does not allow {op.pretty()}"
             )
@@ -588,7 +652,7 @@ class Machine:
             self._replace_thread(new_thread),
             self.global_log.append(op, UNCOMMITTED),
             changed_tid=tid,
-            owner_delta=("push", tid),
+            owner_delta=("push", tid, payload_class_id(op)),
         )
 
     def push_enabled(self, tid: int, op: Op) -> bool:
@@ -616,7 +680,7 @@ class Machine:
             self._replace_thread(new_thread),
             self.global_log.append(op, UNCOMMITTED),
             changed_tid=tid,
-            owner_delta=("push", tid),
+            owner_delta=("push", tid, payload_class_id(op)),
         )
 
     def push_key(self, tid: int, op: Op) -> Optional[Tuple]:
@@ -625,26 +689,26 @@ class Machine:
         owner slot append; no successor constructed.  ``op`` must be an
         ``npshd`` entry of the thread's local log (the checker iterates
         ``not_pushed_ops()``)."""
-        thread = self.threads[self._by_tid[tid]]
+        index = self._by_tid[tid]
+        thread = self.threads[index]
         if self._check_push(thread, op) is not None:
             return None
         parent_key = self.state_key()
-        index = self._by_tid[tid]
         local = thread.local
         lidx = local.index_of(op)
-        frows = local.flag_rows()
-        row = frows[lidx]
-        new_tkey = (
-            thread.tid,
-            thread.code,
-            thread.stack,
-            frows[:lidx] + ((row[0], row[1], row[2], "pshd"),) + frows[lidx + 1 :],
-        )
+        # The thread digest: op's row flips npshd → pshd in place — an
+        # 8-byte header plus 4 bytes per row, patched at byte offset
+        # ``8 + 4·lidx`` (code and stack are untouched by PUSH, so the
+        # parent's cached bytes are reused around the patch).
+        tkey = _thread_key(thread)
+        offset = 8 + 4 * lidx
+        new_code = (local.codes()[lidx] & ~3) | 1
+        new_tkey = tkey[:offset] + pack_u32(new_code) + tkey[offset + 4 :]
         tkeys = parent_key[0]
         return (
             tkeys[:index] + (new_tkey,) + tkeys[index + 1 :],
-            parent_key[1] + ((op.method, op.args, op.ret, False),),
-            parent_key[2] + (tid,),
+            parent_key[1] + pack_u32(payload_class_id(op) << 1),
+            parent_key[2] + pack_i32(tid),
         )
 
     def push_state(self, tid: int, op: Op, skey: Tuple) -> "Machine":
@@ -685,19 +749,24 @@ class Machine:
           could still have been pushed had ``op`` not been (the global log
           without ``op`` is still allowed).
         """
-        g_entry = self.global_log.entry_for(op)
-        if g_entry is None:
+        global_log = self.global_log
+        gpos_of = global_log._positions()
+        position = gpos_of.get(op.op_id)
+        if position is None:
             return lambda: MachineError(
                 f"UNPUSH: {op.pretty()} missing from global log (I_LG broken)"
             )
-        if g_entry.is_committed:
+        gcodes = global_log.codes()
+        if gcodes[position] & 1:
             return lambda: MachineError(f"UNPUSH: {op.pretty()} is already committed")
         if self.check_gray_criteria:
+            op_pid = payload_class_id(op)
+            lm = self.movers.left_mover_pid
             # (a) G2 does not depend on op: op moves right past everything
             #     pushed after it (Lemma 5.10's need).
-            position = self.global_log.index_of(op)
-            for later in self.global_log.entries[position + 1 :]:
-                if not self.movers.left_mover(op, later.op):
+            for i in range(position + 1, len(gcodes)):
+                if not lm(op_pid, gcodes[i] >> 1):
+                    later = global_log.entries[i]
                     return lambda later=later: CriterionViolation(
                         "UNPUSH",
                         "i",
@@ -708,21 +777,26 @@ class Machine:
             #     op — unpushing turns op ``npshd`` beneath them, the
             #     I_localOrder pattern (Lemma 5.12's UNPUSH case).  Found
             #     necessary by the theorem fuzzer.
-            local_position = thread.local.index_of(op)
-            for later_entry in thread.local.entries[local_position + 1 :]:
-                if not later_entry.is_pushed:
+            local = thread.local
+            codes = local.codes()
+            entries = local.entries
+            local_position = local.index_of(op)
+            for i in range(local_position + 1, len(codes)):
+                c = codes[i]
+                if c & 3 != 1:
                     continue
-                later_global = self.global_log.entry_for(later_entry.op)
-                if later_global is None or later_global.is_committed:
+                later_gpos = gpos_of.get(entries[i].op.op_id)
+                if later_gpos is None or gcodes[later_gpos] & 1:
                     continue
-                if not self.movers.left_mover(later_entry.op, op):
+                if not lm(c >> 2, op_pid):
+                    later_entry = entries[i]
                     return lambda later_entry=later_entry: CriterionViolation(
                         "UNPUSH",
                         "i",
                         f"own published {later_entry.op.pretty()} does not "
                         f"move left of {op.pretty()}",
                     )
-        shrunk = self.global_log.remove(op)
+        shrunk = global_log.remove(op)
         if not self.denots.allowed_log(shrunk):
             return lambda: CriterionViolation(
                 "UNPUSH",
@@ -794,30 +868,27 @@ class Machine:
         rows, no successor construction.  ``op`` must be a ``pshd`` entry
         of the thread's local log (the checker iterates ``pushed_ops()``;
         see :meth:`unpull_key`)."""
-        thread = self.threads[self._by_tid[tid]]
+        index = self._by_tid[tid]
+        thread = self.threads[index]
         if self._check_unpush(thread, op) is not None:
             return None
         parent_key = self.state_key()
-        index = self._by_tid[tid]
         # The thread digest: op's flag row flips pshd → npshd in place.
         local = thread.local
         lidx = local.index_of(op)
-        frows = local.flag_rows()
-        row = frows[lidx]
-        new_frows = (
-            frows[:lidx]
-            + ((row[0], row[1], row[2], "npshd"),)
-            + frows[lidx + 1 :]
-        )
-        new_tkey = (thread.tid, thread.code, thread.stack, new_frows)
+        tkey = _thread_key(thread)
+        offset = 8 + 4 * lidx
+        new_code = local.codes()[lidx] & ~3
+        new_tkey = tkey[:offset] + pack_u32(new_code) + tkey[offset + 4 :]
         tkeys = parent_key[0]
         # The global part: op's row and owner slot drop out.
-        position = self.global_log.index_of(op)
+        gidx = 4 * self.global_log.index_of(op)
+        rows = parent_key[1]
         owner_row = parent_key[2]
         return (
             tkeys[:index] + (new_tkey,) + tkeys[index + 1 :],
-            self.global_log.remove(op).payload_rows(),
-            owner_row[:position] + owner_row[position + 1 :],
+            rows[:gidx] + rows[gidx + 4 :],
+            owner_row[:gidx] + owner_row[gidx + 4 :],
         )
 
     def unpush_state(self, tid: int, op: Op, skey: Tuple) -> "Machine":
@@ -852,17 +923,22 @@ class Machine:
           locally moves right of ``op`` (``o ◁ op``), so the pulled effect
           can be viewed as having preceded the transaction.
         """
-        if op in thread.local:
+        local = thread.local
+        if op.op_id in local._positions():
             return lambda: CriterionViolation(
                 "PULL", "i", f"{op.pretty()} already in local log"
             )
-        if not self.denots.allows_log(thread.local, op):
+        op_pid = payload_class_id(op)
+        if not self.denots.allows_pid(local, op_pid):
             return lambda: CriterionViolation(
                 "PULL", "ii", f"local log does not allow {op.pretty()}"
             )
         if self.check_gray_criteria:
-            for own in thread.local.own_ops():
-                if not self.movers.left_mover(own, op):
+            lm = self.movers.left_mover_pid
+            codes = local.codes()
+            for i, c in enumerate(codes):
+                if c & 3 != 2 and not lm(c >> 2, op_pid):
+                    own = local.entries[i].op
                     return lambda own=own: CriterionViolation(
                         "PULL",
                         "iii",
@@ -909,17 +985,12 @@ class Machine:
         disabled — one pulled flag row appends; the global part is shared.
         ``op`` must come from this machine's global log (as the checker's
         iteration guarantees)."""
-        thread = self.threads[self._by_tid[tid]]
+        index = self._by_tid[tid]
+        thread = self.threads[index]
         if self._check_pull(thread, op) is not None:
             return None
         parent_key = self.state_key()
-        index = self._by_tid[tid]
-        new_tkey = (
-            thread.tid,
-            thread.code,
-            thread.stack,
-            thread.local.flag_rows() + ((op.method, op.args, op.ret, "pld"),),
-        )
+        new_tkey = _thread_key(thread) + pack_u32((payload_class_id(op) << 2) | 2)
         tkeys = parent_key[0]
         return (
             tkeys[:index] + (new_tkey,) + tkeys[index + 1 :],
@@ -999,13 +1070,13 @@ class Machine:
         and ``op`` to be a ``pld`` entry of the thread's local log (the
         checker iterates ``pulled_ops()``).
         """
-        thread = self.threads[self._by_tid[tid]]
+        index = self._by_tid[tid]
+        thread = self.threads[index]
         shrunk = thread.local.remove(op)
         if not self.denots.allowed_log(shrunk):
             return None
         parent_key = self.state_key()
-        index = self._by_tid[tid]
-        new_tkey = (thread.tid, thread.code, thread.stack, shrunk.flag_rows())
+        new_tkey = _thread_key(thread)[:8] + shrunk.packed()
         tkeys = parent_key[0]
         return (
             tkeys[:index] + (new_tkey,) + tkeys[index + 1 :],
@@ -1038,24 +1109,35 @@ class Machine:
         * criterion (iv):  ``cmt(G, L, G')`` — own pushed operations flip
           to ``gCmt`` (the construction, always possible under I_LG).
         """
-        if not fin(thread.code):
+        if not fin_cached(thread.code):
             return lambda: CriterionViolation(
                 "CMT", "i", f"no method-free path to skip in {thread.code!r}"
             )
-        if thread.local.not_pushed_ops():
-            return lambda: CriterionViolation(
-                "CMT",
-                "ii",
-                "unpushed operations remain: "
-                + ", ".join(o.pretty() for o in thread.local.not_pushed_ops()),
-            )
-        for pulled in thread.local.pulled_ops():
-            g_entry = self.global_log.entry_for(pulled)
-            if g_entry is None:
+        local = thread.local
+        codes = local.codes()
+        for c in codes:
+            if c & 3 == 0:
+                return lambda: CriterionViolation(
+                    "CMT",
+                    "ii",
+                    "unpushed operations remain: "
+                    + ", ".join(o.pretty() for o in local.not_pushed_ops()),
+                )
+        global_log = self.global_log
+        gpos_of = global_log._positions()
+        gcodes = global_log.codes()
+        entries = local.entries
+        for i, c in enumerate(codes):
+            if c & 3 != 2:
+                continue
+            gpos = gpos_of.get(entries[i].op.op_id)
+            if gpos is None:
+                pulled = entries[i].op
                 return lambda pulled=pulled: CriterionViolation(
                     "CMT", "iii", f"pulled {pulled.pretty()} vanished from global log"
                 )
-            if not g_entry.is_committed:
+            if not gcodes[gpos] & 1:
+                pulled = entries[i].op
                 return lambda pulled=pulled: CriterionViolation(
                     "CMT", "iii", f"pulled {pulled.pretty()} is still uncommitted"
                 )
@@ -1090,21 +1172,23 @@ class Machine:
         disabled — the committer's global rows flip to committed and leave
         the owner row, its thread digest resets to ``{skip, σ, []}``; no
         successor constructed (see :meth:`unpull_key`)."""
-        thread = self.threads[self._by_tid[tid]]
+        index = self._by_tid[tid]
+        thread = self.threads[index]
         if self._check_cmt(thread) is not None:
             return None
         parent_key = self.state_key()
-        index = self._by_tid[tid]
-        new_tkey = (thread.tid, SKIP, thread.stack, ())
+        new_tkey = pack_tid_cs(tid, code_state_id(SKIP, thread.stack))
         tkeys = parent_key[0]
-        owner_row = parent_key[2]
+        owners = unpack_owners(parent_key[2])
+        gcodes = unpack_codes(parent_key[1])
+        for i, o in enumerate(owners):
+            if o == tid:
+                gcodes[i] |= 1
+                owners[i] = -1
         return (
             tkeys[:index] + (new_tkey,) + tkeys[index + 1 :],
-            tuple(
-                (r[0], r[1], r[2], True) if o == tid else r
-                for r, o in zip(parent_key[1], owner_row)
-            ),
-            tuple(-1 if o == tid else o for o in owner_row),
+            gcodes.tobytes(),
+            owners.tobytes(),
         )
 
     def cmt_state(self, tid: int, skey: Tuple) -> "Machine":
@@ -1139,6 +1223,326 @@ class Machine:
         if not self.unapp_enabled(tid):
             return None
         return self.unapp(tid)
+
+    # -------------------------------------------- batched key-first expansion
+
+    def successor_keys(
+        self,
+        tid: int,
+        include_backward: bool,
+        pull_active: bool,
+        pull_committed_only: bool,
+        pull_budget: Optional[int],
+    ) -> List[Tuple]:
+        """Every enabled rule instance of one (unfinished) thread as a
+        ``(rule, arg, skey)`` triple, in the checker's canonical emission
+        order (APP, PUSH, PULL, CMT, UNAPP, UNPUSH, UNPULL).
+
+        Batched, memoized form of the per-instance ``*_key`` methods.
+        Which instances are enabled — and the integer patches their keys
+        need — is a pure function of the thread's payload-level
+        configuration: its interned code-state, its packed local column,
+        the packed global column, and the local→global position map
+        (``lgmap``; the §5.3 criteria read global positions only through
+        it).  That decision vector is computed once per configuration by
+        :meth:`_successor_recipe` (which goes through the same
+        ``_check_*`` predicates as the rule methods — one implementation)
+        and memoized in ``_skmemo``; product states that revisit the
+        configuration — the overwhelmingly common case — skip every
+        criterion scan and denotation lookup and only re-assemble the key
+        bytes around this state's parent key.  ``arg`` is the step choice
+        (APP), the operation (PUSH/PULL/UNPUSH/UNPULL) or ``None``
+        (CMT/UNAPP); it is what the matching ``*_state`` constructor
+        needs when the key turns out to be new.
+        """
+        index = self._by_tid[tid]
+        thread = self.threads[index]
+        # The plan — (rule, arg, successor thread digest, global patch)
+        # per enabled instance — is a pure function of the thread's value
+        # (tid, interned code-state, local log), the global log and the
+        # policy; the logs hash by value with cached hashes, so product
+        # states that revisit a configuration (the overwhelmingly common
+        # case) pay one tuple hash for the whole expansion.  Ops handed
+        # back through a shared plan may be equal rather than identical
+        # objects — sound, because every log keys them by ``op_id``.
+        pkey = (
+            tid,
+            code_state_id(thread.code, thread.stack),
+            thread.local,
+            self.global_log,
+            include_backward,
+            pull_active,
+            pull_committed_only,
+            pull_budget,
+        )
+        plans = self._skplans
+        plan = plans.get(pkey)
+        if plan is None:
+            plan = plans[pkey] = self._successor_plan(
+                thread,
+                include_backward,
+                pull_active,
+                pull_committed_only,
+                pull_budget,
+            )
+        parent_key = self.state_key()
+        tkeys = parent_key[0]
+        head = tkeys[:index]
+        tail = tkeys[index + 1 :]
+        grows = parent_key[1]
+        orow = parent_key[2]
+        out: List[Tuple] = []
+        emit = out.append
+        for rule, arg, new_tkey, gop in plan:
+            tk = head + (new_tkey,) + tail
+            if gop is None:
+                emit((rule, arg, (tk, grows, orow)))
+            elif gop[0] == "push":
+                emit((rule, arg, (tk, grows + gop[1], orow + gop[2])))
+            elif gop[0] == "unpush":
+                gidx = gop[1]
+                emit((
+                    rule,
+                    arg,
+                    (
+                        tk,
+                        grows[:gidx] + grows[gidx + 4 :],
+                        orow[:gidx] + orow[gidx + 4 :],
+                    ),
+                ))
+            else:  # "cmt" — release this state's owner row, live
+                owners = unpack_owners(orow)
+                gcodes = unpack_codes(grows)
+                for i, o in enumerate(owners):
+                    if o == tid:
+                        gcodes[i] |= 1
+                        owners[i] = -1
+                emit((rule, arg, (tk, gcodes.tobytes(), owners.tobytes())))
+        return out
+
+    def _successor_plan(
+        self,
+        thread: Thread,
+        include_backward: bool,
+        pull_active: bool,
+        pull_committed_only: bool,
+        pull_budget: Optional[int],
+    ) -> Tuple[Tuple, ...]:
+        """Assemble one thread's emission plan from its (payload-level,
+        memoized) expansion recipe: ``(rule, arg, new_tkey, gop)`` per
+        enabled instance, where ``new_tkey`` is the successor's finished
+        thread digest and ``gop`` the global-column patch (``None`` for
+        rules that leave ``G`` alone, an appended/dropped row for
+        PUSH/UNPUSH, a marker for CMT whose owner flip must read the live
+        owner row)."""
+        local = thread.local
+        global_log = self.global_log
+        entries = local.entries
+        gpos_of = global_log._positions()
+        lgmap = pack_owners(
+            gpos_of.get(e.op.op_id, -1) for e in entries
+        )
+        memo_key = (
+            include_backward,
+            pull_active,
+            pull_committed_only,
+            pull_budget,
+            code_state_id(thread.code, thread.stack),
+            local.packed(),
+            global_log.packed(),
+            lgmap,
+        )
+        memo = self._skmemo
+        recipe = memo.get(memo_key)
+        if recipe is None:
+            recipe = memo[memo_key] = self._successor_recipe(
+                thread,
+                include_backward,
+                pull_active,
+                pull_committed_only,
+                pull_budget,
+            )
+        tid = thread.tid
+        tkey = _thread_key(thread)
+        lpk = local.packed()
+        gentries = global_log.entries
+        tid_row = pack_i32(tid)
+        out: List[Tuple] = []
+        emit = out.append
+        for ins in recipe:
+            rule = ins[0]
+            if rule == "UNPULL":
+                offset = 8 + 4 * ins[1]
+                emit((
+                    rule,
+                    entries[ins[1]].op,
+                    tkey[:offset] + tkey[offset + 4 :],
+                    None,
+                ))
+            elif rule == "UNPUSH":
+                offset = 8 + 4 * ins[1]
+                emit((
+                    rule,
+                    entries[ins[1]].op,
+                    tkey[:offset] + ins[3] + tkey[offset + 4 :],
+                    ("unpush", 4 * ins[2]),
+                ))
+            elif rule == "PUSH":
+                offset = 8 + 4 * ins[1]
+                emit((
+                    rule,
+                    entries[ins[1]].op,
+                    tkey[:offset] + ins[2] + tkey[offset + 4 :],
+                    ("push", ins[3], tid_row),
+                ))
+            elif rule == "APP":
+                emit((
+                    rule,
+                    ins[1],
+                    pack_tid_cs(tid, ins[2]) + lpk + ins[3],
+                    None,
+                ))
+            elif rule == "PULL":
+                emit((
+                    rule,
+                    gentries[ins[1]].op,
+                    tkey + ins[2],
+                    None,
+                ))
+            elif rule == "CMT":
+                emit((
+                    rule,
+                    None,
+                    pack_tid_cs(tid, code_state_id(SKIP, thread.stack)),
+                    ("cmt",),
+                ))
+            else:  # UNAPP — the saved continuation comes off the live flag
+                flag = entries[-1].flag
+                emit((
+                    rule,
+                    None,
+                    pack_tid_cs(
+                        tid, code_state_id(flag.saved_code, flag.saved_stack)
+                    )
+                    + lpk[:-4],
+                    None,
+                ))
+        return tuple(out)
+
+    def _successor_recipe(
+        self,
+        thread: Thread,
+        include_backward: bool,
+        pull_active: bool,
+        pull_committed_only: bool,
+        pull_budget: Optional[int],
+    ) -> Tuple[Tuple, ...]:
+        """The tid-independent expansion recipe of one thread
+        configuration (see :meth:`successor_keys`): which rule instances
+        are enabled, as instruction tuples carrying only interned codes,
+        log positions and pre-packed byte patches.
+
+        Everything recorded here is a pure function of the memo key —
+        criterion decisions go through the payload-interned oracles
+        (movers, denotations), positions through ``lgmap`` — so replaying
+        a recipe under a different tid or owner row yields exactly the
+        keys the unmemoized derivation would have produced.  Data that is
+        *not* key-determined (operation identities, saved continuations,
+        this state's owner row) never enters the recipe; the assembly
+        loop reads it from the live state.
+        """
+        local = thread.local
+        denots = self.denots
+        out: List[Tuple] = []
+        emit = out.append
+        # APP — every step choice.
+        result_log = denots.result_log
+        allows_pid = denots.allows_pid
+        for choice in sorted_choices(thread.code):
+            call_node, continuation = choice
+            try:
+                ret = result_log(local, call_node.method, call_node.args)
+            except SpecError:
+                continue
+            pid = payload_class_of(call_node.method, call_node.args, ret)
+            if not allows_pid(local, pid):
+                continue
+            emit((
+                "APP",
+                choice,
+                code_state_id(continuation, ret),
+                pack_u32(pid << 2),
+            ))
+        # PUSH — every npshd entry.
+        npshd = local.not_pushed_ops()
+        if npshd:
+            check_push = self._check_push
+            index_of = local.index_of
+            codes = local.codes()
+            for op in npshd:
+                if check_push(thread, op) is not None:
+                    continue
+                lidx = index_of(op)
+                emit((
+                    "PUSH",
+                    lidx,
+                    pack_u32((codes[lidx] & ~3) | 1),
+                    pack_u32(payload_class_id(op) << 1),
+                ))
+        # PULL — every global entry not in L (per policy and budget).
+        if pull_active and (
+            pull_budget is None or len(local.pulled_ops()) < pull_budget
+        ):
+            check_pull = self._check_pull
+            in_local = local._positions()
+            for gidx, g_entry in enumerate(self.global_log.entries):
+                op = g_entry.op
+                if op.op_id in in_local:
+                    continue
+                if pull_committed_only and not g_entry.is_committed:
+                    continue
+                if check_pull(thread, op) is not None:
+                    continue
+                emit((
+                    "PULL",
+                    gidx,
+                    pack_u32((payload_class_id(op) << 2) | 2),
+                ))
+        # CMT.
+        if self._check_cmt(thread) is None:
+            emit(("CMT",))
+        if include_backward:
+            codes = local.codes()
+            # UNAPP (last entry only, by the rule's shape).
+            if codes and codes[-1] & 3 == 0:
+                emit(("UNAPP",))
+            # UNPUSH — every pshd entry.
+            pshd = local.pushed_ops()
+            if pshd:
+                check_unpush = self._check_unpush
+                index_of = local.index_of
+                gpos_of = self.global_log._positions()
+                for op in pshd:
+                    if check_unpush(thread, op) is not None:
+                        continue
+                    lidx = index_of(op)
+                    emit((
+                        "UNPUSH",
+                        lidx,
+                        gpos_of[op.op_id],
+                        pack_u32(codes[lidx] & ~3),
+                    ))
+            # UNPULL — every pld entry.
+            pld = local.pulled_ops()
+            if pld:
+                allowed_log = denots.allowed_log
+                remove = local.remove
+                index_of = local.index_of
+                for op in pld:
+                    if not allowed_log(remove(op)):
+                        continue
+                    emit(("UNPULL", index_of(op)))
+        return tuple(out)
 
     # ------------------------------------------------- structural rules (Fig 6)
 
@@ -1264,12 +1668,16 @@ class Machine:
         return enabled
 
     def state_key(self) -> Tuple:
-        """A hashable digest of the machine state (payload-level, so model
-        checker visits are independent of id allocation order).
+        """A hashable digest of the machine state (payload-level via the
+        intern tables, so model checker visits are independent of id
+        allocation order).
 
-        Computed at most once per (immutable) machine; thread digests are
-        cached on the thread objects, so a successor state only re-digests
-        the one thread a rule changed plus the global-log owner map.
+        Packed representation: ``(thread_key_bytes…, global_codes_bytes,
+        owner_row_bytes)`` — see :mod:`repro.core.packed` for the layout
+        and the decoder back to the PR-2 object-level key.  Computed at
+        most once per (immutable) machine; thread digests are cached on
+        the thread objects, so a successor state only re-digests the one
+        thread a rule changed plus the global-log owner bytes.
         """
         key = self._skey
         if key is not None:
@@ -1288,26 +1696,28 @@ class Machine:
             if odelta is None:
                 rows, owner_row = parent_key[1], parent_key[2]
             else:
-                kind, arg = odelta
-                owner_row = parent_key[2]
+                kind = odelta[0]
                 if kind == "push":
                     # One entry appended to G, owned by the pusher.
-                    rows = self.global_log.payload_rows()
-                    owner_row = owner_row + (arg,)
+                    rows = parent_key[1] + pack_u32(odelta[2] << 1)
+                    owner_row = parent_key[2] + pack_i32(odelta[1])
                 elif kind == "unpush":
-                    # The entry at global position ``arg`` withdrawn.
-                    rows = self.global_log.payload_rows()
-                    owner_row = owner_row[:arg] + owner_row[arg + 1 :]
+                    # The entry at global byte position ``4·arg`` withdrawn.
+                    at = 4 * odelta[1]
+                    rows = parent_key[1][:at] + parent_key[1][at + 4 :]
+                    owner_row = parent_key[2][:at] + parent_key[2][at + 4 :]
                 else:  # "cmt"
                     # The committer's entries flip to committed and stop
                     # being owned (its local log empties).
-                    rows = tuple(
-                        (r[0], r[1], r[2], True) if o == arg else r
-                        for r, o in zip(parent_key[1], owner_row)
-                    )
-                    owner_row = tuple(
-                        -1 if o == arg else o for o in owner_row
-                    )
+                    arg = odelta[1]
+                    gcodes = unpack_codes(parent_key[1])
+                    owners = unpack_owners(parent_key[2])
+                    for i, o in enumerate(owners):
+                        if o == arg:
+                            gcodes[i] |= 1
+                            owners[i] = -1
+                    rows = gcodes.tobytes()
+                    owner_row = owners.tobytes()
             key = self._skey = (thread_keys, rows, owner_row)
             self._skey_src = None
             return key
@@ -1317,12 +1727,14 @@ class Machine:
             for op in t.local.own_ops():
                 owners[op.op_id] = tid
         thread_keys = tuple(_thread_key(t) for t in self.threads)
-        # The id-free global rows are cached on the log node (shared by
-        # every successor whose rule left G untouched); only the owner row
-        # depends on the thread list.
+        # The id-free global row codes are cached on the log node (shared
+        # by every successor whose rule left G untouched); only the owner
+        # row depends on the thread list.
         global_log = self.global_log
-        owner_row = tuple(owners.get(i, -1) for i in global_log.id_row())
-        key = self._skey = (thread_keys, global_log.payload_rows(), owner_row)
+        owner_row = pack_owners(
+            owners.get(i, -1) for i in global_log.id_row()
+        )
+        key = self._skey = (thread_keys, global_log.packed(), owner_row)
         return key
 
     def fingerprint(self) -> int:

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import itertools
 import threading
+from os import getpid
 from dataclasses import dataclass, field
 from typing import Any, Iterable, Optional, Tuple
 
@@ -153,7 +154,7 @@ class OpClass:
 _OPCLASS_INTERN: dict = {}
 
 # ---------------------------------------------------------------------------
-# Payload classes (the incremental kernel's canonical payload ids)
+# Intern tables (the packed kernel's canonical small-int codes)
 # ---------------------------------------------------------------------------
 
 #: registry ``(method, args, ret) -> small int``.  Two operations share a
@@ -161,6 +162,32 @@ _OPCLASS_INTERN: dict = {}
 #: identical key tuples — the property the denotation cache, the mover memo
 #: and the model checker's canonical state keys all rely on.
 _PAYLOAD_CLASSES: dict = {}
+
+#: reverse table ``pid -> (method, args, ret)`` — lets packed consumers
+#: (the POR canonicalizer, the parallel explorer's cross-process digests,
+#: the identity tests) decode interned codes back to payload level.
+_PAYLOAD_LIST: list = []
+
+
+def payload_class_of(method: str, args: Tuple[Any, ...], ret: Any) -> int:
+    """Intern a payload triple to its dense small-int class id.
+
+    The row-level entry point: key derivations and the reduction layer
+    work on id-free rows rather than :class:`Op` records, so they intern
+    without allocating a probe operation.  Ids are process-local (stable
+    within a run, never persisted or compared across processes).
+    """
+    key = (method, args, ret)
+    pid = _PAYLOAD_CLASSES.get(key)
+    if pid is None:
+        pid = _PAYLOAD_CLASSES[key] = len(_PAYLOAD_CLASSES)
+        _PAYLOAD_LIST.append(key)
+    return pid
+
+
+def payload_of(pid: int) -> Tuple[str, Tuple[Any, ...], Any]:
+    """The ``(method, args, ret)`` triple interned as class ``pid``."""
+    return _PAYLOAD_LIST[pid]
 
 
 def payload_class_id(op: Op) -> int:
@@ -176,9 +203,66 @@ def payload_class_id(op: Op) -> int:
         return op._payload_class  # type: ignore[attr-defined]
     except AttributeError:
         pass
-    key = (op.method, op.args, op.ret)
-    pid = _PAYLOAD_CLASSES.get(key)
-    if pid is None:
-        pid = _PAYLOAD_CLASSES[key] = len(_PAYLOAD_CLASSES)
+    pid = payload_class_of(op.method, op.args, op.ret)
     object.__setattr__(op, "_payload_class", pid)
     return pid
+
+
+# -- code states ------------------------------------------------------------
+
+#: registry ``(code, stack) -> small int``.  A thread's control component
+#: — its remaining program and local stack — compares structurally in
+#: state keys; interning it makes that comparison a one-int equality and
+#: skips re-hashing the (recursively hashed) code AST per visit.
+_CODE_STATES: dict = {}
+
+#: reverse table ``csid -> (code, stack)``.
+_CODE_STATE_LIST: list = []
+
+
+def code_state_id(code: Any, stack: Any) -> int:
+    """Intern a ``(code, stack)`` control state to a dense small int.
+
+    A per-code attribute memo (``stack -> csid``) makes the common case —
+    re-deriving keys for the same code node — a dict hit that never hashes
+    the AST; the structural registry behind it guarantees that distinct
+    code objects with equal structure share one id (state keys compare by
+    structure, not object identity).
+
+    The memo is tagged with the owning process's pid: code ASTs travel
+    across process boundaries (parallel-checker snapshots, fuzz jobs) and
+    a pickled memo carries the *sender's* csids, which mean nothing — and
+    may be out of range — against this process's tables.  A foreign tag
+    just rebuilds the memo against the local registry.
+    """
+    pid = getpid()
+    try:
+        owner, memo = code._cs_memo
+        if owner != pid:
+            raise AttributeError
+    except (AttributeError, TypeError, ValueError):
+        memo = {}
+        object.__setattr__(code, "_cs_memo", (pid, memo))
+    csid = memo.get(stack)
+    if csid is None:
+        key = (code, stack)
+        csid = _CODE_STATES.get(key)
+        if csid is None:
+            csid = _CODE_STATES[key] = len(_CODE_STATES)
+            _CODE_STATE_LIST.append(key)
+        memo[stack] = csid
+    return csid
+
+
+def code_state_of(csid: int) -> Tuple[Any, Any]:
+    """The ``(code, stack)`` pair interned as control state ``csid``."""
+    return _CODE_STATE_LIST[csid]
+
+
+def intern_stats() -> dict:
+    """Sizes of the process-wide intern tables (the ``intern.*`` gauges
+    surfaced by the kernel benchmark and documented in OBSERVABILITY.md)."""
+    return {
+        "intern.payload_classes": len(_PAYLOAD_CLASSES),
+        "intern.code_states": len(_CODE_STATES),
+    }

@@ -32,12 +32,13 @@ Both expose the same surface used by the machine:
 
 from __future__ import annotations
 
+import itertools
 from abc import ABC, abstractmethod
 from typing import Any, FrozenSet, Iterable, Optional, Sequence, Tuple
 from weakref import WeakKeyDictionary
 
 from repro.core.errors import SpecError
-from repro.core.ops import Op, OpClass, payload_class_id
+from repro.core.ops import Op, OpClass, payload_class_id, payload_of
 from repro.obs.tracer import CAT_MOVER, NULL_TRACER, Tracer
 
 
@@ -393,6 +394,33 @@ class MemoizedMovers:
     def right_mover(self, op1: Op, op2: Op) -> bool:
         return self.left_mover(op2, op1)
 
+    def left_mover_pid(self, pid1: int, pid2: int) -> bool:
+        """``left_mover`` keyed directly on interned payload-class ids —
+        the packed rule predicates scan integer columns and never hold an
+        :class:`Op`; probe records are reconstructed from the intern table
+        only on a memo miss."""
+        got = self._left.get((pid1, pid2))
+        if got is not None:
+            if self.tracer.enabled:
+                self.tracer.count("mover.left.hit")
+            return got
+        m1, a1, r1 = payload_of(pid1)
+        m2, a2, r2 = payload_of(pid2)
+        return self.left_mover(Op(m1, a1, r1, -1), Op(m2, a2, r2, -2))
+
+    def commutes_pid(self, pid1: int, pid2: int) -> bool:
+        """``commutes`` keyed directly on interned payload-class ids (see
+        :meth:`left_mover_pid`)."""
+        key = (pid1, pid2) if pid1 <= pid2 else (pid2, pid1)
+        got = self._comm.get(key)
+        if got is not None:
+            if self.tracer.enabled:
+                self.tracer.count("mover.commutes.hit")
+            return got
+        m1, a1, r1 = payload_of(pid1)
+        m2, a2, r2 = payload_of(pid2)
+        return self.commutes(Op(m1, a1, r1, -1), Op(m2, a2, r2, -2))
+
     def commutes(self, op1: Op, op2: Op) -> bool:
         pid1, pid2 = payload_class_id(op1), payload_class_id(op2)
         key = (pid1, pid2) if pid1 <= pid2 else (pid2, pid1)
@@ -463,6 +491,13 @@ class SpecDenotations:
     def allows_log(self, log, op: Op) -> bool:
         return self.allows(log.all_ops(), op)
 
+    def allows_pid(self, log, pid: int) -> bool:
+        """``allows_log`` keyed on an interned payload-class id — the
+        packed rule predicates' entry point (no probe :class:`Op` needed
+        by caching subclasses; this base reconstructs one)."""
+        method, args, ret = payload_of(pid)
+        return self.allows(log.all_ops(), Op(method, args, ret, -1))
+
     def result_log(self, log, method: str, args: Tuple[Any, ...]) -> Any:
         return self.result(log.all_ops(), method, args)
 
@@ -471,6 +506,14 @@ class SpecDenotations:
 
     def clear(self) -> None:
         pass
+
+
+#: per-process source of denotation-cache tokens.  Each cache instance
+#: gets a distinct small int and keys its per-log-node slots with it, so
+#: slots of different caches (e.g. before/after a runtime log compaction
+#: rebased the spec) can never alias — unlike ``id()``-based keys, which
+#: the allocator may reuse after a cache is collected.
+_CACHE_TOKENS = itertools.count()
 
 
 class DenotationCache(SpecDenotations):
@@ -500,6 +543,13 @@ class DenotationCache(SpecDenotations):
     def __init__(self, spec: StateSpec, tracer: Tracer = NULL_TRACER):
         super().__init__(spec, tracer)
         self._states: dict = {(): spec.initial_state()}
+        # Per-log-node slot keys (see _CACHE_TOKENS).  The slot values are
+        # pure functions of the log's payload sequence and the spec, so
+        # clear() need not invalidate them — they stay correct, they just
+        # stop being backed by ``_states``.
+        token = next(_CACHE_TOKENS)
+        self._slot = ("den", token)
+        self._token = token
 
     # -- the core lookup ---------------------------------------------------
 
@@ -545,14 +595,28 @@ class DenotationCache(SpecDenotations):
         return state
 
     def state_of_log(self, log) -> Any:
-        """``[[ℓ]]`` keyed by the log node's cached payload key."""
-        key = log.payload_key()
-        state = self._states.get(key, _ABSENT)
+        """``[[ℓ]]`` keyed by the log node's cached payload key, with the
+        resolved state stored in a per-cache slot *on the log node* — on
+        revisits (the overwhelmingly common case: criteria re-probe the
+        same immutable logs across states) the lookup is one dict hit with
+        no payload-key tuple hash at all."""
+        proj = log._proj
+        if proj is None:
+            proj = log._proj = {}
+        slot = self._slot
+        state = proj.get(slot, _ABSENT)
         if state is not _ABSENT:
             if self.tracer.enabled:
                 self.tracer.count("denot.hit")
             return state
-        return self._fill(log.all_ops(), key)
+        key = log.payload_key()
+        state = self._states.get(key, _ABSENT)
+        if state is _ABSENT:
+            state = self._fill(log.all_ops(), key)
+        elif self.tracer.enabled:
+            self.tracer.count("denot.hit")
+        proj[slot] = state
+        return state
 
     # -- the spec surface, from cached states ------------------------------
 
@@ -566,13 +630,28 @@ class DenotationCache(SpecDenotations):
         return self.state_of_log(log) is not _DISALLOWED
 
     def allows_log(self, log, op: Op) -> bool:
-        key = log.payload_key() + (payload_class_id(op),)
-        state = self._states.get(key, _ABSENT)
-        if state is not _ABSENT:
+        return self.allows_pid(log, payload_class_id(op))
+
+    def allows_pid(self, log, pid: int) -> bool:
+        proj = log._proj
+        if proj is None:
+            proj = log._proj = {}
+        akey = (self._token, pid)
+        got = proj.get(akey)
+        if got is not None:
             if self.tracer.enabled:
                 self.tracer.count("denot.hit")
-            return state is not _DISALLOWED
-        return self._fill(log.all_ops() + (op,), key) is not _DISALLOWED
+            return got is True
+        key = log.payload_key() + (pid,)
+        state = self._states.get(key, _ABSENT)
+        if state is _ABSENT:
+            method, args, ret = payload_of(pid)
+            state = self._fill(log.all_ops() + (Op(method, args, ret, -1),), key)
+        elif self.tracer.enabled:
+            self.tracer.count("denot.hit")
+        result = state is not _DISALLOWED
+        proj[akey] = result
+        return result
 
     def result(self, ops: Sequence[Op], method: str, args: Tuple[Any, ...]) -> Any:
         state = self.state_of(ops)
@@ -582,10 +661,21 @@ class DenotationCache(SpecDenotations):
         return ret
 
     def result_log(self, log, method: str, args: Tuple[Any, ...]) -> Any:
+        proj = log._proj
+        if proj is None:
+            proj = log._proj = {}
+        rkey = ("res", self._token, method, args)
+        got = proj.get(rkey, _ABSENT)
+        if got is not _ABSENT:
+            if got is _DISALLOWED:
+                raise SpecError("result() called on a disallowed log")
+            return got
         state = self.state_of_log(log)
         if state is _DISALLOWED:
+            proj[rkey] = _DISALLOWED
             raise SpecError("result() called on a disallowed log")
         ret, _ = self.spec.perform(state, method, args)
+        proj[rkey] = ret
         return ret
 
     def precongruent(self, l1: Sequence[Op], l2: Sequence[Op]) -> bool:
@@ -619,6 +709,9 @@ class NondetDenotationCache(SpecDenotations):
     def __init__(self, spec: NondetSpec, tracer: Tracer = NULL_TRACER):
         super().__init__(spec, tracer)
         self._states: dict = {(): frozenset(spec.initial_states())}
+        token = next(_CACHE_TOKENS)
+        self._slot = ("den", token)
+        self._token = token
 
     def denote(self, ops: Sequence[Op]) -> FrozenSet[Any]:
         key = tuple(payload_class_id(op) for op in ops)
@@ -631,13 +724,23 @@ class NondetDenotationCache(SpecDenotations):
         return self._fill(ops, key)
 
     def denote_log(self, log) -> FrozenSet[Any]:
-        key = log.payload_key()
-        found = self._states.get(key, _ABSENT)
+        proj = log._proj
+        if proj is None:
+            proj = log._proj = {}
+        slot = self._slot
+        found = proj.get(slot, _ABSENT)
         if found is not _ABSENT:
             if self.tracer.enabled:
                 self.tracer.count("denot.hit")
             return found
-        return self._fill(log.all_ops(), key)
+        key = log.payload_key()
+        found = self._states.get(key, _ABSENT)
+        if found is _ABSENT:
+            found = self._fill(log.all_ops(), key)
+        elif self.tracer.enabled:
+            self.tracer.count("denot.hit")
+        proj[slot] = found
+        return found
 
     def _fill(self, ops: Sequence[Op], key: Tuple[int, ...]) -> FrozenSet[Any]:
         states = self._states
@@ -675,13 +778,28 @@ class NondetDenotationCache(SpecDenotations):
         return bool(self.denote_log(log))
 
     def allows_log(self, log, op: Op) -> bool:
-        key = log.payload_key() + (payload_class_id(op),)
-        found = self._states.get(key, _ABSENT)
-        if found is not _ABSENT:
+        return self.allows_pid(log, payload_class_id(op))
+
+    def allows_pid(self, log, pid: int) -> bool:
+        proj = log._proj
+        if proj is None:
+            proj = log._proj = {}
+        akey = (self._token, pid)
+        got = proj.get(akey)
+        if got is not None:
             if self.tracer.enabled:
                 self.tracer.count("denot.hit")
-            return bool(found)
-        return bool(self._fill(log.all_ops() + (op,), key))
+            return got is True
+        key = log.payload_key() + (pid,)
+        found = self._states.get(key, _ABSENT)
+        if found is _ABSENT:
+            method, args, ret = payload_of(pid)
+            found = self._fill(log.all_ops() + (Op(method, args, ret, -1),), key)
+        elif self.tracer.enabled:
+            self.tracer.count("denot.hit")
+        result = bool(found)
+        proj[akey] = result
+        return result
 
     def cache_info(self) -> dict:
         return {"entries": len(self._states), "caching": True}

@@ -26,6 +26,11 @@ The three tiers and their gates:
   strategy.  When the committed baseline was recorded in the same mode
   (tiny/full), the deterministic per-strategy aggregates (plans,
   commits, aborts, injections, permanent aborts) must match exactly.
+* **packed** (no baseline file) — the packed kernel's representation
+  contract: seeded random rule walks over the scopes during which every
+  visited state's packed key must decode to exactly the object-level
+  reference key (``repro.checking.packedcheck``), plus non-empty intern
+  tables after the sweep.  Exact identity, no tolerance.
 
 Every baseline path is a parameter, so tests can point a tier at a
 perturbed fixture and watch the exit code flip to 2.
@@ -45,7 +50,7 @@ KERNEL_BASELINE = REPO_ROOT / "BENCH_kernel.json"
 POR_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_por.json"
 FAULTS_BASELINE = REPO_ROOT / "BENCH_faults.json"
 
-TIERS = ("kernel", "por", "faults")
+TIERS = ("kernel", "por", "faults", "packed")
 
 #: default throughput slack: measured must reach this fraction of the
 #: committed states/sec (see module docstring for why it is generous)
@@ -335,6 +340,54 @@ def check_faults(tiny: bool, baseline_path: Path, seed: int = 0) -> List[PerfFin
     return findings
 
 
+# -- packed tier ---------------------------------------------------------------
+
+PACKED_TINY_SCOPES = ("mem-ww", "counter")
+PACKED_WALK_STEPS = 60
+PACKED_WALKS = 3
+
+
+def check_packed(tiny: bool, seed: int = 0) -> List[PerfFinding]:
+    """Representation-identity gate for the packed kernel (no baseline
+    file: the reference is computed live from the object model)."""
+    from repro.checking.packedcheck import sweep_identity
+    from repro.cli import SCOPES
+    from repro.core.ops import intern_stats
+
+    names = PACKED_TINY_SCOPES if tiny else tuple(SCOPES)
+    scopes = {name: SCOPES[name] for name in names}
+    results = sweep_identity(
+        scopes, steps=PACKED_WALK_STEPS, walks=PACKED_WALKS, seed=seed
+    )
+    findings = []
+    for name, row in results.items():
+        mismatches = row["mismatches"]
+        findings.append(
+            PerfFinding(
+                "packed",
+                f"{name}/key-identity",
+                ok=not mismatches,
+                detail=f"{row['checked_states']} states decode to the "
+                "object-level reference key"
+                if not mismatches
+                else str(mismatches[0]),
+            )
+        )
+    tables = intern_stats()
+    empty = sorted(k for k, v in tables.items() if not v)
+    findings.append(
+        PerfFinding(
+            "packed",
+            "intern-tables",
+            ok=not empty,
+            detail=f"intern tables populated: {tables}"
+            if not empty
+            else f"empty intern tables after sweep: {empty}",
+        )
+    )
+    return findings
+
+
 # -- the watchdog --------------------------------------------------------------
 
 
@@ -364,5 +417,7 @@ def run_perf(
         report.findings.extend(check_por(tiny, Path(por_path)))
     if "faults" in tiers:
         report.findings.extend(check_faults(tiny, Path(faults_path), seed=seed))
+    if "packed" in tiers:
+        report.findings.extend(check_packed(tiny, seed=seed))
     report.elapsed_sec = time.perf_counter() - started
     return report

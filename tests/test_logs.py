@@ -158,3 +158,41 @@ def test_ops_minus(ops):
     assert ops_minus(ops[:4], [ops[1], ops[3]]) == (ops[0], ops[2])
     assert ops_minus((), ops) == ()
     assert ops_minus(ops[:2], ()) == tuple(ops[:2])
+
+
+class TestProjectionNamespacing:
+    """The shared per-node cache dict must never alias across families:
+    distinct projection names with equal *values* stay distinct entries,
+    and string projections can never collide with tuple-keyed memos."""
+
+    def test_equal_values_different_names_do_not_alias(self, ops):
+        log = EMPTY_LOCAL.append(ops[0], NotPushed())
+        first = log._projection("L.test-a", lambda: (1, 2))
+        second = log._projection("L.test-b", lambda: (3, 4))
+        assert first == (1, 2)
+        assert second == (3, 4)
+        # both entries persist independently under their own names
+        assert log._projection("L.test-a", lambda: ("clobbered",)) == (1, 2)
+        assert log._projection("L.test-b", lambda: ("clobbered",)) == (3, 4)
+
+    def test_local_and_global_prefixes_disjoint(self, ops):
+        """Every LocalLog projection name is 'L.'-prefixed and every
+        GlobalLog one 'G.'-prefixed, so a key computed for one class can
+        never be read back by the other through a shared helper."""
+        local = EMPTY_LOCAL.append(ops[0], Pushed())
+        glob = EMPTY_GLOBAL.append(ops[0])
+        local.ids(), local.packed(), local.pushed_ops()
+        glob.ids(), glob.packed(), glob.all_ops()
+        local_keys = {k for k in local._proj if isinstance(k, str)}
+        global_keys = {k for k in glob._proj if isinstance(k, str)}
+        assert local_keys and all(k.startswith("L.") for k in local_keys)
+        assert global_keys and all(k.startswith("G.") for k in global_keys)
+
+    def test_string_projection_never_collides_with_tuple_memos(self, ops):
+        """The removal memo lives under the tuple key ('rm', op_id); a
+        projection literally named "rm" must not read or clobber it."""
+        log = EMPTY_LOCAL.append(ops[0], Pulled()).append(ops[1], Pulled())
+        shrunk = log.remove(ops[0])  # populates the ("rm", op_id) memo
+        assert log._projection("L.rm", lambda: "sentinel") == "sentinel"
+        assert log.remove(ops[0]) is shrunk  # memo intact, same object
+        assert log._projection("L.rm", lambda: None) == "sentinel"

@@ -43,10 +43,17 @@ class TestWatchdog:
         assert report.ok
         assert report.regressions == []
         tiers = {f.tier for f in report.findings}
-        assert tiers == {"kernel", "por", "faults"}
+        assert tiers == {"kernel", "por", "faults", "packed"}
         rendered = report.render()
         assert "all gates green" in rendered
         assert "tiny" in rendered
+
+    def test_packed_tier_asserts_key_identity(self):
+        report = run_perf(tiny=True, repeat=1, tiers=["packed"])
+        assert report.ok
+        names = {f.name for f in report.findings}
+        assert "intern-tables" in names
+        assert any(n.endswith("/key-identity") for n in names)
 
     def test_throughput_regression_flips_the_gate(self, tmp_path):
         """An absurd committed rate makes the tolerance floor

@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""Optional ahead-of-time compilation of the packed-kernel hot modules.
+
+The packed kernel (DESIGN.md, "Packed kernel") is written in the
+restricted, int-and-bytes style that mypyc compiles well: interned
+codes, struct packing, tuple patching, no dynamic attribute tricks on
+the hot paths.  When `mypyc` is installed this script compiles the
+modules below in place (CPython extension modules next to their
+sources, which the import system then prefers); when it is not — the
+supported baseline, this repo has **zero** runtime dependencies — it
+prints a status report and exits 0.
+
+The pure-Python modules are themselves the fallback: nothing anywhere
+imports a compiled artifact by name, so deleting the built `.so` files
+(``--clean``) always returns to a working tree.
+
+Usage::
+
+    python tools/build_mypyc.py            # compile if mypyc is available
+    python tools/build_mypyc.py --check    # report only, never compile
+    python tools/build_mypyc.py --clean    # remove compiled artifacts
+"""
+
+from __future__ import annotations
+
+import argparse
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: The hot modules, dependency order.  Kept deliberately short: these are
+#: the byte-level codec and its direct producers — the layers where the
+#: interpreter loop, not algorithmic work, dominates.
+HOT_MODULES = (
+    "src/repro/core/ops.py",
+    "src/repro/core/packed.py",
+    "src/repro/core/logs.py",
+)
+
+
+def compiled_artifacts(module: Path) -> list:
+    """Compiled companions of ``module`` (mypyc emits ``<name>.<abi>.so``
+    plus a shared ``<pkg>__mypyc`` support module)."""
+    return sorted(module.parent.glob(module.stem + ".*.so")) + sorted(
+        module.parent.glob(module.stem + ".*.pyd")
+    )
+
+
+def mypyc_available() -> bool:
+    try:
+        import mypyc  # noqa: F401
+    except ImportError:
+        return False
+    return True
+
+
+def report() -> None:
+    have = mypyc_available()
+    print(f"mypyc available: {'yes' if have else 'no (pure-Python fallback)'}")
+    for rel in HOT_MODULES:
+        module = REPO_ROOT / rel
+        arts = compiled_artifacts(module)
+        state = f"compiled ({arts[0].name})" if arts else "pure python"
+        print(f"  {rel}: {state}")
+
+
+def clean() -> int:
+    removed = 0
+    for rel in HOT_MODULES:
+        for artifact in compiled_artifacts(REPO_ROOT / rel):
+            artifact.unlink()
+            print(f"removed {artifact.relative_to(REPO_ROOT)}")
+            removed += 1
+    print(f"{removed} artifact(s) removed; pure-Python modules remain")
+    return 0
+
+
+def build() -> int:
+    if not mypyc_available():
+        print("mypyc is not installed; nothing to do.", file=sys.stderr)
+        print("The pure-Python kernel is the supported baseline — this "
+              "script only adds speed when mypyc happens to be present.",
+              file=sys.stderr)
+        report()
+        return 0
+    # Shell out rather than driving mypyc's API: the CLI owns the
+    # setuptools/distutils dance and leaves the extension modules next to
+    # their sources, which is exactly the in-place layout we want.
+    cmd = [sys.executable, "-m", "mypyc", *HOT_MODULES]
+    print("+", " ".join(cmd))
+    result = subprocess.run(cmd, cwd=REPO_ROOT)
+    if result.returncode != 0:
+        print("mypyc build failed; the pure-Python modules are unaffected.",
+              file=sys.stderr)
+        return result.returncode
+    report()
+    print("Re-run the identity gate before trusting a compiled kernel:")
+    print("  PYTHONPATH=src python -m repro perf --tier packed --tiny")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--check", action="store_true",
+                      help="report compilation status, never compile")
+    mode.add_argument("--clean", action="store_true",
+                      help="remove compiled artifacts (back to pure Python)")
+    args = parser.parse_args(argv)
+    if args.check:
+        report()
+        return 0
+    if args.clean:
+        return clean()
+    return build()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,189 @@
+"""Serve benchmark and gate (``benchmarks/BENCH_serve.json``).
+
+Measures the sharded transactional daemon end to end — daemon up on an
+ephemeral port, closed-loop ``loadgen`` run, per-shard conformance
+verdict, daemon down — across a strategy × shard-count matrix, and
+maintains the committed baseline the ``repro perf --tier serve``
+watchdog judges against.  Three parts:
+
+* **matrix** (full mode only) — process-mode rows (one forked worker per
+  shard, the deployment shape): req/s, p50/p99 latency, and abort rate
+  per ``strategy × shards`` on the kvmap workload, plus one cross-shard
+  row that pays the 2PC path (``cross_ratio`` > 0).  Every row's
+  committed per-shard histories must pass the conformance gate — a fast
+  benchmark that committed a non-serializable history is a bug, not a
+  result (exit 1).
+* **scaling** (full mode only, **hardware-gated**) — on hosts with ≥ 4
+  usable cores, the 2-shard process-mode row must beat the 1-shard row
+  on aggregate req/s.  On smaller hosts the measurement is recorded but
+  the gate is skipped with an honest note: parallel speedup on one core
+  is a physical impossibility, not a regression (same policy as
+  ``bench_por.py``'s jobs-speedup row).
+* **gate rows** (always) — inline-mode rows the perf watchdog
+  re-measures (``repro perf --tier serve``).  Inline is deterministic
+  and fork-free, which is what a CI watchdog wants; it is recorded
+  separately because inline and process throughput are not comparable.
+
+Standalone script, same shape as ``bench_por.py``::
+
+    PYTHONPATH=src python benchmarks/bench_serve.py            # full gate
+    PYTHONPATH=src python benchmarks/bench_serve.py --tiny     # CI smoke
+
+Runs write to the gitignored ``benchmarks/out/``; the committed
+``BENCH_serve.json`` is only rewritten via ``--refresh-baseline`` (the
+ratchet), and only when every gate passed.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+
+from repro.serve.bench import measure_serve
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "BENCH_serve.json"
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "out" / "BENCH_serve.current.json"
+
+MATRIX_STRATEGIES = ("encounter", "tl2", "globallock")
+MATRIX_SHARDS = (1, 2, 4)
+CROSS_ROW = ("encounter", 2, 0.2)
+GATE_ROWS = (("encounter", 1), ("encounter", 2))
+
+FULL_REQUESTS = 400
+TINY_REQUESTS = 150
+MIN_CORES_FOR_SCALING_GATE = 4
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+def _print_row(name: str, row: dict) -> None:
+    print(
+        f"{name:<18} {row['rps']:>8} req/s  p50={row['p50_ms']}ms "
+        f"p99={row['p99_ms']}ms aborts={row['abort_rate']:.2%} "
+        f"conformance={'ok' if row['conformance_ok'] else 'FAIL'} "
+        f"({row['commits_gated']} commits gated)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke mode: inline gate rows only, "
+                             f"{TINY_REQUESTS} requests each")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="transactions per configuration (default "
+                             f"{FULL_REQUESTS}, tiny {TINY_REQUESTS})")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="root seed for every daemon and load run")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help="results JSON path (default is gitignored under "
+                             "benchmarks/out/ so runs never dirty the tree)")
+    parser.add_argument("--refresh-baseline", action="store_true",
+                        dest="refresh_baseline",
+                        help="also overwrite the committed "
+                             f"{BASELINE_PATH.name} snapshot (the ratchet)")
+    args = parser.parse_args(argv)
+
+    requests = args.requests or (TINY_REQUESTS if args.tiny else FULL_REQUESTS)
+    failures = []
+
+    def run(name: str, strategy: str, shards: int, **kwargs) -> dict:
+        row = measure_serve(
+            strategy, shards, requests=requests, seed=args.seed, **kwargs
+        )
+        _print_row(name, row)
+        if not row["conformance_ok"]:
+            failures.append(
+                f"conformance gate: {name} committed a failing history: "
+                f"{row['conformance_failures'][:3]}"
+            )
+        return row
+
+    document = {
+        "_comment": (
+            "Serve benchmark: process-mode strategy x shard-count matrix "
+            "(req/s, p50/p99, abort rate on kvmap, plus one cross-shard "
+            "2PC row), the hardware-gated shard-scaling row, and the "
+            "inline-mode gate rows `repro perf --tier serve` re-measures. "
+            "Inline and process rows are not comparable to each other. "
+            "Refreshed by benchmarks/bench_serve.py --refresh-baseline; "
+            "every row's committed per-shard histories pass the "
+            "conformance gate."
+        ),
+        "mode": "tiny" if args.tiny else "full",
+        "requests": requests,
+        "seed": args.seed,
+    }
+
+    if not args.tiny:
+        matrix = {}
+        for strategy in MATRIX_STRATEGIES:
+            for shards in MATRIX_SHARDS:
+                name = f"{strategy}x{shards}"
+                matrix[name] = run(name, strategy, shards, mode="process")
+        strategy, shards, cross = CROSS_ROW
+        name = f"{strategy}x{shards}+cross"
+        matrix[name] = run(name, strategy, shards, mode="process",
+                           cross_ratio=cross)
+        document["matrix"] = matrix
+
+        one = matrix[f"{CROSS_ROW[0]}x1"]
+        two = matrix[f"{CROSS_ROW[0]}x2"]
+        cores = _usable_cores()
+        scaling = {
+            "workload": "kvmap",
+            "strategy": CROSS_ROW[0],
+            "one_shard_rps": one["rps"],
+            "two_shard_rps": two["rps"],
+            "speedup": round(two["rps"] / max(one["rps"], 1e-9), 2),
+            "usable_cores": cores,
+            "gated": cores >= MIN_CORES_FOR_SCALING_GATE,
+        }
+        document["scaling"] = scaling
+        print(f"scaling: {scaling['speedup']}x "
+              f"({one['rps']} -> {two['rps']} req/s, {cores} cores)")
+        if scaling["gated"]:
+            if scaling["speedup"] <= 1.0:
+                failures.append(
+                    f"scaling gate: 2 shards at {two['rps']} req/s do not "
+                    f"beat 1 shard at {one['rps']} req/s on a "
+                    f"{cores}-core host"
+                )
+        else:
+            print(f"(scaling gate skipped: {cores} usable cores < "
+                  f"{MIN_CORES_FOR_SCALING_GATE})")
+
+    gate = {}
+    for strategy, shards in GATE_ROWS:
+        name = f"{strategy}x{shards}"
+        gate[name] = run(f"gate:{name}", strategy, shards, mode="inline")
+    document["gate"] = gate
+
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(
+        json.dumps(document, indent=2, sort_keys=False) + "\n",
+        encoding="utf-8",
+    )
+    print(f"results -> {args.out}")
+    if args.refresh_baseline and not failures:
+        BASELINE_PATH.write_text(
+            json.dumps(document, indent=2, sort_keys=False) + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline snapshot refreshed -> {BASELINE_PATH}")
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

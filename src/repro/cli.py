@@ -565,6 +565,8 @@ def cmd_perf(args: argparse.Namespace) -> int:
         overrides["por_path"] = args.por_baseline
     if args.faults_baseline:
         overrides["faults_path"] = args.faults_baseline
+    if args.serve_baseline:
+        overrides["serve_path"] = args.serve_baseline
     try:
         report = run_perf(
             tiny=args.tiny,
@@ -583,6 +585,175 @@ def cmd_perf(args: argparse.Namespace) -> int:
             json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
         print(f"json -> {args.json}")
     return 0 if report.ok else 2
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the sharded transactional daemon until interrupted (see
+    DESIGN.md "Service layer")."""
+    import asyncio
+
+    from repro.serve.daemon import DaemonConfig, run_daemon
+
+    config = DaemonConfig(
+        host=args.host,
+        port=args.port,
+        shards=args.shards,
+        strategy=args.strategy,
+        scheduler=args.scheduler,
+        seed=args.seed,
+        mode=args.mode,
+        batch=args.batch,
+        inbox=args.inbox,
+        conformance_window=args.conformance_window,
+        flight_dir=getattr(args, "flight_dir", None),
+    )
+
+    def ready(daemon) -> None:
+        print(
+            f"serve: listening on {config.host}:{daemon.port} "
+            f"shards={config.shards} strategy={config.strategy} "
+            f"mode={config.mode} scheduler={config.scheduler} "
+            f"seed={config.seed}",
+            flush=True,
+        )
+
+    try:
+        asyncio.run(run_daemon(config, ready))
+    except KeyboardInterrupt:
+        print("serve: interrupted, shutting down")
+    return 0
+
+
+def cmd_loadgen(args: argparse.Namespace) -> int:
+    """Drive a closed/open-loop load run against a live daemon and print
+    (optionally write) the throughput/latency report."""
+    import json
+
+    from repro.serve.loadgen import LoadConfig, run_load_sync
+
+    requests, sessions, max_inflight = args.requests, args.sessions, args.max_inflight
+    if args.tiny:
+        requests = min(requests, 200)
+        sessions = min(sessions, 50)
+        max_inflight = min(max_inflight, 16)
+    config = LoadConfig(
+        host=args.host,
+        port=args.port,
+        mode=args.mode,
+        sessions=sessions,
+        requests=requests,
+        rate=args.rate,
+        workload=args.workload,
+        keys=args.keys,
+        ops_per_txn=args.ops,
+        read_ratio=args.read_ratio,
+        cross_ratio=args.cross_ratio,
+        seed=args.seed,
+        pool=args.pool,
+        max_inflight=max_inflight,
+    )
+    try:
+        report = run_load_sync(config)
+    except (ConnectionError, OSError) as exc:
+        print(f"loadgen: daemon unreachable at {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    row = report.to_dict()
+    print(
+        f"loadgen: {row['mode']}/{row['workload']} {row['requests']} txns in "
+        f"{row['elapsed_s']}s = {row['rps']} req/s  "
+        f"p50={row['p50_ms']}ms p99={row['p99_ms']}ms "
+        f"aborts={row['abort_rate']:.2%} throttled={row['throttled']}"
+    )
+    if args.out:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            json.dump(row, handle, indent=2, sort_keys=True)
+        print(f"report -> {args.out}")
+    return 0
+
+
+def _assert_rpc(args: argparse.Namespace, method: str, **params):
+    """Daemon RPC for the ``assert-*`` subcommands — the rdc-cli pattern:
+    an unreachable daemon or transport error is exit 2 (gate failure),
+    never a traceback."""
+    from repro.serve.client import call_daemon
+
+    try:
+        return call_daemon(method, host=args.host, port=args.port, **params)
+    except (ConnectionError, OSError) as exc:
+        print(
+            f"assert: daemon unreachable at {args.host}:{args.port}: {exc}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2)
+
+
+def _probe_report(args: argparse.Namespace) -> dict:
+    """The measurement an assert gate judges: a previously written
+    ``repro loadgen --out`` report when ``--report`` names one, else a
+    fresh closed-loop probe against the live daemon."""
+    import json
+
+    from repro.serve.loadgen import LoadConfig, run_load_sync
+
+    if args.report:
+        with open(args.report, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    # Probe reachability first so a down daemon is exit 2, not a hang.
+    _assert_rpc(args, "ping")
+    config = LoadConfig(
+        host=args.host,
+        port=args.port,
+        mode="closed",
+        requests=args.requests,
+        workload=args.workload,
+        max_inflight=32,
+        pool=2,
+        seed=args.seed,
+    )
+    return run_load_sync(config).to_dict()
+
+
+def cmd_assert_throughput(args: argparse.Namespace) -> int:
+    """Gate: measured req/s >= --min-rps (exit 2 on breach)."""
+    row = _probe_report(args)
+    rps = float(row.get("rps", 0.0))
+    if rps < args.min_rps:
+        print(f"assert-throughput: FAIL {rps} req/s < floor {args.min_rps}")
+        return 2
+    print(f"assert-throughput: ok {rps} req/s >= floor {args.min_rps}")
+    return 0
+
+
+def cmd_assert_latency(args: argparse.Namespace) -> int:
+    """Gate: measured p99 <= --max-p99-ms (exit 2 on breach)."""
+    row = _probe_report(args)
+    p99 = float(row.get("p99_ms", float("inf")))
+    if p99 > args.max_p99_ms:
+        print(f"assert-latency: FAIL p99 {p99}ms > ceiling {args.max_p99_ms}ms")
+        return 2
+    print(f"assert-latency: ok p99 {p99}ms <= ceiling {args.max_p99_ms}ms")
+    return 0
+
+
+def cmd_assert_conformance(args: argparse.Namespace) -> int:
+    """Gate: every shard's committed history passes the conformance gate
+    (exit 2 on any failure, including sticky earlier-window failures)."""
+    reply = _assert_rpc(args, "conformance")
+    shards = reply.get("shards", [])
+    gated = sum(s.get("window_commits", 0) for s in shards)
+    if not reply.get("ok"):
+        print(f"assert-conformance: FAIL ({len(shards)} shards)")
+        for shard in shards:
+            for failure in shard.get("failures", []) or shard.get("sticky_failures", []):
+                print(f"  shard {shard.get('shard')}: {failure}")
+        return 2
+    print(
+        f"assert-conformance: ok — {len(shards)} shards, "
+        f"{gated} commits in current windows, "
+        f"{sum(s.get('commits_gated', 0) for s in shards)} gated total"
+    )
+    return 0
 
 
 def cmd_evaluate(args: argparse.Namespace) -> int:
@@ -798,7 +969,7 @@ def build_parser() -> argparse.ArgumentParser:
                       help="throughput floor as a fraction of the committed "
                            "states/sec (deterministic gates ignore this)")
     perf.add_argument("--tier", action="append", dest="tiers",
-                      choices=["kernel", "por", "faults", "packed"],
+                      choices=["kernel", "por", "faults", "packed", "serve"],
                       help="run only this tier (repeatable; default: all)")
     perf.add_argument("--seed", type=int, default=0,
                       help="base seed for the faults tier suite")
@@ -808,11 +979,128 @@ def build_parser() -> argparse.ArgumentParser:
                       default=None, metavar="PATH")
     perf.add_argument("--faults-baseline", dest="faults_baseline",
                       default=None, metavar="PATH")
+    perf.add_argument("--serve-baseline", dest="serve_baseline",
+                      default=None, metavar="PATH")
     perf.add_argument("--json", metavar="PATH",
                       help="also write the findings as JSON")
     perf.set_defaults(
-        func=cmd_perf, all_tiers=("kernel", "por", "faults", "packed")
+        func=cmd_perf, all_tiers=("kernel", "por", "faults", "packed", "serve")
     )
+
+    serve = sub.add_parser(
+        "serve",
+        help="sharded transactional daemon over the push/pull kernel "
+             "(DESIGN.md 'Service layer')",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7411,
+                       help="TCP port (0 = pick a free port, printed on "
+                            "startup)")
+    serve.add_argument("--shards", type=int, default=2,
+                       help="independent push/pull runtimes keys are hashed "
+                            "across")
+    serve.add_argument("--strategy", default="encounter",
+                       choices=sorted(ALL_ALGORITHMS))
+    serve.add_argument("--scheduler", default="random",
+                       choices=["random", "roundrobin", "nemesis"])
+    serve.add_argument("--seed", type=int, default=0,
+                       help="root seed; every per-shard scheduler and the "
+                            "2PC commit order derive from it")
+    serve.add_argument("--mode", default="inline",
+                       choices=["inline", "process"],
+                       help="inline = shards on the daemon loop "
+                            "(deterministic, tests); process = one forked "
+                            "worker per shard")
+    serve.add_argument("--batch", type=int, default=32,
+                       help="max transactions per shard wave")
+    serve.add_argument("--inbox", type=int, default=256,
+                       help="bounded per-shard inbox depth (the backpressure "
+                            "point)")
+    serve.add_argument("--conformance-window", type=int, default=64,
+                       dest="conformance_window",
+                       help="commits per shard between conformance checks "
+                            "and verified log rollovers")
+    _add_obs_flags(serve)
+    serve.set_defaults(func=cmd_serve)
+
+    loadgen = sub.add_parser(
+        "loadgen",
+        help="closed/open-loop load generator against a running daemon",
+    )
+    loadgen.add_argument("--host", default="127.0.0.1")
+    loadgen.add_argument("--port", type=int, default=7411)
+    loadgen.add_argument("--mode", default="closed", choices=["closed", "open"])
+    loadgen.add_argument("--sessions", type=int, default=100,
+                         help="logical sessions (workload cursors)")
+    loadgen.add_argument("--requests", type=int, default=1000,
+                         help="total transactions to issue")
+    loadgen.add_argument("--rate", type=float, default=500.0,
+                         help="open-loop arrival rate, req/s")
+    loadgen.add_argument("--workload", default="kvmap",
+                         choices=["kvmap", "bank", "counter", "mixed"])
+    loadgen.add_argument("--keys", type=int, default=128,
+                         help="distinct keys per keyed space")
+    loadgen.add_argument("--ops", type=int, default=2,
+                         help="operations per transaction")
+    loadgen.add_argument("--read-ratio", type=float, default=0.5,
+                         dest="read_ratio")
+    loadgen.add_argument("--cross-ratio", type=float, default=0.0,
+                         dest="cross_ratio",
+                         help="fraction of transactions deliberately "
+                              "spanning two shards (2PC)")
+    loadgen.add_argument("--seed", type=int, default=0)
+    loadgen.add_argument("--pool", type=int, default=4,
+                         help="TCP connections in the client pool")
+    loadgen.add_argument("--max-inflight", type=int, default=64,
+                         dest="max_inflight",
+                         help="in-flight bound (closed-loop concurrency / "
+                              "open-loop cap)")
+    loadgen.add_argument("--tiny", action="store_true",
+                         help="CI smoke mode: clamp requests/sessions")
+    loadgen.add_argument("--out", metavar="PATH",
+                         help="write the JSON report to PATH (feeds "
+                              "repro assert-* --report)")
+    loadgen.set_defaults(func=cmd_loadgen)
+
+    def _assert_common(command: argparse.ArgumentParser,
+                       probe: bool = True) -> None:
+        command.add_argument("--host", default="127.0.0.1")
+        command.add_argument("--port", type=int, default=7411)
+        if probe:
+            command.add_argument("--report", metavar="PATH", default=None,
+                                 help="judge a repro loadgen --out report "
+                                      "instead of probing the daemon")
+            command.add_argument("--requests", type=int, default=200,
+                                 help="probe size when no --report is given")
+            command.add_argument("--workload", default="kvmap",
+                                 choices=["kvmap", "bank", "counter", "mixed"])
+            command.add_argument("--seed", type=int, default=0)
+
+    assert_tp = sub.add_parser(
+        "assert-throughput",
+        help="CI gate: measured req/s >= floor, exit 2 on breach",
+    )
+    _assert_common(assert_tp)
+    assert_tp.add_argument("--min-rps", type=float, required=True,
+                           dest="min_rps", help="req/s floor")
+    assert_tp.set_defaults(func=cmd_assert_throughput)
+
+    assert_lat = sub.add_parser(
+        "assert-latency",
+        help="CI gate: measured p99 <= ceiling, exit 2 on breach",
+    )
+    _assert_common(assert_lat)
+    assert_lat.add_argument("--max-p99-ms", type=float, required=True,
+                            dest="max_p99_ms", help="p99 latency ceiling, ms")
+    assert_lat.set_defaults(func=cmd_assert_latency)
+
+    assert_conf = sub.add_parser(
+        "assert-conformance",
+        help="CI gate: every shard's committed history passes the "
+             "conformance gate, exit 2 on any failure",
+    )
+    _assert_common(assert_conf, probe=False)
+    assert_conf.set_defaults(func=cmd_assert_conformance)
 
     evaluate = sub.add_parser("evaluate", help="regenerate the evaluation")
     evaluate.set_defaults(func=cmd_evaluate)

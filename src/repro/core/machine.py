@@ -327,6 +327,24 @@ class Machine:
         index = self._by_tid[tid]
         return self._with(self.threads[:index] + self.threads[index + 1 :], self.global_log)
 
+    def drop_thread(self, tid: int) -> "Machine":
+        """Administrative removal of an *abandoned* thread.
+
+        Not a paper rule: MS_END requires ``skip`` code, but a permanently
+        aborted transaction leaves its (rolled-back) thread holding the
+        original, unconsumed program.  A long-running service cannot keep
+        such threads around — every rule application copies the thread
+        tuple — so after rollback (local log empty, nothing stranded) the
+        service layer discards the thread wholesale.  The empty-local-log
+        requirement is what keeps this sound: dropping a thread with live
+        entries would strand ``pshd`` work in the global log.
+        """
+        thread = self.thread(tid)
+        if len(thread.local) != 0:
+            raise MachineError("drop_thread: thread still has local-log entries")
+        index = self._by_tid[tid]
+        return self._with(self.threads[:index] + self.threads[index + 1 :], self.global_log)
+
     def end_key(self, tid: int) -> Tuple:
         """The MS_END successor's canonical :meth:`state_key` — the thread
         digest drops out; the global part is shared.  The thread must be

@@ -31,6 +31,14 @@ The three tiers and their gates:
   visited state's packed key must decode to exactly the object-level
   reference key (``repro.checking.packedcheck``), plus non-empty intern
   tables after the sweep.  Exact identity, no tolerance.
+* **serve** (``benchmarks/BENCH_serve.json``) — the sharded daemon's
+  committed gate rows (recorded *inline-mode* by
+  ``benchmarks/bench_serve.py``, deliberately separate from its
+  process-mode matrix: the two modes are not comparable).  Per gate row:
+  measured req/s must reach ``tolerance ×`` the committed rate, measured
+  p99 must stay under the committed p99 ``÷ tolerance`` ceiling, and the
+  run's per-shard committed histories must pass the conformance gate
+  (hard, no tolerance).
 
 Every baseline path is a parameter, so tests can point a tier at a
 perturbed fixture and watch the exit code flip to 2.
@@ -49,8 +57,9 @@ REPO_ROOT = Path(__file__).resolve().parents[3]
 KERNEL_BASELINE = REPO_ROOT / "BENCH_kernel.json"
 POR_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_por.json"
 FAULTS_BASELINE = REPO_ROOT / "BENCH_faults.json"
+SERVE_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_serve.json"
 
-TIERS = ("kernel", "por", "faults", "packed")
+TIERS = ("kernel", "por", "faults", "packed", "serve")
 
 #: default throughput slack: measured must reach this fraction of the
 #: committed states/sec (see module docstring for why it is generous)
@@ -388,6 +397,77 @@ def check_packed(tiny: bool, seed: int = 0) -> List[PerfFinding]:
     return findings
 
 
+# -- serve tier ----------------------------------------------------------------
+
+SERVE_TINY_REQUESTS = 150
+SERVE_FULL_REQUESTS = 400
+
+
+def check_serve(
+    tiny: bool, tolerance: float, baseline_path: Path, seed: int = 0
+) -> List[PerfFinding]:
+    """Re-measure the committed inline gate rows of ``BENCH_serve.json``
+    and judge throughput floor, p99 ceiling, and conformance."""
+    from repro.serve.bench import measure_serve
+
+    document = _load(baseline_path, "serve")
+    gate_rows = document.get("gate", {})
+    if not gate_rows:
+        raise BaselineError(f"serve: no gate rows recorded in {baseline_path}")
+    names = sorted(gate_rows)
+    if tiny:
+        names = names[:1]
+    requests = SERVE_TINY_REQUESTS if tiny else SERVE_FULL_REQUESTS
+    findings = []
+    for name in names:
+        committed = gate_rows[name]
+        measured = measure_serve(
+            committed["strategy"],
+            int(committed["shards"]),
+            mode="inline",
+            workload=committed.get("workload", "kvmap"),
+            requests=requests,
+            cross_ratio=float(committed.get("cross_ratio", 0.0)),
+            seed=seed,
+        )
+        floor = tolerance * float(committed["rps"])
+        findings.append(
+            PerfFinding(
+                "serve",
+                f"{name}/throughput",
+                ok=measured["rps"] >= floor,
+                detail=f"req/s vs {tolerance} x committed floor ({floor:.0f})",
+                measured=measured["rps"],
+                baseline=float(committed["rps"]),
+            )
+        )
+        ceiling = float(committed["p99_ms"]) / tolerance
+        findings.append(
+            PerfFinding(
+                "serve",
+                f"{name}/p99",
+                ok=measured["p99_ms"] <= ceiling,
+                detail=f"p99 ms vs committed ceiling ({ceiling:.1f}ms = "
+                f"baseline / {tolerance})",
+                measured=measured["p99_ms"],
+                baseline=float(committed["p99_ms"]),
+            )
+        )
+        failures = measured["conformance_failures"]
+        findings.append(
+            PerfFinding(
+                "serve",
+                f"{name}/conformance",
+                ok=measured["conformance_ok"],
+                detail=f"{measured['commits_gated']} commits gated clean "
+                f"across {committed['shards']} shard(s)"
+                if measured["conformance_ok"]
+                else f"conformance gate failed: {failures[:3]}",
+            )
+        )
+    return findings
+
+
 # -- the watchdog --------------------------------------------------------------
 
 
@@ -398,6 +478,7 @@ def run_perf(
     kernel_path: Path = KERNEL_BASELINE,
     por_path: Path = POR_BASELINE,
     faults_path: Path = FAULTS_BASELINE,
+    serve_path: Path = SERVE_BASELINE,
     tiers: Sequence[str] = TIERS,
     seed: int = 0,
 ) -> PerfReport:
@@ -419,5 +500,9 @@ def run_perf(
         report.findings.extend(check_faults(tiny, Path(faults_path), seed=seed))
     if "packed" in tiers:
         report.findings.extend(check_packed(tiny, seed=seed))
+    if "serve" in tiers:
+        report.findings.extend(
+            check_serve(tiny, tolerance, Path(serve_path), seed=seed)
+        )
     report.elapsed_sec = time.perf_counter() - started
     return report

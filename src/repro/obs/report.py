@@ -14,6 +14,9 @@ Sections (each skipped gracefully when its input is absent):
   reduction factor per scope (``benchmarks/BENCH_por.json``);
 * **chaos suite** — per-strategy commits/aborts and the injected-fault
   kind breakdown (``BENCH_faults.json``);
+* **serve daemon** — req/s and p99 latency per strategy × shard count
+  from the process-mode matrix plus the inline gate rows, with the
+  shard-scaling note (``benchmarks/BENCH_serve.json``);
 * **fuzz coverage heatmap** — the ``strategy × rule`` grid of covered
   ``(strategy, rule, outcome)`` triples from the committed coverage
   ratchet (``tests/corpus/expected_coverage.json``);
@@ -37,6 +40,7 @@ REPO_ROOT = Path(__file__).resolve().parents[3]
 KERNEL_JSON = REPO_ROOT / "BENCH_kernel.json"
 POR_JSON = REPO_ROOT / "benchmarks" / "BENCH_por.json"
 FAULTS_JSON = REPO_ROOT / "BENCH_faults.json"
+SERVE_JSON = REPO_ROOT / "benchmarks" / "BENCH_serve.json"
 COVERAGE_JSON = REPO_ROOT / "tests" / "corpus" / "expected_coverage.json"
 
 _BAR_H = 18
@@ -267,6 +271,41 @@ def faults_section(document: Dict) -> str:
     )
 
 
+def serve_section(document: Dict) -> str:
+    matrix = document.get("matrix", {})
+    gate = document.get("gate", {})
+    rps_rows: List[Tuple[str, float, str]] = []
+    p99_rows: List[Tuple[str, float, str]] = []
+    for name, row in matrix.items():
+        suffix = "" if row.get("conformance_ok", True) else " CONFORMANCE-FAIL"
+        rps_rows.append((f"{name}{suffix}", float(row["rps"]), "#4e79a7"))
+        p99_rows.append((f"{name} p99", float(row["p99_ms"]), "#e15759"))
+    for name, row in gate.items():
+        rps_rows.append((f"{name} (inline gate)", float(row["rps"]), "#bab0ac"))
+        p99_rows.append(
+            (f"{name} p99 (inline gate)", float(row["p99_ms"]), "#f28e2b")
+        )
+    body = _bar_chart(rps_rows, unit=" req/s")
+    if p99_rows:
+        body += "<h3>p99 latency</h3>" + _bar_chart(p99_rows, unit=" ms")
+    scaling = document.get("scaling")
+    note = (
+        f"mode={document.get('mode', '?')} — committed BENCH_serve.json; "
+        "process-mode matrix vs inline gate rows (not comparable to each "
+        "other)"
+    )
+    if scaling:
+        gated = "gated" if scaling.get("gated") else (
+            f"gate skipped: {scaling.get('usable_cores')} core(s)"
+        )
+        note += (
+            f"; shard scaling ×{scaling.get('speedup')} "
+            f"({scaling.get('one_shard_rps')} → "
+            f"{scaling.get('two_shard_rps')} req/s, {gated})"
+        )
+    return _section("Serve daemon", body, note)
+
+
 def coverage_section(document: Dict) -> str:
     values: Dict[Tuple[str, str], int] = {}
     strategies, rules = set(), set()
@@ -312,6 +351,7 @@ def render_report(
     kernel: Optional[Dict] = None,
     por: Optional[Dict] = None,
     faults: Optional[Dict] = None,
+    serve: Optional[Dict] = None,
     coverage: Optional[Dict] = None,
     profile: Optional[Profile] = None,
     profile_origin: str = "recorded trace",
@@ -325,6 +365,8 @@ def render_report(
         sections.append(por_section(por))
     if faults:
         sections.append(faults_section(faults))
+    if serve:
+        sections.append(serve_section(serve))
     if coverage:
         sections.append(coverage_section(coverage))
     if profile is not None and not profile.empty:
@@ -355,6 +397,7 @@ def build_report(
     kernel_path: Path = KERNEL_JSON,
     por_path: Path = POR_JSON,
     faults_path: Path = FAULTS_JSON,
+    serve_path: Path = SERVE_JSON,
     coverage_path: Path = COVERAGE_JSON,
     trace_path: Optional[str] = None,
     title: str = "repro dashboard",
@@ -374,6 +417,7 @@ def build_report(
         kernel=_maybe_json(kernel_path),
         por=_maybe_json(por_path),
         faults=_maybe_json(faults_path),
+        serve=_maybe_json(serve_path),
         coverage=_maybe_json(coverage_path),
         profile=profile,
         profile_origin=origin,

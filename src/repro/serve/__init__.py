@@ -1,0 +1,52 @@
+"""``repro serve`` — the sharded transactional service layer.
+
+A long-running asyncio daemon (:mod:`repro.serve.daemon`) exposes the
+registered specs as a transactional key-space API over the
+length-prefixed JSON frame protocol (:mod:`repro.serve.framing`).  Keys
+hash-shard across N PUSH/PULL runtimes (:mod:`repro.serve.sharding`,
+:mod:`repro.serve.shard`); single-shard transactions commit via the
+local CMT rule, cross-shard ones run a deterministic CMT-driven 2PC.
+:mod:`repro.serve.client` is the asyncio client library and
+:mod:`repro.serve.loadgen` the closed/open-loop load generator behind
+``repro loadgen``.
+"""
+
+from repro.serve.framing import (
+    FrameDecoder,
+    FrameError,
+    MAX_FRAME,
+    OversizedFrame,
+    TruncatedFrame,
+    decode_frame,
+    encode_frame,
+)
+from repro.serve.sharding import (
+    METHODS,
+    SPACES,
+    ProtocolError,
+    commit_order,
+    op_shard,
+    shard_of,
+    shard_seed,
+    split_by_shard,
+    validate_op,
+)
+
+__all__ = [
+    "FrameDecoder",
+    "FrameError",
+    "MAX_FRAME",
+    "OversizedFrame",
+    "TruncatedFrame",
+    "decode_frame",
+    "encode_frame",
+    "METHODS",
+    "SPACES",
+    "ProtocolError",
+    "commit_order",
+    "op_shard",
+    "shard_of",
+    "shard_seed",
+    "split_by_shard",
+    "validate_op",
+]

@@ -1,0 +1,182 @@
+"""Asyncio client for the ``repro serve`` daemon.
+
+:class:`ServeClient` multiplexes any number of logical sessions over a
+*bounded* pool of TCP connections: requests carry monotone correlation
+ids, a per-connection reader task resolves them to futures, and replies
+may arrive out of order (the daemon answers transactions as they
+finish).  This is what lets ``repro loadgen`` simulate tens of thousands
+of logical sessions with a handful of sockets.
+
+The synchronous convenience wrapper :func:`call_daemon` underpins the
+``repro assert-*`` CI subcommands (the rdc-cli daemon-RPC pattern): one
+connection, one RPC, exit-code semantics handled by the CLI layer.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.serve.framing import read_frame, write_frame
+
+
+class ServeError(RuntimeError):
+    """The daemon answered ``ok: false`` (carries the reply)."""
+
+    def __init__(self, reply: Dict[str, Any]):
+        super().__init__(reply.get("error", "daemon error"))
+        self.reply = reply
+        self.kind = reply.get("kind")
+
+
+class ServeClient:
+    """A connection pool speaking the frame protocol; see module doc."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7411, pool: int = 4):
+        self.host = host
+        self.port = port
+        self.pool = max(1, pool)
+        self._connections: List[Any] = []  # (reader, writer, write_lock)
+        self._pending: Dict[int, asyncio.Future] = {}
+        self._readers: List[asyncio.Task] = []
+        self._ids = itertools.count(1)
+        self._rr = itertools.count()
+        self._closed = False
+
+    # -- lifecycle --------------------------------------------------------------
+
+    async def connect(self, retries: int = 40, delay: float = 0.25) -> "ServeClient":
+        """Open the pool, waiting for the daemon to come up (CI starts
+        daemon and clients concurrently)."""
+        last: Optional[Exception] = None
+        for _ in range(retries):
+            try:
+                while len(self._connections) < self.pool:
+                    reader, writer = await asyncio.open_connection(self.host, self.port)
+                    conn = (reader, writer, asyncio.Lock())
+                    self._connections.append(conn)
+                    self._readers.append(
+                        asyncio.ensure_future(self._read_loop(reader))
+                    )
+                return self
+            except (ConnectionError, OSError) as exc:
+                last = exc
+                await asyncio.sleep(delay)
+        raise ConnectionError(
+            f"daemon at {self.host}:{self.port} unreachable: {last}"
+        )
+
+    async def close(self) -> None:
+        self._closed = True
+        for task in self._readers:
+            task.cancel()
+        await asyncio.gather(*self._readers, return_exceptions=True)
+        for _reader, writer, _lock in self._connections:
+            writer.close()
+        for future in self._pending.values():
+            if not future.done():
+                future.set_exception(ConnectionError("client closed"))
+        self._pending.clear()
+
+    async def __aenter__(self) -> "ServeClient":
+        return await self.connect()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- plumbing ---------------------------------------------------------------
+
+    async def _read_loop(self, reader) -> None:
+        try:
+            while True:
+                reply = await read_frame(reader)
+                if reply is None:
+                    break
+                future = self._pending.pop(reply.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(reply)
+        except (asyncio.CancelledError, ConnectionError):
+            pass
+        except Exception as exc:  # noqa: BLE001 - fail pending loudly
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(exc)
+
+    async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """Send one RPC, await its correlated reply."""
+        if self._closed:
+            raise ConnectionError("client closed")
+        rid = next(self._ids)
+        message = {"id": rid, **message}
+        future = asyncio.get_running_loop().create_future()
+        self._pending[rid] = future
+        _reader, writer, lock = self._connections[
+            next(self._rr) % len(self._connections)
+        ]
+        async with lock:
+            await write_frame(writer, message)
+        return await future
+
+    # -- API --------------------------------------------------------------------
+
+    async def txn(self, ops: Sequence[Sequence]) -> List[Any]:
+        """Run one transaction; returns per-operation results in
+        submitted order, or raises :class:`ServeError`."""
+        reply = await self.request({"method": "txn", "ops": [list(op) for op in ops]})
+        if not reply.get("ok"):
+            raise ServeError(reply)
+        return reply.get("results", [])
+
+    async def try_txn(self, ops: Sequence[Sequence]) -> Dict[str, Any]:
+        """Like :meth:`txn` but returns the raw reply (loadgen wants
+        aborts as data, not exceptions)."""
+        return await self.request({"method": "txn", "ops": [list(op) for op in ops]})
+
+    async def ping(self) -> Dict[str, Any]:
+        return await self.request({"method": "ping"})
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self.request({"method": "stats"})
+
+    async def metrics(self) -> Dict[str, Any]:
+        reply = await self.request({"method": "metrics"})
+        return reply.get("metrics", {})
+
+    async def prometheus(self) -> str:
+        reply = await self.request({"method": "prometheus"})
+        return reply.get("text", "")
+
+    async def conformance(self, rollover: bool = False) -> Dict[str, Any]:
+        return await self.request({"method": "conformance", "rollover": rollover})
+
+    async def pause_shard(self, shard: int) -> None:
+        await self.request({"method": "pause", "shard": shard})
+
+    async def resume_shard(self, shard: int) -> None:
+        await self.request({"method": "resume", "shard": shard})
+
+    async def shutdown(self) -> Dict[str, Any]:
+        return await self.request({"method": "shutdown"})
+
+
+def call_daemon(
+    method: str,
+    host: str = "127.0.0.1",
+    port: int = 7411,
+    retries: int = 8,
+    **params: Any,
+) -> Dict[str, Any]:
+    """One synchronous RPC against a running daemon — the shape the
+    ``repro assert-*`` subcommands use.  Raises ``ConnectionError`` when
+    the daemon is unreachable; returns the raw reply otherwise."""
+
+    async def go() -> Dict[str, Any]:
+        client = ServeClient(host, port, pool=1)
+        await client.connect(retries=retries)
+        try:
+            return await client.request({"method": method, **params})
+        finally:
+            await client.close()
+
+    return asyncio.run(go())

@@ -1,0 +1,156 @@
+"""Wire framing for the ``repro serve`` protocol.
+
+Length-prefixed JSON frames, the shape every piece of the service layer
+speaks — client ↔ daemon over TCP, daemon ↔ shard worker over unix
+sockets.  A frame is::
+
+    +----------------+----------------------+
+    | 4-byte big-    | UTF-8 JSON document  |
+    | endian length  | (exactly that many   |
+    | of the payload | bytes)               |
+    +----------------+----------------------+
+
+Like :mod:`repro.core.packed`, this module is the *single owner* of the
+byte layout, and its encode/decode pair are total inverses on the
+JSON-safe domain: ``decode_frame(encode_frame(x)) == (x, b"")`` for every
+``x`` built from ``None``/bool/int/float/str via lists and string-keyed
+dicts (the property test in ``tests/test_serve_framing.py`` drives
+arbitrary such values through the round trip).  Everything else is an
+explicit error, never a silent truncation:
+
+* :class:`TruncatedFrame` — the buffer ends mid-header or mid-payload
+  (a *recoverable* condition: feed more bytes);
+* :class:`OversizedFrame` — the header announces a payload larger than
+  ``max_frame`` (unrecoverable for that connection: a corrupt or hostile
+  peer; the bound is what keeps a daemon inbox from absorbing a
+  gigabyte "frame");
+* :class:`FrameError` — the payload is not valid UTF-8 JSON.
+
+:class:`FrameDecoder` is the incremental form used by the asyncio
+servers: ``feed()`` bytes as they arrive, collect whole decoded messages,
+keep the tail buffered.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+from typing import Any, List, Optional, Tuple
+
+#: Frames above this many payload bytes are refused on both encode and
+#: decode (1 MiB — generous for batched transaction traffic, small
+#: enough that a corrupt length header cannot balloon a buffer).
+MAX_FRAME = 1 << 20
+
+_HEADER = struct.Struct(">I")
+HEADER_SIZE = _HEADER.size
+
+
+class FrameError(ValueError):
+    """The bytes are not a well-formed frame (bad JSON payload)."""
+
+
+class TruncatedFrame(FrameError):
+    """The buffer ends before the announced frame does — feed more bytes."""
+
+
+class OversizedFrame(FrameError):
+    """The announced payload exceeds the frame bound."""
+
+
+def encode_frame(message: Any, max_frame: int = MAX_FRAME) -> bytes:
+    """``message`` (JSON-safe) → one wire frame."""
+    payload = json.dumps(
+        message, separators=(",", ":"), ensure_ascii=False, allow_nan=False
+    ).encode("utf-8")
+    if len(payload) > max_frame:
+        raise OversizedFrame(
+            f"encoded payload is {len(payload)} bytes (max {max_frame})"
+        )
+    return _HEADER.pack(len(payload)) + payload
+
+
+def decode_frame(data: bytes, max_frame: int = MAX_FRAME) -> Tuple[Any, bytes]:
+    """First frame of ``data`` → ``(message, remaining_bytes)``."""
+    if len(data) < HEADER_SIZE:
+        raise TruncatedFrame(
+            f"need {HEADER_SIZE} header bytes, have {len(data)}"
+        )
+    (length,) = _HEADER.unpack_from(data)
+    if length > max_frame:
+        raise OversizedFrame(f"announced payload is {length} bytes (max {max_frame})")
+    end = HEADER_SIZE + length
+    if len(data) < end:
+        raise TruncatedFrame(f"need {end} bytes, have {len(data)}")
+    payload = data[HEADER_SIZE:end]
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame payload is not UTF-8 JSON: {exc}")
+    return message, data[end:]
+
+
+class FrameDecoder:
+    """Incremental decoder: buffer bytes, surface whole messages.
+
+    ``feed`` never raises :class:`TruncatedFrame` (partial frames simply
+    stay buffered); :class:`OversizedFrame`/:class:`FrameError` propagate
+    — both mean the stream is unrecoverable from this point.
+    """
+
+    def __init__(self, max_frame: int = MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    def feed(self, data: bytes) -> List[Any]:
+        self._buffer.extend(data)
+        messages: List[Any] = []
+        while True:
+            try:
+                message, rest = decode_frame(bytes(self._buffer), self.max_frame)
+            except TruncatedFrame:
+                return messages
+            self._buffer = bytearray(rest)
+            messages.append(message)
+
+    @property
+    def pending_bytes(self) -> int:
+        return len(self._buffer)
+
+
+# -- asyncio stream helpers ----------------------------------------------------
+
+
+async def read_frame(reader, max_frame: int = MAX_FRAME) -> Optional[Any]:
+    """Read exactly one frame from an :class:`asyncio.StreamReader`.
+    Returns ``None`` on clean EOF at a frame boundary."""
+    import asyncio
+
+    try:
+        header = await reader.readexactly(HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise TruncatedFrame(
+            f"connection closed mid-header ({len(exc.partial)} bytes)"
+        )
+    (length,) = _HEADER.unpack(header)
+    if length > max_frame:
+        raise OversizedFrame(f"announced payload is {length} bytes (max {max_frame})")
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise TruncatedFrame(
+            f"connection closed mid-payload ({len(exc.partial)}/{length} bytes)"
+        )
+    try:
+        return json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise FrameError(f"frame payload is not UTF-8 JSON: {exc}")
+
+
+async def write_frame(writer, message: Any, max_frame: int = MAX_FRAME) -> None:
+    """Encode and send one frame on an :class:`asyncio.StreamWriter`,
+    honouring its flow control (``drain``)."""
+    writer.write(encode_frame(message, max_frame))
+    await writer.drain()

@@ -1,0 +1,587 @@
+"""One shard of the ``repro serve`` daemon: a PUSH/PULL runtime behind a
+work queue.
+
+:class:`ShardState` is the synchronous, I/O-free core — it owns one
+:class:`~repro.tm.base.Runtime` over a :class:`~repro.specs.product.
+ProductSpec` of the four registered spec spaces and exposes exactly three
+entry points:
+
+* :meth:`ShardState.execute_wave` — a batch of *single-shard*
+  transactions, run to commit-or-requeue through the normal
+  :class:`~repro.tm.base.TxStepper` + scheduler machinery (the same
+  machinery every experiment uses, so daemon traffic exercises the same
+  code paths the checkers verify);
+* :meth:`ShardState.prepare` / :meth:`ShardState.commit_prepared` /
+  :meth:`ShardState.abort_prepared` — the participant half of the
+  cross-shard 2PC.  *Prepare* APPs and PUSHes the sub-transaction's
+  operations (encounter-style eager publication) and parks the thread;
+  the global CMT rule is only fired by *commit*, so the paper's commit
+  criteria are what make the second phase safe.  A parked prepared
+  transaction's pushed-uncommitted entries block conflicting PUSHes on
+  the shard via the ordinary push criterion — 2PC "locks" are just
+  uncommitted global-log entries;
+* :meth:`ShardState.run_conformance` — the existing chaos conformance
+  gate (serializability / opacity / clean-aborts / quiescence) over the
+  shard's committed history.  The daemon runs it *windowed*: every
+  ``conformance_window`` commits the gate runs and, when clean, the
+  history rolls over into a :class:`~repro.core.spec.RebasedStateSpec`
+  (the same compaction move as ``Runtime.maybe_compact``, but gated on a
+  verified window rather than blind).  On failure the armed per-shard
+  :class:`~repro.obs.flight.FlightRecorder` auto-dumps its black box.
+
+The asyncio wrappers at the bottom (:func:`shard_server`,
+:func:`run_shard_worker`) put a :class:`ShardState` behind a unix-socket
+frame protocol so shards can run as separate *processes* — on a
+multicore box N shard workers give real parallelism, which pure
+in-process asyncio cannot (one GIL).  The daemon also drives ShardState
+inline (same event loop) for tests and tiny tiers.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import TMAbort
+from repro.core.history import TxRecord
+from repro.core.language import call, tx
+from repro.core.machine import Machine
+from repro.core.spec import RebasedStateSpec, StateSpec
+from repro.faults.conformance import conformance_failures
+from repro.faults.recovery import make_policy
+from repro.obs.flight import FlightRecorder, maybe_dump
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.tracer import NULL_TRACER
+from repro.runtime.harness import ExperimentResult
+from repro.serve.framing import read_frame, write_frame
+from repro.serve.sharding import make_shard_scheduler, shard_seed, validate_op
+from repro.specs import BankSpec, CounterSpec, KVMapSpec, QueueSpec
+from repro.specs.product import ProductSpec
+from repro.tm import ALL_ALGORITHMS
+from repro.tm.base import Runtime, StepStatus, TxStepper, record_commit_view
+
+
+def make_serve_spec() -> ProductSpec:
+    """The key-space every shard serves: one ProductSpec over the four
+    registered spec spaces (cross-component operations always commute,
+    so kvmap traffic never conflicts with bank traffic)."""
+    return ProductSpec(
+        {
+            "kvmap": KVMapSpec(),
+            "counter": CounterSpec(),
+            "bank": BankSpec(),
+            "queue": QueueSpec(),
+        }
+    )
+
+
+@dataclass(frozen=True)
+class ShardConfig:
+    """Everything a shard needs, JSON-safe so it crosses the process
+    boundary to :func:`run_shard_worker` unchanged."""
+
+    index: int = 0
+    shards: int = 1
+    strategy: str = "encounter"
+    scheduler: str = "random"
+    root_seed: int = 0
+    #: in-wave TxStepper retries before the txn is bounced back to the
+    #: queue (a requeue lets parked 2PC commits land in between).  Sized
+    #: for the worst case of a whole batch contending on one hot key:
+    #: the loser of every round must survive ~batch aborts to serialize.
+    wave_retries: int = 64
+    #: total waves a txn may be requeued before a permanent abort reply
+    max_attempts: int = 25
+    #: commits between windowed conformance checks (+ history rollover).
+    #: Also the effective bound on committed-log length, which every
+    #: push/pull ``allowed`` check replays — keep it modest.
+    conformance_window: int = 64
+    flight_dir: Optional[str] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "shards": self.shards,
+            "strategy": self.strategy,
+            "scheduler": self.scheduler,
+            "root_seed": self.root_seed,
+            "wave_retries": self.wave_retries,
+            "max_attempts": self.max_attempts,
+            "conformance_window": self.conformance_window,
+            "flight_dir": self.flight_dir,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "ShardConfig":
+        return cls(**data)
+
+
+@dataclass
+class WaveOutcome:
+    """Per-transaction result of one :meth:`ShardState.execute_wave`."""
+
+    txn_id: str
+    ok: bool
+    results: Tuple[Any, ...] = ()
+    retry: bool = False
+    error: Optional[str] = None
+    kind: Optional[str] = None
+    attempts: int = 1
+
+    def to_reply(self) -> Dict[str, Any]:
+        if self.ok:
+            return {"ok": True, "results": list(self.results)}
+        return {"ok": False, "error": self.error, "kind": self.kind}
+
+
+class ShardState:
+    """One shard's transactional core (synchronous; see module doc)."""
+
+    def __init__(self, config: ShardConfig) -> None:
+        self.config = config
+        self.tracer = (
+            FlightRecorder(auto_dump_dir=config.flight_dir)
+            if config.flight_dir
+            else NULL_TRACER
+        )
+        # compact_every=None: compaction happens only through the
+        # *verified* windowed-conformance rollover below, never blind.
+        self.runtime = Runtime(
+            make_serve_spec(), compact_every=None, tracer=self.tracer
+        )
+        self.algorithm = ALL_ALGORITHMS[config.strategy]()
+        self.scheduler = make_shard_scheduler(
+            config.scheduler, config.root_seed, config.index
+        )
+        self.recovery = make_policy("default", seed=shard_seed(config.root_seed, config.index))
+        self.registry = MetricsRegistry()
+        #: txn_id → (tid, history record) for parked prepared sub-txns
+        self.prepared: Dict[str, Tuple[int, TxRecord]] = {}
+        #: sticky per-shard conformance verdicts
+        self.conformance_failure_log: List[str] = []
+        self.flight_dumps: List[str] = []
+        self.windows_checked = 0
+        self.commits_gated = 0
+        self._commits_since_check = 0
+        self._job_counter = 0
+        self._waves = 0
+
+    # -- small helpers ---------------------------------------------------------
+
+    def _program(self, ops: Sequence[Sequence]):
+        calls = []
+        for op in ops:
+            space, method, args = validate_op(op)
+            calls.append(call(f"{space}.{method}", *args))
+        return tx(*calls)
+
+    def _next_job(self) -> int:
+        self._job_counter += 1
+        return self._job_counter
+
+    def _views(self, tid: int):
+        thread = self.runtime.machine.thread(tid)
+        own = thread.local.own_ops()
+        observed = thread.local.all_ops()
+        pulled_uncommitted = tuple(
+            op
+            for op in thread.local.pulled_ops()
+            if (entry := self.runtime.machine.global_log.entry_for(op)) is not None
+            and not entry.is_committed
+        )
+        return own, observed, pulled_uncommitted
+
+    def _count(self, name: str, delta: int = 1) -> None:
+        self.registry.counter(name).inc(delta)
+
+    # -- single-shard waves -----------------------------------------------------
+
+    def execute_wave(self, items: Sequence[Dict[str, Any]]) -> List[WaveOutcome]:
+        """Run a batch of single-shard transactions through TxSteppers
+        under the shard scheduler.  Each item is ``{"id", "ops",
+        "attempts"}``; an item whose stepper exhausts its in-wave retries
+        is *requeued* (``retry=True``) rather than aborted outright —
+        bounded by ``max_attempts`` across waves — because the conflict
+        may be with a parked prepared 2PC sub-transaction that can only
+        resolve between waves."""
+        rt = self.runtime
+        self._waves += 1
+        self._count("serve.waves")
+        # A wave sharing the shard with parked prepared 2PC sub-txns is
+        # *stalled*: conflicting steppers cannot win until phase 2 lands,
+        # which only happens between waves.  Bail out of retries fast and
+        # do not charge the wave against the requeue budget — otherwise a
+        # slow coordinator starves every transaction behind its locks.
+        stalled = bool(self.prepared)
+        retries = min(self.config.wave_retries, 4) if stalled else self.config.wave_retries
+        pairs: List[Tuple[Dict[str, Any], TxStepper]] = []
+        outcomes: List[WaveOutcome] = []
+        for item in items:
+            attempts = int(item.get("attempts", 0)) + (0 if stalled else 1)
+            try:
+                program = self._program(item["ops"])
+            except ValueError as exc:
+                outcomes.append(
+                    WaveOutcome(
+                        item["id"], False, error=str(exc), kind="protocol",
+                        attempts=attempts,
+                    )
+                )
+                self._count("serve.txn.rejected")
+                continue
+            stepper = TxStepper(
+                self.algorithm,
+                rt,
+                program,
+                max_retries=retries,
+                job_id=self._next_job(),
+                recovery=self.recovery,
+            )
+            pairs.append(({**item, "attempts": attempts}, stepper))
+        if pairs:
+            self.scheduler.run([stepper for _item, stepper in pairs])
+        committed = 0
+        for item, stepper in pairs:
+            attempts = item["attempts"]
+            if stepper.status is StepStatus.COMMITTED:
+                own = getattr(stepper.record, "_commit_own", ())
+                outcomes.append(
+                    WaveOutcome(
+                        item["id"], True,
+                        results=tuple(op.ret for op in own),
+                        attempts=attempts,
+                    )
+                )
+                committed += 1
+                self._count("serve.txn.committed")
+                self._count("serve.txn.wave_aborts", stepper.stats.aborts)
+            else:
+                # Permanently aborted within the wave: the stepper left the
+                # rolled-back thread parked in the machine — drop it.
+                tid = stepper.tid
+                if tid is not None:
+                    rt.machine = rt.machine.drop_thread(tid)
+                    rt.tid_to_job.pop(tid, None)
+                self._count("serve.txn.wave_aborts", stepper.stats.aborts)
+                if attempts < self.config.max_attempts:
+                    outcomes.append(
+                        WaveOutcome(
+                            item["id"], False, retry=True, attempts=attempts,
+                            error="wave conflict", kind="conflict",
+                        )
+                    )
+                    self._count("serve.txn.requeued")
+                else:
+                    outcomes.append(
+                        WaveOutcome(
+                            item["id"], False, attempts=attempts,
+                            error=f"aborted after {attempts} waves",
+                            kind="conflict",
+                        )
+                    )
+                    self._count("serve.txn.aborted")
+        self._commits_since_check += committed
+        return outcomes
+
+    # -- 2PC participant half ---------------------------------------------------
+
+    def prepare(self, txn_id: str, ops: Sequence[Sequence]) -> Dict[str, Any]:
+        """Phase 1: APP + PUSH every operation of the sub-transaction,
+        then park the thread with its effects *uncommitted* in the global
+        log.  Success promises the later CMT cannot fail: criterion (ii)
+        holds because everything is pushed, criterion (iii) because
+        :meth:`Runtime.pull_relevant` only ever pulls committed entries."""
+        rt = self.runtime
+        if txn_id in self.prepared:
+            return {"ok": False, "error": f"txn {txn_id!r} already prepared",
+                    "kind": "protocol"}
+        try:
+            program = self._program(ops)
+        except ValueError as exc:
+            self._count("serve.txn.rejected")
+            return {"ok": False, "error": str(exc), "kind": "protocol"}
+        rt.machine, tid = rt.machine.spawn(program)
+        record = rt.history.begin(tid)
+        rt.active_tids.add(tid)
+        rt.tid_to_job[tid] = self._next_job()
+        try:
+            remaining = len(self.algorithm.resolve_steps(program))
+            for _ in range(remaining):
+                choices = sorted(rt.machine.app_choices(tid), key=repr)
+                if not choices:
+                    break
+                call_node = choices[0][0]
+                keys = rt.spec.footprint(call_node.method, call_node.args)
+                rt.pull_relevant(tid, keys)
+                op = self.algorithm.app_call(rt, tid, 0)
+                self.algorithm.push_op(rt, tid, op)
+        except TMAbort as abort:
+            own, observed, pulled_uncommitted = self._views(tid)
+            rt.rollback(tid)
+            rt.history.abort(
+                record, abort.reason, observed, pulled_uncommitted,
+                kind=abort.kind,
+            )
+            rt.active_tids.discard(tid)
+            rt.machine = rt.machine.drop_thread(tid)
+            rt.tid_to_job.pop(tid, None)
+            self._count("serve.2pc.prepare_conflict")
+            return {"ok": False, "error": abort.reason, "kind": abort.kind.value}
+        results = [op.ret for op in rt.machine.thread(tid).local.own_ops()]
+        self.prepared[txn_id] = (tid, record)
+        self.registry.gauge("serve.prepared").set(len(self.prepared))
+        self._count("serve.2pc.prepared")
+        return {"ok": True, "results": results}
+
+    def commit_prepared(self, txn_id: str) -> Dict[str, Any]:
+        """Phase 2 (commit): fire CMT on the parked thread."""
+        rt = self.runtime
+        entry = self.prepared.pop(txn_id, None)
+        if entry is None:
+            return {"ok": False, "error": f"txn {txn_id!r} not prepared",
+                    "kind": "protocol"}
+        tid, record = entry
+        record_commit_view(rt, tid, record)
+        rt.apply("cmt", tid)
+        rt.history.commit(
+            record,
+            record._commit_own,
+            record._commit_observed,
+            record._commit_pulled_uncommitted,
+        )
+        rt.active_tids.discard(tid)
+        rt.dependencies.on_commit(tid)
+        rt.machine = rt.machine.end_thread(tid)
+        rt.tid_to_job.pop(tid, None)
+        self.registry.gauge("serve.prepared").set(len(self.prepared))
+        self._count("serve.2pc.committed")
+        self._commits_since_check += 1
+        return {"ok": True}
+
+    def abort_prepared(self, txn_id: str, reason: str = "coordinator abort") -> Dict[str, Any]:
+        """Phase 2 (abort): roll the parked thread back and discard it."""
+        rt = self.runtime
+        entry = self.prepared.pop(txn_id, None)
+        if entry is None:
+            return {"ok": False, "error": f"txn {txn_id!r} not prepared",
+                    "kind": "protocol"}
+        tid, record = entry
+        own, observed, pulled_uncommitted = self._views(tid)
+        rt.dependencies.on_abort(tid)
+        rt.dependencies.clear(tid)
+        rt.rollback(tid)
+        rt.history.abort(record, reason, observed, pulled_uncommitted)
+        rt.active_tids.discard(tid)
+        rt.machine = rt.machine.drop_thread(tid)
+        rt.tid_to_job.pop(tid, None)
+        self.registry.gauge("serve.prepared").set(len(self.prepared))
+        self._count("serve.2pc.aborted")
+        return {"ok": True}
+
+    # -- conformance gate + verified rollover -----------------------------------
+
+    def _result_shim(self) -> ExperimentResult:
+        rt = self.runtime
+        return ExperimentResult(
+            algorithm=self.algorithm.name,
+            commits=rt.history.commit_count(),
+            aborts=rt.history.abort_count(),
+            permanently_aborted=0,
+            total_steps=sum(rt.rule_counts.values()),
+            rule_counts=dict(rt.rule_counts),
+            serialization=None,
+            runtime=rt,
+        )
+
+    def maybe_checkpoint(self) -> Optional[Dict[str, Any]]:
+        """Between waves, with no parked 2PC sub-txns: run the windowed
+        conformance gate and, when clean, roll the verified history over
+        into a rebased spec (bounded memory for unbounded uptime)."""
+        if self._commits_since_check < self.config.conformance_window:
+            return None
+        if self.prepared or self.runtime.active_tids:
+            return None
+        return self.run_conformance(rollover=True)
+
+    def run_conformance(self, rollover: bool = False) -> Dict[str, Any]:
+        """Run the chaos conformance gate over the current history window.
+        Returns a JSON-safe verdict; on failure arms the flight dump."""
+        rt = self.runtime
+        failures, opacity_checked = conformance_failures(
+            self.algorithm, rt.spec, self._result_shim()
+        )
+        window_commits = rt.history.commit_count()
+        self.windows_checked += 1
+        self.commits_gated += window_commits
+        verdict = {
+            "ok": not failures,
+            "shard": self.config.index,
+            "window_commits": window_commits,
+            "windows_checked": self.windows_checked,
+            "commits_gated": self.commits_gated,
+            "opacity_checked": opacity_checked,
+            "failures": [str(f) for f in failures],
+            "sticky_failures": list(self.conformance_failure_log),
+        }
+        self._count("serve.conformance.windows")
+        if failures:
+            self.conformance_failure_log.extend(str(f) for f in failures)
+            verdict["sticky_failures"] = list(self.conformance_failure_log)
+            self._count("serve.conformance.failures", len(failures))
+            dump = maybe_dump(
+                self.tracer,
+                label=f"serve-shard{self.config.index}",
+                reason="conformance",
+                meta={"failures": [str(f) for f in failures]},
+            )
+            if dump:
+                self.flight_dumps.append(dump)
+                verdict["flight_dump"] = dump
+            return verdict
+        if rollover:
+            self._rollover()
+        return verdict
+
+    def _rollover(self) -> None:
+        """Replay the verified committed log into a rebased spec and
+        restart with an empty history — ``Runtime.maybe_compact``'s move,
+        but only ever after a clean gate."""
+        rt = self.runtime
+        if rt.active_tids or self.prepared:
+            return
+        if any(t.local.entries for t in rt.machine.threads):
+            return
+        if any(not e.is_committed for e in rt.machine.global_log):
+            return
+        base = rt.spec
+        if not isinstance(base, StateSpec):
+            return
+        state = base.replay(rt.machine.global_log.all_ops())
+        if state is None:  # pragma: no cover - gate just verified the log
+            raise RuntimeError("verified committed log is not allowed")
+        rebased = RebasedStateSpec(base, state)
+        rt.spec = rebased
+        rt.machine = Machine(
+            rebased,
+            threads=rt.machine.threads,
+            ids=rt.machine.ids,
+            check_gray_criteria=rt.machine.check_gray_criteria,
+            tracer=self.tracer,
+        )
+        rt.history = type(rt.history)()
+        self._commits_since_check = 0
+        self._count("serve.conformance.rollovers")
+
+    # -- introspection ----------------------------------------------------------
+
+    def metrics_snapshot(self) -> Dict[str, Any]:
+        self.registry.gauge("serve.machine.threads").set(len(self.runtime.machine.threads))
+        self.registry.gauge("serve.prepared").set(len(self.prepared))
+        return {
+            "counters": dict(self.registry.counter_values()),
+            "gauges": {
+                name: metric.value
+                for (name, _labels), metric in self.registry._gauges.items()
+            },
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        rt = self.runtime
+        return {
+            "shard": self.config.index,
+            "strategy": self.config.strategy,
+            "waves": self._waves,
+            "window_commits": rt.history.commit_count(),
+            "commits_gated": self.commits_gated,
+            "windows_checked": self.windows_checked,
+            "prepared": len(self.prepared),
+            "threads": len(rt.machine.threads),
+            "global_log": len(rt.machine.global_log),
+            "conformance_failures": list(self.conformance_failure_log),
+            "flight_dumps": list(self.flight_dumps),
+        }
+
+
+# -- process-mode wrapper: ShardState behind a unix-socket frame server --------
+
+
+async def shard_server(state: ShardState, socket_path: str) -> None:
+    """Serve one ShardState over a unix socket speaking the frame
+    protocol.  One request frame in, one reply frame out; requests are
+    processed strictly in arrival order per connection (the daemon opens
+    a single connection per shard, so the shard's arrival order *is* the
+    daemon's dispatch order — determinism is preserved across the
+    process boundary)."""
+    loop = asyncio.get_running_loop()
+    stop = loop.create_future()
+
+    async def handle(reader, writer):
+        try:
+            while True:
+                request = await read_frame(reader)
+                if request is None:
+                    break
+                reply = handle_shard_request(state, request)
+                await write_frame(writer, reply)
+                if request.get("method") == "shutdown" and not stop.done():
+                    stop.set_result(None)
+                    break
+        finally:
+            writer.close()
+
+    server = await asyncio.start_unix_server(handle, path=socket_path)
+    async with server:
+        await stop
+
+
+def handle_shard_request(state: ShardState, request: Dict[str, Any]) -> Dict[str, Any]:
+    """Dispatch one shard RPC (shared by process mode and tests)."""
+    method = request.get("method")
+    rid = request.get("id")
+    try:
+        if method == "wave":
+            outcomes = state.execute_wave(request["txns"])
+            checkpoint = state.maybe_checkpoint()
+            return {
+                "id": rid,
+                "ok": True,
+                "outcomes": [
+                    {
+                        "id": o.txn_id,
+                        "retry": o.retry,
+                        "attempts": o.attempts,
+                        **o.to_reply(),
+                    }
+                    for o in outcomes
+                ],
+                "checkpoint": checkpoint,
+            }
+        if method == "prepare":
+            return {"id": rid, **state.prepare(request["txn"], request["ops"])}
+        if method == "commit":
+            return {"id": rid, **state.commit_prepared(request["txn"])}
+        if method == "abort":
+            return {"id": rid, **state.abort_prepared(
+                request["txn"], request.get("reason", "coordinator abort"))}
+        if method == "conformance":
+            return {"id": rid, **state.run_conformance(
+                rollover=bool(request.get("rollover", False)))}
+        if method == "metrics":
+            return {"id": rid, "ok": True, "metrics": state.metrics_snapshot()}
+        if method == "stats":
+            return {"id": rid, "ok": True, "stats": state.stats()}
+        if method == "shutdown":
+            return {"id": rid, "ok": True}
+        return {"id": rid, "ok": False, "error": f"unknown shard method {method!r}",
+                "kind": "protocol"}
+    except Exception as exc:  # noqa: BLE001 - shard must answer, not die
+        return {"id": rid, "ok": False, "error": f"{type(exc).__name__}: {exc}",
+                "kind": "internal"}
+
+
+def run_shard_worker(config_dict: Dict[str, Any], socket_path: str) -> None:
+    """Process entry point (multiprocessing target): build the shard and
+    serve it on ``socket_path`` until a shutdown request."""
+    state = ShardState(ShardConfig.from_dict(config_dict))
+    asyncio.run(shard_server(state, socket_path))

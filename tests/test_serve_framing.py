@@ -1,0 +1,118 @@
+"""Wire framing: encode/decode are total inverses on the JSON-safe
+domain, and every malformed input is an explicit error, never a silent
+truncation (``src/repro/serve/framing.py`` module docstring).
+"""
+
+import json
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.serve.framing import (
+    HEADER_SIZE,
+    MAX_FRAME,
+    FrameDecoder,
+    FrameError,
+    OversizedFrame,
+    TruncatedFrame,
+    decode_frame,
+    encode_frame,
+)
+
+# Arbitrary JSON-safe values: scalars closed under lists and
+# string-keyed dicts.  Floats are restricted to finite (the codec
+# rejects NaN/inf by design) and to round-trippable ones.
+_scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**53), max_value=2**53),
+    st.floats(allow_nan=False, allow_infinity=False, width=32),
+    st.text(max_size=40),
+)
+json_values = st.recursive(
+    _scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=5),
+        st.dictionaries(st.text(max_size=10), children, max_size=5),
+    ),
+    max_leaves=25,
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(json_values)
+def test_round_trip_identity(value):
+    message, rest = decode_frame(encode_frame(value))
+    assert message == value
+    assert rest == b""
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.lists(json_values, min_size=1, max_size=6), st.integers(1, 7))
+def test_incremental_decoder_any_chunking(values, chunk):
+    """FrameDecoder recovers the exact message sequence however the
+    byte stream is split — including mid-header and mid-payload."""
+    stream = b"".join(encode_frame(v) for v in values)
+    decoder = FrameDecoder()
+    out = []
+    for i in range(0, len(stream), chunk):
+        out.extend(decoder.feed(stream[i : i + chunk]))
+    assert out == values
+    assert decoder.pending_bytes == 0
+
+
+@settings(max_examples=100, deadline=None)
+@given(json_values)
+def test_truncated_frame_raises_at_every_cut(value):
+    frame = encode_frame(value)
+    for cut in range(len(frame)):
+        with pytest.raises(TruncatedFrame):
+            decode_frame(frame[:cut])
+
+
+def test_truncation_is_recoverable():
+    frame = encode_frame({"k": "v"})
+    decoder = FrameDecoder()
+    assert decoder.feed(frame[:3]) == []
+    assert decoder.feed(frame[3:]) == [{"k": "v"}]
+
+
+def test_oversized_announcement_rejected_without_buffering():
+    """A hostile length header is refused from the header alone — the
+    decoder never waits for (or allocates) the announced gigabyte."""
+    header = struct.pack(">I", MAX_FRAME + 1)
+    with pytest.raises(OversizedFrame):
+        decode_frame(header + b"x" * 10)
+    decoder = FrameDecoder()
+    with pytest.raises(OversizedFrame):
+        decoder.feed(header)
+
+
+def test_oversized_payload_rejected_on_encode():
+    with pytest.raises(OversizedFrame):
+        encode_frame("x" * (MAX_FRAME + 1))
+    # custom bound
+    with pytest.raises(OversizedFrame):
+        encode_frame("x" * 100, max_frame=16)
+
+
+def test_non_json_payload_is_frame_error():
+    bad = b"\xff\xfe not json"
+    with pytest.raises(FrameError):
+        decode_frame(struct.pack(">I", len(bad)) + bad)
+
+
+def test_nan_refused_on_encode():
+    with pytest.raises(ValueError):
+        encode_frame(float("nan"))
+
+
+def test_frame_layout_is_pinned():
+    """The byte layout is a wire contract: 4-byte big-endian length then
+    compact UTF-8 JSON."""
+    frame = encode_frame({"a": 1})
+    assert frame[:HEADER_SIZE] == struct.pack(">I", len(frame) - HEADER_SIZE)
+    assert json.loads(frame[HEADER_SIZE:].decode("utf-8")) == {"a": 1}
+    # compact separators: no spaces on the wire
+    assert b" " not in frame[HEADER_SIZE:]

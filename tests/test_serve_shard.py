@@ -1,0 +1,207 @@
+"""ShardState: waves, the 2PC participant half, the windowed conformance
+gate with verified rollover, and determinism (``src/repro/serve/shard.py``).
+"""
+
+from repro.core.spec import RebasedStateSpec
+from repro.serve.shard import (
+    ShardConfig,
+    ShardState,
+    handle_shard_request,
+    make_serve_spec,
+)
+from repro.serve.sharding import commit_order, make_shard_scheduler, shard_seed
+
+
+def _state(**overrides) -> ShardState:
+    return ShardState(ShardConfig(**overrides))
+
+
+def _wave(state, *txns):
+    items = [{"id": f"t{i}", "ops": list(ops), "attempts": 0}
+             for i, ops in enumerate(txns)]
+    return state.execute_wave(items)
+
+
+def test_wave_commits_and_returns_results():
+    state = _state()
+    outcomes = _wave(
+        state,
+        [["kvmap", "put", "k", 41]],
+        [["counter", "inc"], ["counter", "get"]],
+    )
+    assert all(o.ok for o in outcomes)
+    # read-your-commit across waves: the get sees the earlier put
+    (read,) = _wave(state, [["kvmap", "get", "k"]])
+    assert read.ok and read.results == (41,)
+    assert dict(state.registry.counter_values())["serve.txn.committed"] == 3
+
+
+def test_wave_rejects_malformed_ops_as_protocol_errors():
+    state = _state()
+    outcomes = _wave(
+        state,
+        [["kvmap", "put", "k"]],          # wrong arity
+        [["nosuchspace", "get", "k"]],    # unknown space
+        [["kvmap", "get", "k"]],          # fine
+    )
+    assert [o.ok for o in outcomes] == [False, False, True]
+    assert all(o.kind == "protocol" for o in outcomes[:2])
+    assert not outcomes[0].retry and not outcomes[1].retry
+
+
+def test_2pc_prepare_commit_makes_effects_visible():
+    state = _state()
+    reply = state.prepare("x1", [["kvmap", "put", "k", 7]])
+    assert reply["ok"]
+    assert "x1" in state.prepared
+    assert state.commit_prepared("x1")["ok"]
+    assert not state.prepared
+    (read,) = _wave(state, [["kvmap", "get", "k"]])
+    assert read.ok and read.results == (7,)
+
+
+def test_2pc_abort_discards_effects():
+    state = _state()
+    assert state.prepare("x1", [["kvmap", "put", "k", 7]])["ok"]
+    assert state.abort_prepared("x1")["ok"]
+    (read,) = _wave(state, [["kvmap", "get", "k"]])
+    assert read.ok and read.results == (None,)
+
+
+def test_2pc_protocol_errors():
+    state = _state()
+    assert state.prepare("x1", [["kvmap", "put", "k", 1]])["ok"]
+    dup = state.prepare("x1", [["kvmap", "put", "k", 2]])
+    assert not dup["ok"] and dup["kind"] == "protocol"
+    missing = state.commit_prepared("never-prepared")
+    assert not missing["ok"] and missing["kind"] == "protocol"
+    assert state.abort_prepared("x1")["ok"]
+
+
+def test_parked_prepare_blocks_conflicting_wave_until_phase_two():
+    """A prepared sub-txn's pushed-uncommitted entries are the 2PC locks:
+    a conflicting wave transaction is requeued (never committed past the
+    lock, never permanently aborted on first contact), and commits once
+    phase 2 lands."""
+    state = _state()
+    assert state.prepare("x1", [["kvmap", "put", "k", 1]])["ok"]
+    (blocked,) = _wave(state, [["kvmap", "put", "k", 2]])
+    assert not blocked.ok and blocked.retry
+    # stalled waves are not charged against the cross-wave budget
+    assert blocked.attempts == 0
+    assert state.commit_prepared("x1")["ok"]
+    (retried,) = _wave(state, [["kvmap", "put", "k", 2]])
+    assert retried.ok
+    (read,) = _wave(state, [["kvmap", "get", "k"]])
+    assert read.results == (2,)
+
+
+def test_conformance_gate_clean_after_traffic():
+    state = _state()
+    _wave(state, [["kvmap", "put", "a", 1]], [["bank", "deposit", "acct", 5]])
+    assert state.prepare("x1", [["counter", "inc"]])["ok"]
+    assert state.commit_prepared("x1")["ok"]
+    verdict = state.run_conformance()
+    assert verdict["ok"] and verdict["failures"] == []
+    assert verdict["window_commits"] == 3
+
+
+def test_windowed_rollover_rebases_spec_and_preserves_state():
+    state = _state(conformance_window=2)
+    _wave(state, [["kvmap", "put", "a", 1]], [["kvmap", "put", "b", 2]])
+    checkpoint = state.maybe_checkpoint()
+    assert checkpoint is not None and checkpoint["ok"]
+    assert isinstance(state.runtime.spec, RebasedStateSpec)
+    assert state.runtime.history.commit_count() == 0
+    assert len(state.runtime.machine.global_log) == 0
+    counters = dict(state.registry.counter_values())
+    assert counters["serve.conformance.rollovers"] == 1
+    # committed state survives the rollover
+    outcomes = _wave(state, [["kvmap", "get", "a"], ["kvmap", "get", "b"]])
+    assert outcomes[0].results == (1, 2)
+    # and the next window gates clean on the rebased spec
+    assert state.run_conformance()["ok"]
+
+
+def test_checkpoint_deferred_while_prepared_parked():
+    state = _state(conformance_window=1)
+    _wave(state, [["kvmap", "put", "a", 1]])
+    assert state.prepare("x1", [["kvmap", "put", "b", 2]])["ok"]
+    assert state.maybe_checkpoint() is None
+    assert state.commit_prepared("x1")["ok"]
+    assert state.maybe_checkpoint() is not None
+
+
+def test_wave_dispatch_via_shard_request():
+    state = _state(conformance_window=2)
+    reply = handle_shard_request(
+        state,
+        {
+            "id": 9,
+            "method": "wave",
+            "txns": [
+                {"id": "a", "ops": [["kvmap", "put", "k", 1]], "attempts": 0},
+                {"id": "b", "ops": [["kvmap", "get", "k"]], "attempts": 0},
+            ],
+        },
+    )
+    assert reply["id"] == 9 and reply["ok"]
+    assert [o["ok"] for o in reply["outcomes"]] == [True, True]
+    assert reply["checkpoint"]["ok"]
+    bad = handle_shard_request(state, {"id": 1, "method": "nope"})
+    assert not bad["ok"] and bad["kind"] == "protocol"
+
+
+def test_identical_configs_are_deterministic():
+    """The whole shard is a pure function of (seed, workload): same
+    config + same request sequence -> same outcomes, same history."""
+
+    def drive(state):
+        replies = []
+        replies.extend(o.to_reply() for o in _wave(
+            state,
+            [["kvmap", "put", "a", 1], ["counter", "inc"]],
+            [["kvmap", "put", "a", 2]],
+            [["bank", "deposit", "acct", 9]],
+        ))
+        replies.append(state.prepare("x1", [["kvmap", "put", "b", 3]]))
+        replies.append(state.commit_prepared("x1"))
+        replies.extend(o.to_reply() for o in _wave(
+            state, [["kvmap", "get", "a"], ["kvmap", "get", "b"]]
+        ))
+        replies.append(state.stats())
+        return replies
+
+    one = drive(_state(root_seed=11))
+    two = drive(_state(root_seed=11))
+    assert one == two
+
+
+def test_seed_derivations_are_stable_and_distinct():
+    assert shard_seed(0, 0) == shard_seed(0, 0)
+    assert shard_seed(0, 0) != shard_seed(0, 1)
+    assert shard_seed(1, 0) != shard_seed(0, 0)
+    # commit order is a pure function of (seed, txn id), not call order
+    order = commit_order(7, "x1", [2, 0, 1])
+    assert order == commit_order(7, "x1", [2, 0, 1])
+    assert sorted(order) == [0, 1, 2]
+    # per-shard schedulers exist for every registered policy
+    for name in ("random", "roundrobin", "nemesis"):
+        assert make_shard_scheduler(name, 0, 0) is not None
+
+
+def test_serve_spec_namespaces_all_four_spaces():
+    spec = make_serve_spec()
+    calls = {
+        "kvmap.put": ("k", 1),
+        "counter.inc": (),
+        "bank.deposit": ("acct", 1),
+        "queue.enq": (1,),
+    }
+    footprints = {
+        method: spec.footprint(method, args) for method, args in calls.items()
+    }
+    assert all(footprints.values())
+    # cross-component operations never share footprint keys
+    flat = [key for keys in footprints.values() for key in keys]
+    assert len(flat) == len(set(flat))

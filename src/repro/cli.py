@@ -346,6 +346,17 @@ def cmd_chaos(args: argparse.Namespace) -> int:
 
     from repro.faults.conformance import chaos_setup, run_chaos, run_suite, shrink_plan
 
+    if getattr(args, "durable", False):
+        from repro.durable.chaos import run_durable_chaos
+
+        report = run_durable_chaos(seed=args.seed, tiny=args.tiny)
+        print(report.render())
+        if args.out:
+            with open(args.out, "w", encoding="utf-8") as handle:
+                json.dump(report.to_dict(), handle, indent=2, sort_keys=True)
+            print(f"report -> {args.out}")
+        return 0 if report.ok else 1
+
     strategies = sorted(ALL_ALGORITHMS) if args.strategy == "all" else [args.strategy]
     plans = args.plans
     transactions, ops, keys = args.transactions, args.ops, args.keys
@@ -567,6 +578,8 @@ def cmd_perf(args: argparse.Namespace) -> int:
         overrides["faults_path"] = args.faults_baseline
     if args.serve_baseline:
         overrides["serve_path"] = args.serve_baseline
+    if args.durable_baseline:
+        overrides["durable_path"] = args.durable_baseline
     try:
         report = run_perf(
             tiny=args.tiny,
@@ -592,6 +605,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
     DESIGN.md "Service layer")."""
     import asyncio
 
+    from repro.durable.store import StoreLockedError
     from repro.serve.daemon import DaemonConfig, run_daemon
 
     config = DaemonConfig(
@@ -606,22 +620,43 @@ def cmd_serve(args: argparse.Namespace) -> int:
         inbox=args.inbox,
         conformance_window=args.conformance_window,
         flight_dir=getattr(args, "flight_dir", None),
+        durable=getattr(args, "durable", None),
     )
 
     def ready(daemon) -> None:
+        durable = f" durable={config.durable}" if config.durable else ""
         print(
             f"serve: listening on {config.host}:{daemon.port} "
             f"shards={config.shards} strategy={config.strategy} "
             f"mode={config.mode} scheduler={config.scheduler} "
-            f"seed={config.seed}",
+            f"seed={config.seed}{durable}",
             flush=True,
         )
 
     try:
         asyncio.run(run_daemon(config, ready))
+    except StoreLockedError as exc:
+        print(f"serve: {exc}", file=sys.stderr)
+        return 2
     except KeyboardInterrupt:
         print("serve: interrupted, shutting down")
     return 0
+
+
+def cmd_log(args: argparse.Namespace) -> int:
+    """Read-only inspection of a durable segment directory: 0 = clean
+    (torn tails are clean — recovery truncates them), 2 = refusal-grade
+    corruption a recovery would reject."""
+    import json
+
+    from repro.durable.inspect import inspect_directory, render_inspection
+
+    report = inspect_directory(args.directory)
+    if args.json:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    else:
+        print(render_inspection(report))
+    return 0 if report["ok"] else 2
 
 
 def cmd_loadgen(args: argparse.Namespace) -> int:
@@ -899,6 +934,10 @@ def build_parser() -> argparse.ArgumentParser:
     chaos.add_argument("--shrink", action="store_true",
                        help="delta-debug each failing plan to a minimal "
                             "witness")
+    chaos.add_argument("--durable", action="store_true",
+                       help="run the durability chaos suite instead: "
+                            "kill/corrupt/recover rounds against durable "
+                            "shards (repro.durable.chaos)")
     chaos.add_argument("--out", metavar="PATH",
                        help="write the JSON suite report to PATH")
     _add_obs_flags(chaos, flight_default="flight-recordings")
@@ -969,7 +1008,8 @@ def build_parser() -> argparse.ArgumentParser:
                       help="throughput floor as a fraction of the committed "
                            "states/sec (deterministic gates ignore this)")
     perf.add_argument("--tier", action="append", dest="tiers",
-                      choices=["kernel", "por", "faults", "packed", "serve"],
+                      choices=["kernel", "por", "faults", "packed", "serve",
+                               "durable"],
                       help="run only this tier (repeatable; default: all)")
     perf.add_argument("--seed", type=int, default=0,
                       help="base seed for the faults tier suite")
@@ -981,10 +1021,13 @@ def build_parser() -> argparse.ArgumentParser:
                       default=None, metavar="PATH")
     perf.add_argument("--serve-baseline", dest="serve_baseline",
                       default=None, metavar="PATH")
+    perf.add_argument("--durable-baseline", dest="durable_baseline",
+                      default=None, metavar="PATH")
     perf.add_argument("--json", metavar="PATH",
                       help="also write the findings as JSON")
     perf.set_defaults(
-        func=cmd_perf, all_tiers=("kernel", "por", "faults", "packed", "serve")
+        func=cmd_perf,
+        all_tiers=("kernel", "por", "faults", "packed", "serve", "durable"),
     )
 
     serve = sub.add_parser(
@@ -1020,8 +1063,25 @@ def build_parser() -> argparse.ArgumentParser:
                        dest="conformance_window",
                        help="commits per shard between conformance checks "
                             "and verified log rollovers")
+    serve.add_argument("--durable", metavar="DIR", default=None,
+                       help="persist committed records to per-shard segment "
+                            "stores under DIR; a restart recovers and "
+                            "re-verifies them (exit 2 if DIR is locked by "
+                            "another daemon)")
     _add_obs_flags(serve)
     serve.set_defaults(func=cmd_serve)
+
+    log = sub.add_parser(
+        "log",
+        help="inspect a durable segment directory: record counts, "
+             "watermarks, CRC verification, snapshot info (exit 2 on "
+             "refusal-grade corruption)",
+    )
+    log.add_argument("directory", help="segment directory (a shard's "
+                                       "--durable subdirectory, or coord)")
+    log.add_argument("--json", action="store_true",
+                     help="machine-readable report instead of the summary")
+    log.set_defaults(func=cmd_log)
 
     loadgen = sub.add_parser(
         "loadgen",

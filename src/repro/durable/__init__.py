@@ -1,0 +1,48 @@
+"""The durable global log: the storage leg of ``repro serve``.
+
+Committed global-log records persist as CRC-framed, fsync'd append-only
+segment files; snapshots checkpoint verified
+:class:`~repro.core.spec.RebasedStateSpec` states; recovery replays the
+survivors through the shard's own push/pull machinery and re-verifies
+them with the conformance gate.  See ``DESIGN.md`` ("Durability") for
+the format diagram and invariants.
+
+Layering: :mod:`repro.durable.records` and :mod:`repro.durable.store`
+depend only on the core/obs layers; :mod:`repro.durable.recovery` (and
+everything above it) is the one place durable meets
+:mod:`repro.serve.shard`.
+"""
+
+from repro.durable.records import (
+    DurableError,
+    DurableFormatError,
+    ScanResult,
+    SegmentCorruption,
+    decode_state,
+    encode_record,
+    encode_state,
+    scan_frames,
+)
+from repro.durable.store import (
+    DEFAULT_SEGMENT_BYTES,
+    DirLock,
+    SegmentStore,
+    StoreLockedError,
+    load_snapshot,
+)
+
+__all__ = [
+    "DurableError",
+    "DurableFormatError",
+    "ScanResult",
+    "SegmentCorruption",
+    "decode_state",
+    "encode_record",
+    "encode_state",
+    "scan_frames",
+    "DEFAULT_SEGMENT_BYTES",
+    "DirLock",
+    "SegmentStore",
+    "StoreLockedError",
+    "load_snapshot",
+]

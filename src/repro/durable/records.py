@@ -1,0 +1,252 @@
+"""Durable record format: CRC-framed segment records and the state codec.
+
+This module is the single owner of the on-disk byte layout, the same
+contract :mod:`repro.serve.framing` holds for the wire and
+:mod:`repro.core.packed` holds for in-memory state keys.  A segment file
+is a flat sequence of frames::
+
+    +-------+----------------+----------------+----------------------+
+    | magic | 4-byte LE      | 4-byte LE      | UTF-8 JSON document  |
+    | b"pprc" | payload length | CRC32(payload) | (exactly that many   |
+    |       | (pack_u32)     | (pack_u32)     | bytes)               |
+    +-------+----------------+----------------+----------------------+
+
+The length and CRC words reuse :func:`repro.core.packed.pack_u32` — the
+framing shares the packed kernel's byte helpers, but deliberately *not*
+its interned row codes: intern ids are process-local (``core/packed.py``
+says "never persisted or compared across processes"), so durable records
+carry operations payload-level — ``[space.method, args..., ret]`` — and
+re-intern on replay.
+
+Record payloads are compact JSON documents tagged by ``"t"``:
+
+``seghdr``
+    first record of every segment: ``{"t", "format", "segment",
+    "first_lsn"}`` — lets a scan re-derive segment boundaries without
+    trusting filenames.
+``commit``
+    one committed transaction in shard commit order: ``{"t", "lsn",
+    "txn", "ops", "results"}`` where ``ops`` are wire-shaped
+    ``[space, method, args...]`` lists and ``results`` the committed
+    return values (the replay divergence oracle).
+``prepare``
+    a 2PC phase-1 sub-transaction, persisted *before* the prepare ack.
+``abort``
+    phase-2 abort of a prepared sub-transaction.
+``decide``
+    coordinator-log only: the 2PC outcome (``commit``/``abort``) for a
+    cross-shard transaction, persisted before any participant commits.
+
+Scanning (:func:`scan_frames`) distinguishes the two corruption fates the
+recovery path needs: a **torn tail** — the error region runs to end of
+file, the signature of a crash mid-append — is reported with its byte
+offset so the store can truncate and carry on; any corruption *followed
+by a parseable frame* (``resync_offset``) means acknowledged records lie
+beyond the damage, and recovery must refuse rather than silently drop
+them.
+
+The state codec (:func:`encode_state`/:func:`decode_state`) serialises
+the frozen spec states a :class:`~repro.core.spec.RebasedStateSpec`
+checkpoint needs — compositions of tuples/frozensets/dicts over JSON
+scalars — with explicit type tags, because JSON alone cannot round-trip
+``tuple`` (state keys hash) or distinguish it from ``list``.
+"""
+
+from __future__ import annotations
+
+import json
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.packed import pack_u32
+
+#: per-record magic: resync scans look for this to detect records beyond
+#: a corrupt region (the non-tail-corruption refusal evidence)
+RECORD_MAGIC = b"pprc"
+#: magic + length word + crc word
+HEADER_SIZE = len(RECORD_MAGIC) + 8
+#: a single record above this is refused on encode and scan — a corrupt
+#: length word must not balloon a recovery buffer (framing.MAX_FRAME's
+#: rationale, durable edition)
+MAX_RECORD = 1 << 22
+
+FORMAT_VERSION = 1
+
+
+class DurableError(RuntimeError):
+    """Base class for durable-store failures."""
+
+
+class DurableFormatError(DurableError):
+    """A value does not fit the durable record/state codec."""
+
+
+class SegmentCorruption(DurableError):
+    """Corruption that recovery must refuse to skip: a damaged region
+    with acknowledged records beyond it (non-tail corruption)."""
+
+
+# -- frame codec ---------------------------------------------------------------
+
+
+def encode_record(record: Dict[str, Any]) -> bytes:
+    """One record dict → one framed byte string."""
+    try:
+        payload = json.dumps(
+            record, separators=(",", ":"), ensure_ascii=False, allow_nan=False
+        ).encode("utf-8")
+    except (TypeError, ValueError) as exc:
+        raise DurableFormatError(f"record is not JSON-safe: {exc}")
+    if len(payload) > MAX_RECORD:
+        raise DurableFormatError(
+            f"record payload is {len(payload)} bytes (max {MAX_RECORD})"
+        )
+    return (
+        RECORD_MAGIC
+        + pack_u32(len(payload))
+        + pack_u32(zlib.crc32(payload))
+        + payload
+    )
+
+
+def _try_frame(data: bytes, offset: int) -> Tuple[Optional[Dict[str, Any]], int, str]:
+    """Parse one frame at ``offset`` → ``(record, end_offset, reason)``.
+    ``record`` is ``None`` when the bytes are not a whole valid frame;
+    ``reason`` then says why (short/magic/length/crc/json)."""
+    view = data[offset : offset + HEADER_SIZE]
+    if len(view) < HEADER_SIZE:
+        return None, offset, "short header"
+    if view[:4] != RECORD_MAGIC:
+        return None, offset, "bad magic"
+    length = int.from_bytes(view[4:8], "little")
+    if length > MAX_RECORD:
+        return None, offset, f"announced payload {length} bytes exceeds bound"
+    crc = int.from_bytes(view[8:12], "little")
+    end = offset + HEADER_SIZE + length
+    payload = data[offset + HEADER_SIZE : end]
+    if len(payload) < length:
+        return None, offset, "short payload"
+    if zlib.crc32(payload) != crc:
+        return None, offset, "crc mismatch"
+    try:
+        record = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        return None, offset, f"payload not UTF-8 JSON: {exc}"
+    if not isinstance(record, dict):
+        return None, offset, "payload is not a JSON object"
+    return record, end, ""
+
+
+@dataclass
+class ScanResult:
+    """Everything one pass over a segment's bytes concluded."""
+
+    #: ``(byte offset, record)`` for every whole valid frame before the
+    #: first damaged byte
+    records: List[Tuple[int, Dict[str, Any]]] = field(default_factory=list)
+    #: offset of the first byte not covered by a valid frame (== file
+    #: size when the segment is clean)
+    good_bytes: int = 0
+    #: why scanning stopped (``None`` = clean end of data)
+    corruption: Optional[str] = None
+    #: offset of a valid frame *after* the damage, or ``None`` — the
+    #: torn-tail/non-tail discriminator
+    resync_offset: Optional[int] = None
+
+    @property
+    def clean(self) -> bool:
+        return self.corruption is None
+
+    @property
+    def torn_tail(self) -> bool:
+        """Damage consistent with a crash mid-append: an error region
+        with no valid frame after it."""
+        return self.corruption is not None and self.resync_offset is None
+
+
+def scan_frames(data: bytes) -> ScanResult:
+    """Scan one segment's bytes into records plus a corruption verdict.
+
+    On the first bad byte the scanner searches forward for the record
+    magic and attempts a full (CRC-checked) parse at each occurrence; a
+    hit means records exist beyond the damage, which recovery treats as
+    :class:`SegmentCorruption` rather than a tolerable torn tail.
+    """
+    result = ScanResult()
+    offset = 0
+    while offset < len(data):
+        record, end, reason = _try_frame(data, offset)
+        if record is None:
+            result.good_bytes = offset
+            result.corruption = reason
+            result.resync_offset = _find_resync(data, offset + 1)
+            return result
+        result.records.append((offset, record))
+        offset = end
+    result.good_bytes = offset
+    return result
+
+
+def _find_resync(data: bytes, start: int) -> Optional[int]:
+    """First offset ``>= start`` holding a whole valid frame, else None."""
+    probe = start
+    while True:
+        probe = data.find(RECORD_MAGIC, probe)
+        if probe < 0:
+            return None
+        record, _end, _reason = _try_frame(data, probe)
+        if record is not None:
+            return probe
+        probe += 1
+
+
+# -- state codec ---------------------------------------------------------------
+
+_TAG = "$"
+
+
+def encode_state(value: Any) -> Any:
+    """A frozen spec state → a JSON-safe tagged document."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, tuple):
+        return {_TAG: "tuple", "v": [encode_state(v) for v in value]}
+    if isinstance(value, list):
+        return {_TAG: "list", "v": [encode_state(v) for v in value]}
+    if isinstance(value, frozenset):
+        items = sorted(value, key=repr)
+        return {_TAG: "frozenset", "v": [encode_state(v) for v in items]}
+    if isinstance(value, dict):
+        return {
+            _TAG: "dict",
+            "v": [[encode_state(k), encode_state(v)] for k, v in sorted(
+                value.items(), key=lambda kv: repr(kv[0])
+            )],
+        }
+    raise DurableFormatError(
+        f"state value of type {type(value).__name__} has no durable encoding: "
+        f"{value!r}"
+    )
+
+
+def decode_state(value: Any) -> Any:
+    """Inverse of :func:`encode_state`."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, list):
+        return [decode_state(v) for v in value]
+    if isinstance(value, dict):
+        tag = value.get(_TAG)
+        if tag == "tuple":
+            return tuple(decode_state(v) for v in value["v"])
+        if tag == "list":
+            return [decode_state(v) for v in value["v"]]
+        if tag == "frozenset":
+            return frozenset(decode_state(v) for v in value["v"])
+        if tag == "dict":
+            return {decode_state(k): decode_state(v) for k, v in value["v"]}
+        raise DurableFormatError(f"unknown state tag {tag!r}")
+    raise DurableFormatError(
+        f"undecodable state node of type {type(value).__name__}"
+    )

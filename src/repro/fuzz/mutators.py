@@ -187,6 +187,54 @@ def _mutate_plan(rng: random.Random, entry: CorpusEntry) -> FaultPlan:
     return FaultPlan(seed=entry.plan.seed, events=tuple(events))
 
 
+# -- durable-segment byte mutations --------------------------------------------
+
+#: the corruption shapes :func:`mutate_segment_bytes` can produce
+SEGMENT_MUTATIONS: Tuple[str, ...] = (
+    "truncate", "torn_append", "bitflip", "garbage_tail",
+)
+
+
+def mutate_segment_bytes(
+    data: bytes, rng: random.Random, kind: Optional[str] = None
+) -> Tuple[bytes, str]:
+    """One seeded corruption of a durable segment file's bytes.
+
+    The durable recovery oracle (``repro.durable.chaos`` and the
+    hypothesis property in ``tests/test_durable_store.py``) holds that
+    for *any* of these mutations, opening the segment either refuses
+    (:class:`~repro.durable.records.SegmentCorruption`) or recovers a
+    strict prefix of the original records — never silently altered or
+    reordered data.
+
+    * ``truncate`` — drop 1..N trailing bytes (a crash mid-``write``);
+    * ``torn_append`` — append a frame header whose announced length
+      exceeds the bytes present (a crash between header and payload);
+    * ``bitflip`` — flip one bit anywhere (media corruption);
+    * ``garbage_tail`` — append non-frame noise (a recycled block).
+    """
+    if kind is None:
+        kind = rng.choice(SEGMENT_MUTATIONS)
+    if kind == "truncate" and data:
+        return data[: rng.randrange(len(data))], kind
+    if kind == "torn_append":
+        from repro.durable.records import RECORD_MAGIC
+
+        length = 64 + rng.randrange(1 << 12)
+        header = RECORD_MAGIC + length.to_bytes(4, "little") + bytes(
+            rng.randrange(256) for _ in range(4)
+        )
+        partial = bytes(rng.randrange(256) for _ in range(rng.randrange(16)))
+        return data + header + partial, kind
+    if kind == "bitflip" and data:
+        at = rng.randrange(len(data))
+        flipped = data[at] ^ (1 << rng.randrange(8))
+        return data[:at] + bytes([flipped]) + data[at + 1 :], kind
+    # garbage_tail (and the empty-input fallback for truncate/bitflip)
+    noise = bytes(rng.randrange(256) for _ in range(1 + rng.randrange(64)))
+    return data + noise, "garbage_tail"
+
+
 # -- top level -----------------------------------------------------------------
 
 _DIMENSIONS: Tuple[str, ...] = ("programs", "programs", "prefix", "plan", "seed")

@@ -39,6 +39,14 @@ The three tiers and their gates:
   p99 must stay under the committed p99 ``÷ tolerance`` ceiling, and the
   run's per-shard committed histories must pass the conformance gate
   (hard, no tolerance).
+* **durable** (``benchmarks/BENCH_durable.json``) — the segment store's
+  append/group-commit sweep plus the recover-replay-verify round trip.
+  Throughput rows (append records/sec, recovery commits/sec) get the
+  tolerance floor; the recovery row's deterministic facts are hard
+  gates: conformance must pass, the torn tail must have been truncated
+  (``torn_tail_dropped > 0`` — every recovery measurement damages the
+  log first), and when baseline and run share a mode the replayed
+  commit count must match exactly.
 
 Every baseline path is a parameter, so tests can point a tier at a
 perturbed fixture and watch the exit code flip to 2.
@@ -58,8 +66,9 @@ KERNEL_BASELINE = REPO_ROOT / "BENCH_kernel.json"
 POR_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_por.json"
 FAULTS_BASELINE = REPO_ROOT / "BENCH_faults.json"
 SERVE_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_serve.json"
+DURABLE_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_durable.json"
 
-TIERS = ("kernel", "por", "faults", "packed", "serve")
+TIERS = ("kernel", "por", "faults", "packed", "serve", "durable")
 
 #: default throughput slack: measured must reach this fraction of the
 #: committed states/sec (see module docstring for why it is generous)
@@ -468,6 +477,86 @@ def check_serve(
     return findings
 
 
+# -- durable tier --------------------------------------------------------------
+
+
+def check_durable(
+    tiny: bool, tolerance: float, baseline_path: Path, seed: int = 0
+) -> List[PerfFinding]:
+    """Re-measure the committed append sweep and recovery rows of
+    ``BENCH_durable.json``: tolerance floors on throughput, hard gates
+    on the recovery row's deterministic facts."""
+    from repro.durable.bench import measure_append, measure_recovery
+
+    document = _load(baseline_path, "durable")
+    mode = "tiny" if tiny else "full"
+    same_mode = document.get("mode") == mode
+    append_rows = document.get("append", [])
+    recovery_rows = document.get("recovery", [])
+    if not append_rows or not recovery_rows:
+        raise BaselineError(
+            f"durable: no append/recovery rows recorded in {baseline_path}"
+        )
+    findings = []
+    append_records = 400 if tiny else 2000
+    for committed in append_rows if same_mode else append_rows[:1]:
+        batch = int(committed["batch"])
+        measured = measure_append(append_records, batch)
+        floor = tolerance * float(committed["records_per_sec"])
+        findings.append(
+            PerfFinding(
+                "durable",
+                f"append/batch-{batch}",
+                ok=measured["records_per_sec"] >= floor,
+                detail=f"records/sec vs {tolerance} x committed floor "
+                f"({floor:.0f})",
+                measured=measured["records_per_sec"],
+                baseline=float(committed["records_per_sec"]),
+            )
+        )
+    recovery_sizes = [int(row["commits"]) for row in recovery_rows]
+    if tiny or not same_mode:
+        recovery_sizes = recovery_sizes[:1]
+    for committed, size in zip(recovery_rows, recovery_sizes):
+        measured = measure_recovery(size, seed=seed)
+        floor = tolerance * float(committed["commits_per_sec"])
+        findings.append(
+            PerfFinding(
+                "durable",
+                f"recovery/{size}/throughput",
+                ok=measured["commits_per_sec"] >= floor,
+                detail=f"replayed commits/sec vs {tolerance} x committed "
+                f"floor ({floor:.0f})",
+                measured=measured["commits_per_sec"],
+                baseline=float(committed["commits_per_sec"]),
+            )
+        )
+        problems = []
+        if not measured["conformance_ok"]:
+            problems.append("recovered history failed the conformance gate")
+        if measured["torn_tail_dropped"] <= 0:
+            problems.append("torn tail was not truncated during recovery")
+        if same_mode and measured["replayed_commits"] != committed.get(
+            "replayed_commits"
+        ):
+            problems.append(
+                f"replayed_commits: {measured['replayed_commits']} != "
+                f"{committed.get('replayed_commits')}"
+            )
+        findings.append(
+            PerfFinding(
+                "durable",
+                f"recovery/{size}/integrity",
+                ok=not problems,
+                detail=f"{measured['replayed_commits']} commits replayed, "
+                "conformance clean, torn tail truncated"
+                if not problems
+                else "; ".join(problems),
+            )
+        )
+    return findings
+
+
 # -- the watchdog --------------------------------------------------------------
 
 
@@ -479,6 +568,7 @@ def run_perf(
     por_path: Path = POR_BASELINE,
     faults_path: Path = FAULTS_BASELINE,
     serve_path: Path = SERVE_BASELINE,
+    durable_path: Path = DURABLE_BASELINE,
     tiers: Sequence[str] = TIERS,
     seed: int = 0,
 ) -> PerfReport:
@@ -503,6 +593,10 @@ def run_perf(
     if "serve" in tiers:
         report.findings.extend(
             check_serve(tiny, tolerance, Path(serve_path), seed=seed)
+        )
+    if "durable" in tiers:
+        report.findings.extend(
+            check_durable(tiny, tolerance, Path(durable_path), seed=seed)
         )
     report.elapsed_sec = time.perf_counter() - started
     return report

@@ -81,6 +81,10 @@ class DaemonConfig:
     max_attempts: int = 25
     conformance_window: int = 64
     flight_dir: Optional[str] = None
+    #: durability root: per-shard segment stores live in
+    #: ``<durable>/shard-NNN``, the 2PC decision log in
+    #: ``<durable>/coord``.  None = in-memory only.
+    durable: Optional[str] = None
 
     def shard_config(self, index: int) -> ShardConfig:
         return ShardConfig(
@@ -93,6 +97,9 @@ class DaemonConfig:
             max_attempts=self.max_attempts,
             conformance_window=self.conformance_window,
             flight_dir=self.flight_dir,
+            durable_dir=os.path.join(self.durable, f"shard-{index:03d}")
+            if self.durable
+            else None,
         )
 
 
@@ -100,13 +107,19 @@ class InlineShard:
     """A ShardState driven directly on the gateway loop."""
 
     def __init__(self, config: ShardConfig) -> None:
-        self.state = ShardState(config)
+        if config.durable_dir:
+            from repro.durable.recovery import open_durable_shard
+
+            self.state = open_durable_shard(config)
+        else:
+            self.state = ShardState(config)
 
     async def request(self, message: Dict[str, Any]) -> Dict[str, Any]:
         return handle_shard_request(self.state, message)
 
-    async def close(self) -> None:  # pragma: no cover - nothing to release
-        pass
+    async def close(self) -> None:
+        if self.state.durable is not None:
+            self.state.durable.close()
 
 
 class ProcessShard:
@@ -184,6 +197,11 @@ class Daemon:
         self._cross_recovery = make_policy("default", seed=config.seed)
         self._stopping: Optional[asyncio.Future] = None
         self._connections = 0
+        #: 2PC decision log (SegmentStore on <durable>/coord) + the
+        #: root-directory lock that makes two daemons on one durability
+        #: root fail fast instead of fighting over shard locks
+        self._coord = None
+        self._durable_lock = None
 
     # -- lifecycle --------------------------------------------------------------
 
@@ -191,6 +209,14 @@ class Daemon:
         config = self.config
         self._stopping = asyncio.get_running_loop().create_future()
         self._cross_sem = asyncio.Semaphore(config.cross_inflight)
+        if config.durable:
+            from repro.durable.store import DirLock, SegmentStore
+
+            os.makedirs(config.durable, exist_ok=True)
+            self._durable_lock = DirLock(config.durable).acquire()
+            self._coord = SegmentStore(
+                os.path.join(config.durable, "coord"), registry=self.registry
+            )
         if config.mode == "process":
             self._socket_dir = tempfile.TemporaryDirectory(prefix="repro-serve-")
             for i in range(config.shards):
@@ -227,6 +253,12 @@ class Daemon:
         await asyncio.gather(*self._workers, return_exceptions=True)
         for backend in self.backends:
             await backend.close()
+        if self._coord is not None:
+            self._coord.close()
+            self._coord = None
+        if self._durable_lock is not None:
+            self._durable_lock.release()
+            self._durable_lock = None
         if self._socket_dir is not None:
             self._socket_dir.cleanup()
         if self._stopping is not None and not self._stopping.done():
@@ -330,6 +362,17 @@ class Daemon:
                         conflict = reply
                         break
                 if conflict is None:
+                    if self._coord is not None:
+                        # The 2PC decision point: once this record is
+                        # fsync'd the transaction commits even if the
+                        # daemon dies mid-phase-2 — recovering shards
+                        # find their in-doubt prepares decided here.
+                        self._coord.append(
+                            {"t": "decide", "txn": txn_id,
+                             "outcome": "commit",
+                             "participants": list(participants)}
+                        )
+                        self._coord.sync()
                     order = commit_order(config.seed, txn_id, participants)
                     for shard in order:
                         await self.backends[shard].request(
@@ -351,6 +394,14 @@ class Daemon:
                         )
                     self.registry.counter("serve.cross.rejected").inc()
                     return conflict
+                if self._coord is not None and prepared:
+                    # Advisory (recovery presumes abort for any undecided
+                    # prepare), so no sync — it rides the next decision's
+                    # batch and just keeps the decision log complete.
+                    self._coord.append(
+                        {"t": "decide", "txn": txn_id, "outcome": "abort",
+                         "participants": list(prepared)}
+                    )
                 for shard in commit_order(config.seed, txn_id, prepared):
                     await self.backends[shard].request(
                         {"id": txn_id, "method": "abort", "txn": txn_id,
@@ -442,6 +493,8 @@ class Daemon:
                 merged.counter(name, labels).inc(value)
             for name, value in snapshot.get("gauges", {}).items():
                 merged.gauge(name, labels).set(value)
+            for name, samples in snapshot.get("histograms", {}).items():
+                merged.histogram(name, labels).samples.extend(samples)
             merged.gauge("serve.inbox.depth", labels).set(self.inboxes[i].qsize())
             merged.gauge("serve.inbox.peak", labels).set(self.inbox_peaks[i])
         return merged

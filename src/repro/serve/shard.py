@@ -98,6 +98,9 @@ class ShardConfig:
     #: push/pull ``allowed`` check replays — keep it modest.
     conformance_window: int = 64
     flight_dir: Optional[str] = None
+    #: segment directory for the durable global log (None = in-memory
+    #: only, the pre-durability behaviour)
+    durable_dir: Optional[str] = None
 
     def to_dict(self) -> Dict[str, Any]:
         return {
@@ -110,6 +113,7 @@ class ShardConfig:
             "max_attempts": self.max_attempts,
             "conformance_window": self.conformance_window,
             "flight_dir": self.flight_dir,
+            "durable_dir": self.durable_dir,
         }
 
     @classmethod
@@ -156,8 +160,16 @@ class ShardState:
         )
         self.recovery = make_policy("default", seed=shard_seed(config.root_seed, config.index))
         self.registry = MetricsRegistry()
-        #: txn_id → (tid, history record) for parked prepared sub-txns
-        self.prepared: Dict[str, Tuple[int, TxRecord]] = {}
+        #: attached :class:`~repro.durable.store.SegmentStore`, or None.
+        #: Construction never opens it — ``repro.durable.recovery.
+        #: open_durable_shard`` is the only place a store meets a shard,
+        #: so a durable shard always recovers (and re-verifies) first.
+        self.durable = None
+        #: the last :class:`~repro.durable.recovery.RecoveryReport`
+        self.last_recovery = None
+        #: txn_id → (tid, history record, wire ops) for parked prepared
+        #: sub-txns; the wire ops feed the durable commit record
+        self.prepared: Dict[str, Tuple[int, TxRecord, List[List[Any]]]] = {}
         #: sticky per-shard conformance verdicts
         self.conformance_failure_log: List[str] = []
         self.flight_dumps: List[str] = []
@@ -242,18 +254,23 @@ class ShardState:
         if pairs:
             self.scheduler.run([stepper for _item, stepper in pairs])
         committed = 0
+        durable_batch: List[Tuple[Any, str, List, List]] = []
         for item, stepper in pairs:
             attempts = item["attempts"]
             if stepper.status is StepStatus.COMMITTED:
                 own = getattr(stepper.record, "_commit_own", ())
+                results = tuple(op.ret for op in own)
                 outcomes.append(
                     WaveOutcome(
-                        item["id"], True,
-                        results=tuple(op.ret for op in own),
-                        attempts=attempts,
+                        item["id"], True, results=results, attempts=attempts,
                     )
                 )
                 committed += 1
+                if self.durable is not None:
+                    durable_batch.append(
+                        (stepper.record.end_time, item["id"],
+                         [list(op) for op in item["ops"]], list(results))
+                    )
                 self._count("serve.txn.committed")
                 self._count("serve.txn.wave_aborts", stepper.stats.aborts)
             else:
@@ -282,6 +299,19 @@ class ShardState:
                     )
                     self._count("serve.txn.aborted")
         self._commits_since_check += committed
+        if durable_batch:
+            # Group commit: one record per committed txn in history
+            # commit order (end_time is the serialization order the
+            # commit criteria certified), then a single fsync.  Acks
+            # leave this method only after that fsync returns.
+            for _when, txn_id, ops, results in sorted(
+                durable_batch, key=lambda row: row[0]
+            ):
+                self.durable.append(
+                    {"t": "commit", "txn": txn_id, "ops": ops,
+                     "results": results}
+                )
+            self.durable.sync()
         return outcomes
 
     # -- 2PC participant half ---------------------------------------------------
@@ -329,7 +359,16 @@ class ShardState:
             self._count("serve.2pc.prepare_conflict")
             return {"ok": False, "error": abort.reason, "kind": abort.kind.value}
         results = [op.ret for op in rt.machine.thread(tid).local.own_ops()]
-        self.prepared[txn_id] = (tid, record)
+        self.prepared[txn_id] = (tid, record, [list(op) for op in ops])
+        if self.durable is not None:
+            # Persist the prepare *before* the ack: a coordinator that
+            # hears "prepared" may decide commit, so this shard must
+            # still know about the sub-txn after a crash.
+            self.durable.append(
+                {"t": "prepare", "txn": txn_id,
+                 "ops": [list(op) for op in ops], "results": list(results)}
+            )
+            self.durable.sync()
         self.registry.gauge("serve.prepared").set(len(self.prepared))
         self._count("serve.2pc.prepared")
         return {"ok": True, "results": results}
@@ -341,7 +380,7 @@ class ShardState:
         if entry is None:
             return {"ok": False, "error": f"txn {txn_id!r} not prepared",
                     "kind": "protocol"}
-        tid, record = entry
+        tid, record, wire_ops = entry
         record_commit_view(rt, tid, record)
         rt.apply("cmt", tid)
         rt.history.commit(
@@ -354,6 +393,13 @@ class ShardState:
         rt.dependencies.on_commit(tid)
         rt.machine = rt.machine.end_thread(tid)
         rt.tid_to_job.pop(tid, None)
+        if self.durable is not None:
+            self.durable.append(
+                {"t": "commit", "txn": txn_id, "ops": wire_ops,
+                 "results": [op.ret for op in record._commit_own],
+                 "via": "2pc"}
+            )
+            self.durable.sync()
         self.registry.gauge("serve.prepared").set(len(self.prepared))
         self._count("serve.2pc.committed")
         self._commits_since_check += 1
@@ -366,7 +412,7 @@ class ShardState:
         if entry is None:
             return {"ok": False, "error": f"txn {txn_id!r} not prepared",
                     "kind": "protocol"}
-        tid, record = entry
+        tid, record, _wire_ops = entry
         own, observed, pulled_uncommitted = self._views(tid)
         rt.dependencies.on_abort(tid)
         rt.dependencies.clear(tid)
@@ -375,6 +421,12 @@ class ShardState:
         rt.active_tids.discard(tid)
         rt.machine = rt.machine.drop_thread(tid)
         rt.tid_to_job.pop(tid, None)
+        if self.durable is not None:
+            # No sync: aborts are advisory (recovery presumes abort for
+            # any undecided prepare), so they ride the next batch.
+            self.durable.append(
+                {"t": "abort", "txn": txn_id, "reason": reason}
+            )
         self.registry.gauge("serve.prepared").set(len(self.prepared))
         self._count("serve.2pc.aborted")
         return {"ok": True}
@@ -472,6 +524,21 @@ class ShardState:
         rt.history = type(rt.history)()
         self._commits_since_check = 0
         self._count("serve.conformance.rollovers")
+        if self.durable is not None:
+            # The rollover state was just verified by the gate — exactly
+            # what a recovery wants to start from.  Checkpoint it and let
+            # the store drop the segments it covers.
+            from repro.durable.records import encode_state
+
+            self.durable.write_snapshot(
+                encode_state(state),
+                meta={
+                    "shard": self.config.index,
+                    "strategy": self.config.strategy,
+                    "windows_checked": self.windows_checked,
+                    "commits_gated": self.commits_gated,
+                },
+            )
 
     # -- introspection ----------------------------------------------------------
 
@@ -483,6 +550,13 @@ class ShardState:
             "gauges": {
                 name: metric.value
                 for (name, _labels), metric in self.registry._gauges.items()
+            },
+            # Raw samples, not summaries: the daemon merges them into its
+            # own registry so percentiles aggregate correctly across the
+            # process boundary (serve.fsync.us lives shard-side).
+            "histograms": {
+                name: list(metric.samples)
+                for (name, _labels), metric in self.registry._histograms.items()
             },
         }
 
@@ -500,6 +574,16 @@ class ShardState:
             "global_log": len(rt.machine.global_log),
             "conformance_failures": list(self.conformance_failure_log),
             "flight_dumps": list(self.flight_dumps),
+            "durable": {
+                "directory": self.durable.directory,
+                "last_lsn": self.durable.last_lsn,
+                "segments": len(self.durable.segment_paths()),
+                "recovery": self.last_recovery.to_dict()
+                if self.last_recovery is not None
+                else None,
+            }
+            if self.durable is not None
+            else None,
         }
 
 
@@ -582,6 +666,18 @@ def handle_shard_request(state: ShardState, request: Dict[str, Any]) -> Dict[str
 
 def run_shard_worker(config_dict: Dict[str, Any], socket_path: str) -> None:
     """Process entry point (multiprocessing target): build the shard and
-    serve it on ``socket_path`` until a shutdown request."""
-    state = ShardState(ShardConfig.from_dict(config_dict))
-    asyncio.run(shard_server(state, socket_path))
+    serve it on ``socket_path`` until a shutdown request.  A configured
+    ``durable_dir`` routes construction through the recovery path, so a
+    restarted worker replays and re-verifies its log before serving."""
+    config = ShardConfig.from_dict(config_dict)
+    if config.durable_dir:
+        from repro.durable.recovery import open_durable_shard
+
+        state = open_durable_shard(config)
+    else:
+        state = ShardState(config)
+    try:
+        asyncio.run(shard_server(state, socket_path))
+    finally:
+        if state.durable is not None:
+            state.durable.close()

@@ -43,7 +43,8 @@ class TestWatchdog:
         assert report.ok
         assert report.regressions == []
         tiers = {f.tier for f in report.findings}
-        assert tiers == {"kernel", "por", "faults", "packed", "serve"}
+        assert tiers == {"kernel", "por", "faults", "packed", "serve",
+                         "durable"}
         rendered = report.render()
         assert "all gates green" in rendered
         assert "tiny" in rendered

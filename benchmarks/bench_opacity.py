@@ -1,0 +1,171 @@
+"""Opacity-frontier benchmark and gate (``BENCH_opacity.json``).
+
+Walks every registry strategy up the registered frontier ladder
+(:data:`repro.checking.frontier.FRONTIER_LADDER`), judging each probe
+with both opacity oracles, and records per strategy the adjudicated
+verdict and the frontier — the smallest registered scope on which the
+TMS2 linearizability reduction separates the strategy from opacity.
+Additionally sweeps the model-checker scopes under
+``--opacity-checker both``.  Three things are *enforced* (exit 1):
+
+* **soundness direction** — no probe anywhere may be rejected by the
+  bounded view-consistency checker yet accepted by TMS2 (the bounded
+  checker only reports real violations; TMS2 is complete, so that
+  disagreement is always a checker bug);
+* **label adjudication** — every strategy's measured verdict must match
+  its declared ``opaque`` label: declared-opaque strategies stay clean
+  on every rung, declared-non-opaque strategies must have a frontier
+  (the PR-4 nemesis falsifications, now decided rather than stumbled
+  upon);
+* **scope agreement** — every registered model-checker scope explored
+  with both oracles must terminate with zero violations and zero
+  divergences.
+
+Standalone script, same shape as ``bench_por.py``::
+
+    PYTHONPATH=src python benchmarks/bench_opacity.py            # full gate
+    PYTHONPATH=src python benchmarks/bench_opacity.py --tiny     # CI smoke
+    PYTHONPATH=src python benchmarks/bench_opacity.py --refresh-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+from repro.checking import explore
+from repro.checking.frontier import FRONTIER_LADDER, find_frontier
+from repro.checking.model_checker import ExploreOptions
+from repro.checking.tms2 import tms2_stats_snapshot
+from repro.cli import SCOPES
+from repro.tm import ALL_ALGORITHMS
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BASELINE_PATH = REPO_ROOT / "benchmarks" / "BENCH_opacity.json"
+DEFAULT_OUT = REPO_ROOT / "benchmarks" / "out" / "BENCH_opacity.current.json"
+
+#: tiny mode keeps one declared-opaque and the four falsified strategies
+TINY_STRATEGIES = ("tl2", "dependent", "elastic", "checkpoint", "earlyrelease")
+TINY_SCOPES = ("mem-ww", "counter")
+
+
+def declared_opaque(strategy: str) -> bool:
+    if strategy == "hybrid":
+        from repro.faults.conformance import chaos_setup
+        from repro.runtime.workload import WorkloadConfig
+
+        algorithm, _, _ = chaos_setup(
+            "hybrid", WorkloadConfig(transactions=1, ops_per_tx=1, keys=1,
+                                     read_ratio=0.5, seed=0)
+        )
+        return algorithm.opaque
+    return ALL_ALGORITHMS[strategy]().opaque
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--tiny", action="store_true",
+                        help="CI smoke: five strategies, two scopes")
+    parser.add_argument("--refresh-baseline", action="store_true",
+                        help=f"rewrite {BASELINE_PATH}")
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    args = parser.parse_args(argv)
+
+    strategies = TINY_STRATEGIES if args.tiny else tuple(sorted(ALL_ALGORITHMS))
+    scope_names = TINY_SCOPES if args.tiny else tuple(SCOPES)
+    started = time.perf_counter()
+    failures = []
+
+    rows = {}
+    for strategy in strategies:
+        result = find_frontier(strategy)
+        row = result.to_dict()
+        row["probes"] = [
+            {
+                "rung": probe.rung.name,
+                "commits": probe.commits,
+                "bounded_violations": len(probe.bounded_violations),
+                "tms2_violations": len(probe.tms2_violations),
+            }
+            for probe in result.probes
+        ]
+        rows[strategy] = row
+        for probe in result.probes:
+            if not probe.sound:
+                failures.append(
+                    f"{strategy}@{probe.rung.name}: bounded rejects "
+                    f"({len(probe.bounded_violations)}) but TMS2 accepts"
+                )
+        label = declared_opaque(strategy)
+        if result.opaque != label:
+            failures.append(
+                f"{strategy}: measured opaque={result.opaque} but the "
+                f"declared label is {label}"
+            )
+        frontier = "-" if result.frontier is None else result.frontier.name
+        print(f"{strategy:<14} opaque={str(result.opaque):<5} "
+              f"frontier={frontier}")
+
+    agreement = {}
+    for name in scope_names:
+        spec_cls, programs = SCOPES[name]
+        report = explore(
+            spec_cls(), programs, ExploreOptions(opacity_checker="both")
+        )
+        agreement[name] = {
+            "terminals": report.opacity_terminals,
+            "violations": len(report.opacity_violations),
+            "divergences": len(report.opacity_divergences),
+            "ok": report.ok,
+        }
+        if report.opacity_violations or report.opacity_divergences or not report.ok:
+            failures.append(
+                f"scope {name}: {report.opacity_violations[:1]} "
+                f"{report.opacity_divergences[:1]}"
+            )
+        print(f"scope {name:<14} terminals={report.opacity_terminals} "
+              f"agreement={'ok' if agreement[name]['ok'] else 'FAIL'}")
+
+    elapsed = time.perf_counter() - started
+    document = {
+        "_comment": "Opacity-frontier benchmark: per strategy, the "
+        "smallest registered ladder rung on which the TMS2 reduction "
+        "separates it from opacity (frontier=null means opaque on every "
+        "rung), plus bounded-vs-TMS2 agreement on the model-checker "
+        "scopes.  Refreshed by benchmarks/bench_opacity.py; judged in CI "
+        "by `repro perf --tier opacity`.",
+        "mode": "tiny" if args.tiny else "full",
+        "ladder": [rung.to_dict() for rung in FRONTIER_LADDER],
+        "strategies": rows,
+        "scope_agreement": agreement,
+        "stats": tms2_stats_snapshot(),
+        "elapsed_sec": round(elapsed, 3),
+    }
+    out_path = Path(args.out)
+    out_path.parent.mkdir(parents=True, exist_ok=True)
+    out_path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                        encoding="utf-8")
+    print(f"results -> {out_path}")
+    if args.refresh_baseline:
+        if args.tiny:
+            print("refusing to refresh the baseline from a --tiny run",
+                  file=sys.stderr)
+            return 1
+        BASELINE_PATH.write_text(
+            json.dumps(document, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"baseline -> {BASELINE_PATH}")
+    for failure in failures:
+        print(f"FAIL {failure}", file=sys.stderr)
+    print(f"opacity bench: {'ok' if not failures else 'FAIL'} "
+          f"({len(strategies)} strategies, {len(scope_names)} scopes, "
+          f"{elapsed:.1f}s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,233 @@
+"""Opacity-frontier search: the smallest registered scope separating a
+strategy from opacity.
+
+PR 4's nemesis falsified three ``opaque=True`` labels (earlyrelease,
+checkpoint, elastic) with ad-hoc witnesses; this module turns that folk
+knowledge into a *registered ladder* of chaos scopes — ordered smallest
+to largest — and a deterministic probe: run the strategy once per rung
+under the nemesis scheduler with a seeded fault plan, then judge the
+recorded history with **both** opacity checkers (the bounded
+view-consistency search and the TMS2 linearizability reduction,
+:mod:`repro.checking.tms2`).  A strategy's **frontier** is the first
+rung where the TMS2 checker rejects; a strategy with no frontier on the
+ladder is opaque as far as the registered scopes can tell.
+
+Everything is a pure function of the rung (workload seed, run seed and
+fault plan all live in the rung tuple), so the committed
+``benchmarks/BENCH_opacity.json`` re-verifies bit-for-bit in CI via
+``repro perf --tier opacity``.
+
+The ladder's anchor rungs were found by seeded sweeps and are pinned by
+``tests/test_opacity_frontier.py``:
+
+* ``dependent``   falls at rung 0 (3 txs, no faults — a dependent
+  commit's pulled-uncommitted view is never serially justifiable);
+* ``elastic``     falls at rung 2 (a cut commits a stale early window);
+* ``checkpoint``  falls at rung 3 (partial rollback keeps a view that
+  mixes pre- and post-checkpoint reads);
+* ``earlyrelease`` falls at rung 4 (a released key is overwritten while
+  the releasing transaction is still running).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from repro.core.errors import OpacityViolation
+from repro.core.opacity import check_history_opaque
+from repro.checking.tms2 import check_history_opaque_tms2
+
+#: commit bound shared with the chaos gate: every ladder rung keeps the
+#: committed count at or below this, so the checkers stay exhaustive
+FRONTIER_OPACITY_LIMIT = 6
+
+
+@dataclass(frozen=True)
+class ScopeRung:
+    """One registered scope on the ladder: a fully seeded chaos run."""
+
+    name: str
+    workload: str
+    transactions: int
+    ops_per_tx: int
+    keys: int
+    events: int  #: fault-plan length (0 = fault-free)
+    workload_seed: int
+    run_seed: int  #: scheduler + fault-plan + recovery seed
+    read_ratio: float = 0.5
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "workload": self.workload,
+            "transactions": self.transactions,
+            "ops_per_tx": self.ops_per_tx,
+            "keys": self.keys,
+            "events": self.events,
+            "workload_seed": self.workload_seed,
+            "run_seed": self.run_seed,
+            "read_ratio": self.read_ratio,
+        }
+
+
+#: the registered ladder, smallest scope first.  Order matters: a
+#: frontier is an *index* into this tuple, and the committed benchmark
+#: pins both the index and the rung identity.
+FRONTIER_LADDER: Tuple[ScopeRung, ...] = (
+    ScopeRung("rw3-quiet", "readwrite", 3, 3, 2, 0, 0, 0),
+    ScopeRung("rw3-quiet-s1", "readwrite", 3, 3, 2, 0, 1, 1),
+    ScopeRung("rw4-quiet-s4", "readwrite", 4, 3, 2, 0, 4, 4),
+    ScopeRung("rw4-faults", "readwrite", 4, 3, 2, 3, 0, 0),
+    ScopeRung("rw4-wide-s3", "readwrite", 4, 3, 4, 0, 0, 3),
+    ScopeRung("rw5-faults-s6", "readwrite", 5, 3, 4, 3, 6, 6),
+    ScopeRung("map5-faults-s6", "map", 5, 3, 2, 3, 6, 6),
+)
+
+RUNGS_BY_NAME: Dict[str, ScopeRung] = {r.name: r for r in FRONTIER_LADDER}
+
+
+@dataclass
+class ScopeProbe:
+    """Both checkers' verdicts for one (strategy, rung) run."""
+
+    strategy: str
+    rung: ScopeRung
+    commits: int = 0
+    bounded_violations: List[str] = field(default_factory=list)
+    tms2_violations: List[str] = field(default_factory=list)
+    #: False when the run escaped the commit bound (or crashed) and the
+    #: checkers could not judge it — never the case on the ladder
+    checked: bool = True
+    error: Optional[str] = None
+
+    @property
+    def tms2_opaque(self) -> bool:
+        return self.checked and not self.tms2_violations
+
+    @property
+    def sound(self) -> bool:
+        """The soundness direction of the reduction: anything the
+        bounded checker rejects, TMS2 must reject too (TMS2 is complete;
+        the bounded checker only reports real violations)."""
+        return not self.checked or not (
+            self.bounded_violations and not self.tms2_violations
+        )
+
+
+def probe_scope(
+    strategy: str, rung: ScopeRung, max_exhaustive: int = FRONTIER_OPACITY_LIMIT
+) -> ScopeProbe:
+    """Run ``strategy`` on ``rung`` and judge the history with both
+    checkers.  Deterministic: every seed comes from the rung."""
+    from repro.faults.conformance import chaos_setup
+    from repro.faults.plan import FaultInjector, FaultPlan
+    from repro.runtime.harness import run_experiment
+    from repro.runtime.scheduler import make_scheduler
+    from repro.runtime.workload import WorkloadConfig
+
+    config = WorkloadConfig(
+        transactions=rung.transactions,
+        ops_per_tx=rung.ops_per_tx,
+        keys=rung.keys,
+        read_ratio=rung.read_ratio,
+        seed=rung.workload_seed,
+    )
+    algorithm, spec, programs = chaos_setup(strategy, config, rung.workload)
+    injector = FaultInjector(
+        FaultPlan.generate(rung.run_seed, events=rung.events, jobs=len(programs))
+    )
+    scheduler = make_scheduler("nemesis", rung.run_seed)
+    probe = ScopeProbe(strategy=strategy, rung=rung)
+    try:
+        result = run_experiment(
+            algorithm,
+            spec,
+            programs,
+            concurrency=len(programs),
+            scheduler=scheduler,
+            seed=rung.run_seed,
+            verify=False,  # the probe runs the checkers itself
+            compact=False,  # ... over the full, uncompacted log
+            max_retries=12,
+            injector=injector,
+        )
+    except Exception as exc:  # CriterionViolation, MachineError, anything
+        probe.checked = False
+        probe.error = f"{type(exc).__name__}: {exc}"
+        return probe
+    runtime = result.runtime
+    probe.commits = runtime.history.commit_count()
+    try:
+        probe.bounded_violations = check_history_opaque(
+            spec, runtime.history, runtime.machine, max_exhaustive=max_exhaustive
+        )
+        probe.tms2_violations = check_history_opaque_tms2(
+            spec, runtime.history, runtime.machine, max_exhaustive=max_exhaustive
+        )
+    except OpacityViolation as exc:  # pragma: no cover - ladder stays bounded
+        probe.checked = False
+        probe.error = str(exc)
+    return probe
+
+
+@dataclass
+class FrontierResult:
+    """One strategy's walk up the ladder."""
+
+    strategy: str
+    probes: List[ScopeProbe] = field(default_factory=list)
+
+    @property
+    def frontier_index(self) -> Optional[int]:
+        for index, probe in enumerate(self.probes):
+            if probe.checked and probe.tms2_violations:
+                return index
+        return None
+
+    @property
+    def frontier(self) -> Optional[ScopeRung]:
+        index = self.frontier_index
+        return None if index is None else self.probes[index].rung
+
+    @property
+    def opaque(self) -> bool:
+        """Adjudicated verdict: no ladder rung separates the strategy
+        from opacity."""
+        return self.frontier_index is None
+
+    def to_dict(self) -> Dict[str, Any]:
+        index = self.frontier_index
+        witness = None if index is None else self.probes[index]
+        return {
+            "strategy": self.strategy,
+            "opaque": self.opaque,
+            "frontier_index": index,
+            "frontier": None if witness is None else witness.rung.name,
+            "frontier_bounded_violations": (
+                None if witness is None else len(witness.bounded_violations)
+            ),
+            "frontier_tms2_violations": (
+                None if witness is None else len(witness.tms2_violations)
+            ),
+            "frontier_commits": None if witness is None else witness.commits,
+            "rungs_probed": len(self.probes),
+        }
+
+
+def find_frontier(
+    strategy: str,
+    ladder: Sequence[ScopeRung] = FRONTIER_LADDER,
+    stop_at_first: bool = False,
+) -> FrontierResult:
+    """Walk the ladder and record every probe.  With ``stop_at_first``
+    the walk ends at the first separating rung (probe mode); without it
+    the full ladder runs (benchmark mode — later rungs going quiet is
+    itself information worth committing)."""
+    result = FrontierResult(strategy=strategy)
+    for rung in ladder:
+        probe = probe_scope(strategy, rung)
+        result.probes.append(probe)
+        if stop_at_first and probe.checked and probe.tms2_violations:
+            break
+    return result

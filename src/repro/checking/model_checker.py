@@ -97,6 +97,17 @@ class ExploreOptions:
     #: extend the quotient to thread-permutation symmetry for scopes whose
     #: threads run syntactically identical programs (no-op otherwise).
     por_symmetry: bool = True
+    #: opacity oracle over terminal states (final and stuck): ``None`` —
+    #: off; ``"bounded"`` — the view-consistency search of
+    #: :func:`repro.core.opacity.check_history_opaque`; ``"tms2"`` — the
+    #: TMS2 linearizability decision procedure
+    #: (:func:`repro.checking.tms2.check_history_opaque_tms2`);
+    #: ``"both"`` — run both and additionally record any verdict
+    #: divergence (which fails the run and, when a flight recorder is
+    #: armed, dumps its black box).
+    opacity_checker: Optional[str] = None
+    #: commit-count bound forwarded to the opacity checkers
+    opacity_bound: int = 8
 
 
 @dataclass
@@ -115,6 +126,13 @@ class ExplorationReport:
     invariant_violations: List[str] = field(default_factory=list)
     cover_violations: List[str] = field(default_factory=list)
     cmtpres_violations: List[str] = field(default_factory=list)
+    #: opacity-oracle findings over terminal states (only populated when
+    #: ``ExploreOptions.opacity_checker`` is set)
+    opacity_violations: List[str] = field(default_factory=list)
+    #: bounded-vs-TMS2 verdict disagreements (``opacity_checker="both"``)
+    opacity_divergences: List[str] = field(default_factory=list)
+    #: terminal states the opacity oracle examined
+    opacity_terminals: int = 0
     #: whether the mover-guided reduction was active for this run
     por: bool = False
     #: states at which the ample filter expanded a single thread
@@ -137,6 +155,8 @@ class ExplorationReport:
             self.invariant_violations
             or self.cover_violations
             or self.cmtpres_violations
+            or self.opacity_violations
+            or self.opacity_divergences
         )
 
 
@@ -164,6 +184,8 @@ def verdict_fingerprint(report: "ExplorationReport") -> Tuple:
         tuple(sorted({normalize_witness(m) for m in report.invariant_violations})),
         tuple(sorted({normalize_witness(m) for m in report.cover_violations})),
         tuple(sorted({normalize_witness(m) for m in report.cmtpres_violations})),
+        tuple(sorted({normalize_witness(m) for m in report.opacity_violations})),
+        tuple(sorted({normalize_witness(m) for m in report.opacity_divergences})),
     )
 
 
@@ -171,6 +193,12 @@ def verdict_fingerprint(report: "ExplorationReport") -> Tuple:
 class _Node:
     machine: Machine
     committed: Tuple[int, ...]  # tids of committed threads, in commit order
+    #: each committed thread's own operations, captured at its CMT (the
+    #: machine clears the local log on commit, so this is the only record
+    #: of which operations formed which transaction — the association the
+    #: terminal-state opacity oracle needs).  Parallel to ``committed``;
+    #: path-dependent bookkeeping, deliberately NOT part of the state key.
+    committed_ops: Tuple[Tuple[Op, ...], ...] = ()
 
     def key(self) -> Tuple:
         return (self.machine.state_key(), self.committed)
@@ -207,6 +235,7 @@ def _successors(
     """
     machine = node.machine
     committed = node.committed
+    committed_ops = node.committed_ops
     key_first = seen is not None and not machine.tracer.enabled
     out: List[Tuple[str, Tuple, Optional[_Node]]] = []
     emit = out.append
@@ -253,11 +282,17 @@ def _successors(
                     emit((
                         "END",
                         nkey,
-                        _Node(machine.end_state(tid, end_skey), committed),
+                        _Node(
+                            machine.end_state(tid, end_skey),
+                            committed,
+                            committed_ops,
+                        ),
                     ))
                 continue
             try:
-                successor = _Node(machine.end_thread(tid), committed)
+                successor = _Node(
+                    machine.end_thread(tid), committed, committed_ops
+                )
                 emit(("END", node_key(*successor.key()), successor))
             except MachineError:  # pragma: no cover
                 pass
@@ -277,8 +312,10 @@ def _successors(
             ):
                 if rule == "CMT":
                     comm = committed + (tid,)
+                    comm_ops = committed_ops + (local.own_ops(),)
                 else:
                     comm = committed
+                    comm_ops = committed_ops
                 nkey = (skey, comm)
                 if canon is not None:
                     nkey = canon(nkey)
@@ -288,39 +325,43 @@ def _successors(
                     emit((
                         rule,
                         nkey,
-                        _Node(machine.unpull_state(tid, arg, skey), comm),
+                        _Node(machine.unpull_state(tid, arg, skey), comm, comm_ops),
                     ))
                 elif rule == "UNPUSH":
                     emit((
                         rule,
                         nkey,
-                        _Node(machine.unpush_state(tid, arg, skey), comm),
+                        _Node(machine.unpush_state(tid, arg, skey), comm, comm_ops),
                     ))
                 elif rule == "PUSH":
                     emit((
                         rule,
                         nkey,
-                        _Node(machine.push_state(tid, arg, skey), comm),
+                        _Node(machine.push_state(tid, arg, skey), comm, comm_ops),
                     ))
                 elif rule == "APP":
                     emit((
                         rule,
                         nkey,
-                        _Node(machine.app_state(tid, arg, skey), comm),
+                        _Node(machine.app_state(tid, arg, skey), comm, comm_ops),
                     ))
                 elif rule == "PULL":
                     emit((
                         rule,
                         nkey,
-                        _Node(machine.pull_state(tid, arg, skey), comm),
+                        _Node(machine.pull_state(tid, arg, skey), comm, comm_ops),
                     ))
                 elif rule == "CMT":
-                    emit((rule, nkey, _Node(machine.cmt_state(tid, skey), comm)))
+                    emit((
+                        rule,
+                        nkey,
+                        _Node(machine.cmt_state(tid, skey), comm, comm_ops),
+                    ))
                 else:  # UNAPP
                     emit((
                         rule,
                         nkey,
-                        _Node(machine.unapp_state(tid, skey), comm),
+                        _Node(machine.unapp_state(tid, skey), comm, comm_ops),
                     ))
             continue
         # Construct-first path (traced runs and direct callers).
@@ -328,13 +369,13 @@ def _successors(
         for choice in _sorted_choices(thread.code):
             successor = machine.try_app(tid, choice)
             if successor is not None:
-                succ_node = _Node(successor, committed)
+                succ_node = _Node(successor, committed, committed_ops)
                 emit(("APP", node_key(*succ_node.key()), succ_node))
         # PUSH — every npshd entry.
         for op in local.not_pushed_ops():
             successor = machine.try_push(tid, op)
             if successor is not None:
-                succ_node = _Node(successor, committed)
+                succ_node = _Node(successor, committed, committed_ops)
                 emit(("PUSH", node_key(*succ_node.key()), succ_node))
         # PULL — every global entry not in L (per policy and pull budget).
         pull_budget = options.max_pulled_per_thread
@@ -352,30 +393,34 @@ def _successors(
                     continue
                 successor = machine.try_pull(tid, g_entry.op)
                 if successor is not None:
-                    succ_node = _Node(successor, committed)
+                    succ_node = _Node(successor, committed, committed_ops)
                     emit(("PULL", node_key(*succ_node.key()), succ_node))
         # CMT.
         successor = machine.try_cmt(tid)
         if successor is not None:
-            succ_node = _Node(successor, committed + (tid,))
+            succ_node = _Node(
+                successor,
+                committed + (tid,),
+                committed_ops + (local.own_ops(),),
+            )
             emit(("CMT", node_key(*succ_node.key()), succ_node))
         if options.include_backward:
             # UNAPP (last entry only, by the rule's shape).
             successor = machine.try_unapp(tid)
             if successor is not None:
-                succ_node = _Node(successor, committed)
+                succ_node = _Node(successor, committed, committed_ops)
                 emit(("UNAPP", node_key(*succ_node.key()), succ_node))
             # UNPUSH — every pshd entry.
             for op in local.pushed_ops():
                 successor = machine.try_unpush(tid, op)
                 if successor is not None:
-                    succ_node = _Node(successor, committed)
+                    succ_node = _Node(successor, committed, committed_ops)
                     emit(("UNPUSH", node_key(*succ_node.key()), succ_node))
             # UNPULL — every pld entry.
             for op in local.pulled_ops():
                 successor = machine.try_unpull(tid, op)
                 if successor is not None:
-                    succ_node = _Node(successor, committed)
+                    succ_node = _Node(successor, committed, committed_ops)
                     emit(("UNPULL", node_key(*succ_node.key()), succ_node))
     return out
 
@@ -419,7 +464,7 @@ def explore(
             movers=machine.movers,
         )
 
-    initial = _Node(machine, ())
+    initial = _Node(machine, (), ())
     seen: Set[Tuple] = {
         reducer.canonical(initial.key()) if reducer else initial.key()
     }
@@ -481,6 +526,8 @@ def explore(
                 _check_cover(
                     spec, node, program_of, cover_cache, options, report
                 )
+            if options.opacity_checker is not None:
+                _check_opacity(spec, node, options, report)
         elif check_atomic_cover and check_every_state_cover:
             _check_cover(
                 spec, node, program_of, cover_cache, options, report
@@ -572,6 +619,93 @@ def explore(
             },
         )
     return report
+
+
+def _terminal_history(node: _Node):
+    """A synthetic :class:`~repro.core.history.History` for one terminal
+    state of the exploration.
+
+    Committed transactions come from the node's commit order with the
+    own-operation tuples captured at each CMT; threads still live at a
+    stuck state become *active* viewer records whose observed view is
+    their local log.  Every record begins before any ends, so the history
+    carries no real-time precedence — honest for the checker, since the
+    exploration spawns all threads up front and quantifies over every
+    interleaving.
+    """
+    from repro.core.history import History
+
+    history = History()
+    machine = node.machine
+    committed_recs = [history.begin(tid) for tid in node.committed]
+    live = []
+    for thread in machine.threads:
+        if len(thread.local):
+            live.append((thread, history.begin(thread.tid)))
+    for record, ops in zip(committed_recs, node.committed_ops):
+        history.commit(record, ops)
+    global_log = machine.global_log
+    for thread, record in live:
+        record.observed = tuple(e.op for e in thread.local)
+        dirty = []
+        for e in thread.local:
+            if e.is_pulled:
+                entry = global_log.entry_for(e.op)
+                if entry is None or not entry.is_committed:
+                    dirty.append(e.op)
+        record.pulled_uncommitted = tuple(dirty)
+    return history
+
+
+def _check_opacity(
+    spec: SequentialSpec,
+    node: _Node,
+    options: ExploreOptions,
+    report: ExplorationReport,
+) -> None:
+    """The terminal-state opacity oracle (``ExploreOptions.opacity_checker``).
+
+    Builds the synthetic history for this terminal state and consults the
+    requested checker(s); under ``"both"`` a verdict disagreement is
+    recorded as its own violation class (the reduction says the TMS2
+    verdict is authoritative, so its violations populate
+    ``opacity_violations`` either way)."""
+    from repro.checking.tms2 import TMS2_STATS, check_history_opaque_tms2
+    from repro.core.errors import OpacityViolation
+    from repro.core.opacity import check_history_opaque
+
+    checker = options.opacity_checker
+    history = _terminal_history(node)
+    report.opacity_terminals += 1
+    bounded = tms2 = None
+    try:
+        if checker in ("bounded", "both"):
+            bounded = check_history_opaque(
+                spec, history, node.machine, max_exhaustive=options.opacity_bound
+            )
+        if checker in ("tms2", "both"):
+            tms2 = check_history_opaque_tms2(
+                spec, history, node.machine, max_exhaustive=options.opacity_bound
+            )
+    except OpacityViolation as exc:
+        report.opacity_violations.append(f"opacity bound exceeded: {exc}")
+        return
+    authoritative = tms2 if tms2 is not None else bounded
+    report.opacity_violations.extend(authoritative or ())
+    if checker != "both":
+        return
+    TMS2_STATS["opacity.agreement.checks"] += 1
+    if bool(bounded) != bool(tms2):
+        TMS2_STATS["opacity.agreement.divergences"] += 1
+        committed_payloads = sorted(
+            op.pretty() for ops in node.committed_ops for op in ops
+        )
+        report.opacity_divergences.append(
+            "opacity checkers disagree at a terminal state: "
+            f"bounded={'reject' if bounded else 'accept'} "
+            f"tms2={'reject' if tms2 else 'accept'} "
+            f"(committed {committed_payloads})"
+        )
 
 
 def _check_cover(

@@ -73,6 +73,7 @@ from repro.checking.model_checker import (
     ExplorationReport,
     ExploreOptions,
     _check_cover,
+    _check_opacity,
     _Node,
     _successors,
 )
@@ -174,7 +175,16 @@ def snapshot(node: _Node) -> Tuple:
             else:
                 entries.append(("pld", slot(e.op)))
         threads_snap.append((t.tid, t.code, t.stack, tuple(entries)))
-    return (tuple(table), g_snap, tuple(threads_snap), node.committed)
+    committed_ops_snap = tuple(
+        tuple(slot(op) for op in ops) for ops in node.committed_ops
+    )
+    return (
+        tuple(table),
+        g_snap,
+        tuple(threads_snap),
+        node.committed,
+        committed_ops_snap,
+    )
 
 
 def restore(
@@ -192,7 +202,7 @@ def restore(
     original_stack)`` (constant per scope, so it ships once per worker,
     not once per snapshot).
     """
-    table, g_snap, threads_snap, committed = snap
+    table, g_snap, threads_snap, committed, committed_ops_snap = snap
     ops = [Op(method, args, ret, ids.fresh()) for method, args, ret in table]
     global_log = GlobalLog(
         GlobalEntry(ops[index], COMMITTED if is_committed else UNCOMMITTED)
@@ -233,7 +243,11 @@ def restore(
         ids=ids,
         check_gray_criteria=check_gray_criteria,
     )
-    return _Node(machine, committed)
+    committed_ops = tuple(
+        tuple(ops[index] for index in indices)
+        for indices in committed_ops_snap
+    )
+    return _Node(machine, committed, committed_ops)
 
 
 # ---------------------------------------------------------------------------
@@ -300,6 +314,9 @@ def _worker_expand(batch: List[Tuple[Tuple, int]]) -> Dict:
         "invariant_violations": [],
         "cover_violations": [],
         "cmtpres_violations": [],
+        "opacity_violations": [],
+        "opacity_divergences": [],
+        "opacity_terminals": 0,
         "successors": [],
         "dedup": 0,
     }
@@ -346,6 +363,8 @@ def _worker_expand(batch: List[Tuple[Tuple, int]]) -> Dict:
                     options,
                     report_proxy,
                 )
+            if options.opacity_checker is not None:
+                _check_opacity(spec, node, options, report_proxy)
         elif options.check_atomic_cover and options.check_every_state_cover:
             _check_cover(
                 spec,
@@ -365,6 +384,9 @@ def _worker_expand(batch: List[Tuple[Tuple, int]]) -> Dict:
             batch_local.add(d)
             result["successors"].append((d, next_depth))
     result["cover_violations"].extend(report_proxy.cover_violations)
+    result["opacity_violations"].extend(report_proxy.opacity_violations)
+    result["opacity_divergences"].extend(report_proxy.opacity_divergences)
+    result["opacity_terminals"] += report_proxy.opacity_terminals
     if reducer is not None:
         result["ample_hits"] = reducer.ample_hits
         result["ample_deferred"] = reducer.ample_deferred
@@ -600,6 +622,13 @@ def explore_parallel(
             report.cmtpres_violations.extend(
                 result["cmtpres_violations"]
             )
+            report.opacity_violations.extend(
+                result.get("opacity_violations", ())
+            )
+            report.opacity_divergences.extend(
+                result.get("opacity_divergences", ())
+            )
+            report.opacity_terminals += result.get("opacity_terminals", 0)
             fetched: Dict[bytes, Tuple[Tuple, int]] = (
                 fetch if isinstance(fetch, dict) else fetch.result()
             )

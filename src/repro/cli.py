@@ -253,7 +253,10 @@ def _print_scope_report(
     if report.ok:
         return 0
     for violation in (
-        report.invariant_violations + report.cover_violations
+        report.invariant_violations
+        + report.cover_violations
+        + report.opacity_violations
+        + report.opacity_divergences
     )[:3]:
         print("   !!", violation)
     return 1
@@ -306,6 +309,8 @@ def cmd_modelcheck(args: argparse.Namespace) -> int:
             check_cmtpres=args.cmtpres,
             por=por,
             tracer=tracer,
+            opacity_checker=getattr(args, "opacity_checker", None),
+            opacity_bound=getattr(args, "opacity_bound", 8),
             # profiling wants the span-per-rule stream, not just the
             # periodic counters
             trace_rules=bool(
@@ -329,6 +334,14 @@ def cmd_modelcheck(args: argparse.Namespace) -> int:
             print(f"   flight dump -> {report.flight_dump}")
         if do_profile:
             profiles.append((name, logical_profile(report)))
+    if getattr(args, "opacity_checker", None):
+        from repro.checking.tms2 import tms2_stats_snapshot
+
+        counters = tms2_stats_snapshot()
+        print(
+            "opacity: "
+            + " ".join(f"{key}={value}" for key, value in sorted(counters.items()))
+        )
     if tracer.enabled and getattr(args, "trace", None):
         _export_trace(tracer, args.trace)
     if do_profile:
@@ -493,6 +506,7 @@ def cmd_fuzz(args: argparse.Namespace) -> int:
         jobs=args.jobs,
         shrink=not args.no_shrink,
         profile=profile,
+        opacity_differential=getattr(args, "opacity_differential", False),
     )
     print(
         f"fuzz: corpus={args.corpus_dir} budget={budget} seed={args.seed} "
@@ -580,6 +594,8 @@ def cmd_perf(args: argparse.Namespace) -> int:
         overrides["serve_path"] = args.serve_baseline
     if args.durable_baseline:
         overrides["durable_path"] = args.durable_baseline
+    if args.opacity_baseline:
+        overrides["opacity_path"] = args.opacity_baseline
     try:
         report = run_perf(
             tiny=args.tiny,
@@ -874,6 +890,21 @@ def build_parser() -> argparse.ArgumentParser:
     modelcheck.add_argument("--trace", metavar="PATH",
                             help="record exploration stats to PATH "
                                  "(.json = Chrome trace, else JSONL)")
+    modelcheck.add_argument("--opacity-checker", dest="opacity_checker",
+                            default=None,
+                            choices=["bounded", "tms2", "both"],
+                            help="judge every terminal history with an "
+                                 "opacity oracle: the bounded "
+                                 "view-consistency search, the TMS2 "
+                                 "linearizability reduction, or both "
+                                 "(asserting agreement; a divergence "
+                                 "fails the scope and dumps the flight "
+                                 "recorder)")
+    modelcheck.add_argument("--opacity-bound", dest="opacity_bound",
+                            type=int, default=8,
+                            help="max committed transactions per terminal "
+                                 "history the opacity oracles search "
+                                 "exhaustively (default 8)")
     _add_obs_flags(modelcheck)
     modelcheck.set_defaults(func=cmd_modelcheck)
 
@@ -966,6 +997,13 @@ def build_parser() -> argparse.ArgumentParser:
                            "for any value)")
     fuzz.add_argument("--max-retries", type=int, default=20,
                       help="per-transaction retry budget in the oracle")
+    fuzz.add_argument("--opacity-differential", dest="opacity_differential",
+                      action="store_true",
+                      help="cross-check the bounded and TMS2 opacity "
+                           "checkers on every run; a disagreement in the "
+                           "soundness direction files its own "
+                           "opacity-divergence failure with a shrunk "
+                           "artifact")
     fuzz.add_argument("--no-shrink", action="store_true",
                       help="skip ddmin minimisation of failures")
     fuzz.add_argument("--coverage-out", metavar="PATH",
@@ -1009,7 +1047,7 @@ def build_parser() -> argparse.ArgumentParser:
                            "states/sec (deterministic gates ignore this)")
     perf.add_argument("--tier", action="append", dest="tiers",
                       choices=["kernel", "por", "faults", "packed", "serve",
-                               "durable"],
+                               "durable", "opacity"],
                       help="run only this tier (repeatable; default: all)")
     perf.add_argument("--seed", type=int, default=0,
                       help="base seed for the faults tier suite")
@@ -1023,11 +1061,14 @@ def build_parser() -> argparse.ArgumentParser:
                       default=None, metavar="PATH")
     perf.add_argument("--durable-baseline", dest="durable_baseline",
                       default=None, metavar="PATH")
+    perf.add_argument("--opacity-baseline", dest="opacity_baseline",
+                      default=None, metavar="PATH")
     perf.add_argument("--json", metavar="PATH",
                       help="also write the findings as JSON")
     perf.set_defaults(
         func=cmd_perf,
-        all_tiers=("kernel", "por", "faults", "packed", "serve", "durable"),
+        all_tiers=("kernel", "por", "faults", "packed", "serve", "durable",
+                   "opacity"),
     )
 
     serve = sub.add_parser(

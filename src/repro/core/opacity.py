@@ -28,7 +28,6 @@ here by bounded search (adequate for model-checker scopes).
 
 from __future__ import annotations
 
-from itertools import permutations
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 from repro.core.errors import OpacityViolation
@@ -179,16 +178,26 @@ def check_view_consistent(
         op.op_id for ops in committed_tx_ops for op in ops
     }
     own = tuple(op for op in view if op.op_id not in committed_ids)
-    indices = range(n)
-    for r in range(n + 1):
-        for order in permutations(indices, r):
-            serial: List[Op] = []
-            for index in order:
-                serial.extend(committed_tx_ops[index])
-            candidate = tuple(serial) + own
-            if spec.allowed(candidate):
+
+    # DFS over serial prefixes instead of enumerate-all-permutations:
+    # ``allowed`` is prefix-closed, so a prefix that is not allowed can
+    # never become allowed by extension — the entire subtree of orders
+    # starting with it (and every candidate built from them) is pruned
+    # with a single judgement.  The verdict is identical to the full
+    # enumeration: any candidate the old loop would have accepted has
+    # every prefix allowed, so its path survives the pruning.
+    def extend(serial: Tuple[Op, ...], used: int) -> bool:
+        if spec.allowed(serial + own):
+            return True
+        for index in range(n):
+            if used >> index & 1:
+                continue
+            candidate = serial + committed_tx_ops[index]
+            if spec.allowed(candidate) and extend(candidate, used | 1 << index):
                 return True
-    return False
+        return False
+
+    return extend((), 0)
 
 
 def check_history_opaque(

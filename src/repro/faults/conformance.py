@@ -11,7 +11,12 @@ the opaque fragment) promises even under injected hostility:
 2. the committed history passes :func:`~repro.core.serializability.
    check_history` (strict, real-time order respected);
 3. for opaque strategies, every recorded view passes
-   :func:`~repro.core.opacity.check_history_opaque`;
+   :func:`~repro.core.opacity.check_history_opaque` *and* the TMS2
+   linearizability reduction
+   (:func:`~repro.checking.tms2.check_history_opaque_tms2`) — two
+   independent oracles, each filing under its own check kind, plus an
+   ``opacity-divergence`` failure if they ever disagree in the
+   direction that would indicate a checker bug;
 4. every aborted attempt is a *clean* abort (structured
    :class:`~repro.core.errors.AbortKind`, never a missing one);
 5. the machine and runtime end quiescent: no uncommitted global-log
@@ -29,6 +34,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro.checking.tms2 import check_history_opaque_tms2
 from repro.core.errors import OpacityViolation
 from repro.core.opacity import check_history_opaque
 from repro.core.serializability import check_history
@@ -53,7 +59,9 @@ OPACITY_LIMIT = 6
 class ChaosFailure:
     """One conformance-gate violation."""
 
-    check: str  # exception | serializability | opacity | dirty-abort | state
+    #: exception | serializability | opacity | opacity-tms2 |
+    #: opacity-divergence | dirty-abort | state
+    check: str
     detail: str
 
     def __str__(self) -> str:
@@ -127,14 +135,35 @@ def conformance_failures(
             )
         )
 
-    # 3. opacity for the opaque fragment (bounded exhaustive view check)
+    # 3. opacity for the opaque fragment, adjudicated by *two* independent
+    # oracles: the bounded view-consistency search and the TMS2
+    # linearizability reduction (sound and complete on these scopes).
+    # Each files under its own check kind, so killing one oracle leaves
+    # the other firing — the zoo sensitivity test pins exactly that.
     opacity_checked = False
     if algorithm.opaque and history.commit_count() <= opacity_limit:
         try:
-            for violation in check_history_opaque(
+            bounded = check_history_opaque(
                 spec, history, machine, max_exhaustive=opacity_limit
-            ):
+            )
+            for violation in bounded:
                 failures.append(ChaosFailure("opacity", violation))
+            tms2 = check_history_opaque_tms2(
+                spec, history, machine, max_exhaustive=opacity_limit
+            )
+            for violation in tms2:
+                failures.append(ChaosFailure("opacity-tms2", violation))
+            # the reduction's soundness direction: the bounded checker
+            # only reports real violations, so TMS2 (complete) must
+            # agree whenever the bounded checker fires
+            if bounded and not tms2:
+                failures.append(
+                    ChaosFailure(
+                        "opacity-divergence",
+                        f"bounded checker reports {len(bounded)} "
+                        f"violation(s) but TMS2 accepts the history",
+                    )
+                )
             opacity_checked = True
         except OpacityViolation as exc:  # pragma: no cover - bound guard
             failures.append(ChaosFailure("opacity", str(exc)))

@@ -62,6 +62,7 @@ def _summarize_run(run, entry_name: str) -> Dict:
         "permanently_aborted": run.permanently_aborted,
         "divergence_checked": run.divergence_checked,
         "opacity_checked": run.opacity_checked,
+        "opacity_differential_checked": run.opacity_differential_checked,
     }
 
 
@@ -75,7 +76,12 @@ def _run_payload(payload: Dict) -> Dict:
     :class:`~repro.fuzz.oracle.StrategyRun`.
     """
     entry = CorpusEntry.from_dict(payload["entry"])
-    run = run_entry(entry, payload["strategy"], max_retries=payload["max_retries"])
+    run = run_entry(
+        entry,
+        payload["strategy"],
+        max_retries=payload["max_retries"],
+        opacity_differential=payload.get("opacity_differential", False),
+    )
     return _summarize_run(run, entry.name)
 
 
@@ -179,6 +185,7 @@ class Fuzzer:
         jobs: int = 1,
         shrink: bool = True,
         profile: Optional[Profile] = None,
+        opacity_differential: bool = False,
     ) -> None:
         self.corpus_dir = corpus_dir
         self.strategies = (
@@ -189,6 +196,8 @@ class Fuzzer:
         self.artifacts_dir = artifacts_dir
         self.jobs = max(1, jobs)
         self.shrink = shrink
+        #: arm the bounded-vs-TMS2 checker cross-check on every run
+        self.opacity_differential = opacity_differential
         #: when set, every sweep runs in-process and its span attribution
         #: accumulates here (``--jobs`` is ignored: worker processes
         #: cannot ship their event streams back affordably)
@@ -207,7 +216,8 @@ class Fuzzer:
             for entry, strategy in pairs:
                 tracer = RecordingTracer()
                 run = run_entry(
-                    entry, strategy, max_retries=self.max_retries, tracer=tracer
+                    entry, strategy, max_retries=self.max_retries, tracer=tracer,
+                    opacity_differential=self.opacity_differential,
                 )
                 self.profile.add_tracer(tracer)
                 out.append(_summarize_run(run, entry.name))
@@ -217,6 +227,7 @@ class Fuzzer:
                 "entry": entry.to_dict(),
                 "strategy": strategy,
                 "max_retries": self.max_retries,
+                "opacity_differential": self.opacity_differential,
             }
             for entry, strategy in pairs
         ]
@@ -240,7 +251,10 @@ class Fuzzer:
         if self.artifacts_dir is None:
             return
         # re-run in-process for the full StrategyRun (events, choices)
-        run = run_entry(entry, summary["strategy"], max_retries=self.max_retries)
+        run = run_entry(
+            entry, summary["strategy"], max_retries=self.max_retries,
+            opacity_differential=self.opacity_differential,
+        )
         if run.ok:  # pragma: no cover - determinism violation guard
             return
         # ... and once more through the bounded flight recorder: the
@@ -248,7 +262,8 @@ class Fuzzer:
         # pure functions of (entry, strategy), so this replays exactly).
         flight = FlightRecorder(auto_dump_dir=self.artifacts_dir)
         run_entry(
-            entry, summary["strategy"], max_retries=self.max_retries, tracer=flight
+            entry, summary["strategy"], max_retries=self.max_retries, tracer=flight,
+            opacity_differential=self.opacity_differential,
         )
         dump = maybe_dump(
             flight,
@@ -266,6 +281,7 @@ class Fuzzer:
                     summary["strategy"],
                     check=run.failure_checks[0],
                     max_retries=self.max_retries,
+                    opacity_differential=self.opacity_differential,
                 )
             except ValueError:  # pragma: no cover
                 shrunk = None

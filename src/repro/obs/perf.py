@@ -39,6 +39,12 @@ The three tiers and their gates:
   p99 must stay under the committed p99 ``÷ tolerance`` ceiling, and the
   run's per-shard committed histories must pass the conformance gate
   (hard, no tolerance).
+* **opacity** (``benchmarks/BENCH_opacity.json``) — the opacity
+  decision-procedure gate: bounded-vs-TMS2 agreement on every registered
+  model-checker scope, per-strategy opacity-frontier identity against
+  the committed ladder (``repro.checking.frontier``), and the
+  reduction's soundness direction (anything the bounded checker rejects,
+  TMS2 rejects).  All deterministic, no tolerance.
 * **durable** (``benchmarks/BENCH_durable.json``) — the segment store's
   append/group-commit sweep plus the recover-replay-verify round trip.
   Throughput rows (append records/sec, recovery commits/sec) get the
@@ -67,8 +73,9 @@ POR_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_por.json"
 FAULTS_BASELINE = REPO_ROOT / "BENCH_faults.json"
 SERVE_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_serve.json"
 DURABLE_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_durable.json"
+OPACITY_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_opacity.json"
 
-TIERS = ("kernel", "por", "faults", "packed", "serve", "durable")
+TIERS = ("kernel", "por", "faults", "packed", "serve", "durable", "opacity")
 
 #: default throughput slack: measured must reach this fraction of the
 #: committed states/sec (see module docstring for why it is generous)
@@ -557,6 +564,170 @@ def check_durable(
     return findings
 
 
+# -- opacity tier --------------------------------------------------------------
+
+OPACITY_TINY_SCOPES = ("mem-ww", "counter")
+
+
+def check_opacity(tiny: bool, baseline_path: Path, seed: int = 0) -> List[PerfFinding]:
+    """The opacity decision-procedure gate (all deterministic, no
+    tolerance):
+
+    1. **scope agreement** — every registered model-checker scope
+       explored under ``--opacity-checker both`` must terminate with
+       zero opacity violations and zero bounded-vs-TMS2 divergences;
+    2. **frontier identity** — the committed per-strategy opacity
+       frontiers of ``BENCH_opacity.json`` must re-verify: each
+       non-opaque strategy still falls at its committed rung, each
+       opaque strategy stays clean (tiny mode re-probes only the
+       committed frontier rungs; full mode re-walks the whole ladder);
+    3. **checker soundness** — no probe anywhere may be rejected by the
+       bounded checker yet accepted by TMS2 (the reduction's soundness
+       direction: that disagreement is always a checker bug).
+    """
+    from repro.checking.frontier import (
+        FRONTIER_LADDER,
+        RUNGS_BY_NAME,
+        find_frontier,
+        probe_scope,
+    )
+    from repro.checking.model_checker import ExploreOptions, explore
+    from repro.checking.tms2 import tms2_stats_snapshot
+    from repro.cli import SCOPES
+
+    document = _load(baseline_path, "opacity")
+    committed_ladder = document.get("ladder", [])
+    committed_strategies = document.get("strategies", {})
+    if not committed_strategies:
+        raise BaselineError(
+            f"opacity: no strategy frontiers recorded in {baseline_path}"
+        )
+    findings = []
+
+    # gate 0: the committed ladder must be the registered one (a frontier
+    # index is only meaningful against the ladder it was measured on)
+    registered = [r.to_dict() for r in FRONTIER_LADDER]
+    findings.append(
+        PerfFinding(
+            "opacity",
+            "ladder-identity",
+            ok=committed_ladder == registered,
+            detail=f"{len(registered)} registered rungs match the baseline"
+            if committed_ladder == registered
+            else "committed ladder differs from checking.frontier.FRONTIER_LADDER",
+        )
+    )
+
+    # gate 1: bounded-vs-TMS2 agreement on the model-checker scopes
+    scope_names = OPACITY_TINY_SCOPES if tiny else tuple(SCOPES)
+    for name in scope_names:
+        spec_cls, programs = SCOPES[name]
+        report = explore(
+            spec_cls(), programs, ExploreOptions(opacity_checker="both")
+        )
+        problems = list(report.opacity_violations) + list(
+            report.opacity_divergences
+        )
+        findings.append(
+            PerfFinding(
+                "opacity",
+                f"{name}/agreement",
+                ok=not problems and report.ok,
+                detail=f"{report.opacity_terminals} terminal histories, "
+                "both checkers accept, no divergence"
+                if not problems and report.ok
+                else f"{len(problems)} problem(s): {problems[:2]}",
+            )
+        )
+
+    # gates 2+3: frontier identity and checker soundness
+    unsound: List[str] = []
+    for name in sorted(committed_strategies):
+        committed = committed_strategies[name]
+        want_index = committed.get("frontier_index")
+        want_rung = committed.get("frontier")
+        if tiny:
+            # re-probe only the committed frontier rung (opaque
+            # strategies have none: probe the first ladder rung, which
+            # must stay clean)
+            rung = (
+                RUNGS_BY_NAME.get(want_rung)
+                if want_rung is not None
+                else FRONTIER_LADDER[0]
+            )
+            if rung is None:
+                findings.append(
+                    PerfFinding(
+                        "opacity", f"{name}/frontier", ok=False,
+                        detail=f"committed frontier rung {want_rung!r} is "
+                        "not on the registered ladder",
+                    )
+                )
+                continue
+            probe = probe_scope(name, rung)
+            if not probe.sound:
+                unsound.append(f"{name}@{rung.name}")
+            separated = probe.checked and bool(probe.tms2_violations)
+            expect_separated = want_rung is not None
+            findings.append(
+                PerfFinding(
+                    "opacity",
+                    f"{name}/frontier",
+                    ok=separated == expect_separated,
+                    detail=(
+                        f"TMS2 still rejects at committed frontier "
+                        f"{rung.name} ({len(probe.tms2_violations)} "
+                        "violation(s))"
+                        if expect_separated
+                        else f"opaque on rung {rung.name} as committed"
+                    )
+                    if separated == expect_separated
+                    else f"rung {rung.name}: separated={separated}, "
+                    f"baseline says {expect_separated}",
+                )
+            )
+        else:
+            result = find_frontier(name)
+            for probe in result.probes:
+                if not probe.sound:
+                    unsound.append(f"{name}@{probe.rung.name}")
+            got = result.to_dict()
+            mismatches = [
+                f"{key}: {got[key]!r} != {committed[key]!r}"
+                for key in ("opaque", "frontier_index", "frontier")
+                if key in committed and got[key] != committed[key]
+            ]
+            findings.append(
+                PerfFinding(
+                    "opacity",
+                    f"{name}/frontier",
+                    ok=not mismatches,
+                    detail=(
+                        f"opaque across all {len(result.probes)} rungs"
+                        if result.opaque
+                        else f"frontier {got['frontier']} (rung "
+                        f"{got['frontier_index']}) as committed"
+                    )
+                    if not mismatches
+                    else "; ".join(mismatches),
+                )
+            )
+    stats = tms2_stats_snapshot()
+    findings.append(
+        PerfFinding(
+            "opacity",
+            "checker-soundness",
+            ok=not unsound,
+            detail=f"bounded ⊆ TMS2 on every probe "
+            f"({stats.get('opacity.tms2.checks', 0)} TMS2 checks, "
+            f"{stats.get('opacity.tms2.steps', 0)} automaton steps)"
+            if not unsound
+            else f"bounded rejects but TMS2 accepts at: {unsound[:4]}",
+        )
+    )
+    return findings
+
+
 # -- the watchdog --------------------------------------------------------------
 
 
@@ -569,6 +740,7 @@ def run_perf(
     faults_path: Path = FAULTS_BASELINE,
     serve_path: Path = SERVE_BASELINE,
     durable_path: Path = DURABLE_BASELINE,
+    opacity_path: Path = OPACITY_BASELINE,
     tiers: Sequence[str] = TIERS,
     seed: int = 0,
 ) -> PerfReport:
@@ -598,5 +770,7 @@ def run_perf(
         report.findings.extend(
             check_durable(tiny, tolerance, Path(durable_path), seed=seed)
         )
+    if "opacity" in tiers:
+        report.findings.extend(check_opacity(tiny, Path(opacity_path), seed=seed))
     report.elapsed_sec = time.perf_counter() - started
     return report

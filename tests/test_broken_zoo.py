@@ -72,6 +72,70 @@ class TestZooSensitivity:
         )
 
 
+class TestTms2Independence:
+    """Kill one oracle and the other still fires.
+
+    The zoo's two observation bugs are each caught by the TMS2 peer on
+    its own: ``broken-dirty-read`` trips the dedicated ``opacity-tms2``
+    check kind on the seed corpus (it would still be caught with the
+    bounded view-consistency check deleted), and ``broken-stale-pull``
+    has a deterministic chaos witness that *only* TMS2 rejects — the
+    bounded checker accepts the very same history."""
+
+    def test_dirty_read_caught_by_tms2_check_kind(self, corpus):
+        tms2_hits = []
+        for entry in corpus:
+            run = run_entry(entry, "broken-dirty-read")
+            if "opacity-tms2" in run.failure_checks:
+                tms2_hits.append(entry.name)
+        assert tms2_hits, (
+            "broken-dirty-read no longer trips the TMS2 peer anywhere on "
+            "the seed corpus"
+        )
+
+    def test_stale_pull_caught_by_tms2_only(self):
+        from repro.checking.tms2 import check_history_opaque_tms2
+        from repro.core.opacity import check_history_opaque
+        from repro.faults.conformance import chaos_setup
+        from repro.faults.plan import FaultInjector, FaultPlan
+        from repro.runtime.harness import run_experiment
+        from repro.runtime.scheduler import make_scheduler
+        from repro.runtime.workload import WorkloadConfig
+
+        config = WorkloadConfig(
+            transactions=3, ops_per_tx=3, keys=2, read_ratio=0.5, seed=6
+        )
+        _, spec, programs = chaos_setup("tl2", config, "map")
+        algorithm = BROKEN_ALGORITHMS["broken-stale-pull"]()
+        injector = FaultInjector(
+            FaultPlan.generate(6, events=3, jobs=len(programs))
+        )
+        result = run_experiment(
+            algorithm,
+            spec,
+            programs,
+            concurrency=len(programs),
+            scheduler=make_scheduler("nemesis", 6),
+            seed=6,
+            verify=False,
+            compact=False,
+            max_retries=12,
+            injector=injector,
+        )
+        runtime = result.runtime
+        bounded = check_history_opaque(
+            spec, runtime.history, runtime.machine, max_exhaustive=6
+        )
+        tms2 = check_history_opaque_tms2(
+            spec, runtime.history, runtime.machine, max_exhaustive=6
+        )
+        assert bounded == [], "witness drifted: bounded checker now rejects"
+        assert tms2, (
+            "the stale pull's inconsistent aborted view must be rejected "
+            "by the TMS2 reduction"
+        )
+
+
 class TestRealStrategiesStayGreen:
     @pytest.mark.parametrize("strategy", enabled_strategies())
     def test_seed_corpus_is_green(self, corpus, strategy):

@@ -210,6 +210,37 @@ class TestViewConsistency:
             check_view_consistent(self.spec, committed, (self.r("x", 0),),
                                   max_exhaustive=6)
 
+    def test_prefix_pruning_bounds_the_search(self):
+        """Timing-free size bound on the DFS: the chained workload below
+        admits exactly one serial order (tx_i must read ``i-1`` before
+        writing ``i``), so every wrong first transaction dies at its own
+        prefix judgement.  Enumerating every permutation of every subset
+        of 6 transactions would issue well over
+        ``sum(C(6,k)·k! for k) = 1957`` ``allowed`` calls; the pruned
+        DFS needs at most one own-extension plus one candidate probe per
+        (depth, remaining-tx) pair — under 60 — and the bound is on the
+        *call counter*, not the clock."""
+
+        class CountingSpec:
+            def __init__(self, inner):
+                self.inner = inner
+                self.allowed_calls = 0
+
+            def allowed(self, log):
+                self.allowed_calls += 1
+                return self.inner.allowed(log)
+
+        committed = [
+            (self.r("x", i), self.w("x", i + 1)) for i in range(6)
+        ]
+        view = (self.r("x", 6),)
+        spec = CountingSpec(self.spec)
+        assert check_view_consistent(spec, committed, view)
+        assert spec.allowed_calls <= 60, (
+            f"prefix pruning regressed: {spec.allowed_calls} allowed() "
+            "calls for the 6-transaction chain"
+        )
+
 
 class TestHistoryOpacity:
     def test_opaque_driver_run_passes(self):

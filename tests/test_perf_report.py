@@ -44,7 +44,7 @@ class TestWatchdog:
         assert report.regressions == []
         tiers = {f.tier for f in report.findings}
         assert tiers == {"kernel", "por", "faults", "packed", "serve",
-                         "durable"}
+                         "durable", "opacity"}
         rendered = report.render()
         assert "all gates green" in rendered
         assert "tiny" in rendered

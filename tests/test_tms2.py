@@ -1,0 +1,243 @@
+"""Property suite for the TMS2 opacity decision procedure.
+
+Three families, per the reduction's soundness/completeness contract:
+
+(a) **agreement** — on random small histories (terminal states of seeded
+    random walks over every registered model-checker scope, via the
+    packed-check harness) a bounded-checker rejection implies a TMS2
+    rejection.  The bounded view-consistency checker is sound (it only
+    reports real final-state violations) and TMS2 is complete, so
+    ``bounded rejects ∧ TMS2 accepts`` is always a checker bug.  The
+    converse is *not* asserted: walks under ``pull_policy="all"`` can
+    leave the opaque fragment, and there TMS2 legitimately rejects
+    histories the bounded checker cannot see through.
+
+(b) **serial soundness** — histories produced by running workload
+    transactions one at a time on the atomic (Figure 3) semantics are
+    always TMS2-accepted: a serial committed execution is its own
+    linearization.
+
+(c) **fragment 1** — a PULL of a ``gUCmt`` entry is rejected at both
+    levels: the :class:`~repro.core.opacity.OpaqueMachine` wrapper raises
+    before the move happens (checked live, during the same random walks),
+    and a history recording such a dirty read is TMS2-rejected even when
+    the bounded checker's own-view projection is blind to it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checking.model_checker import (
+    ExploreOptions,
+    _successors,
+    _terminal_history,
+)
+from repro.checking.packedcheck import initial_node
+from repro.checking.tms2 import (
+    TMS2_STATS,
+    check_history_opaque_tms2,
+    decide_history_opaque_tms2,
+)
+from repro.cli import SCOPES
+from repro.core.atomic import run_transaction_atomically
+from repro.core.errors import OpacityViolation
+from repro.core.history import History
+from repro.core.opacity import OpaqueMachine, check_history_opaque
+from repro.core.ops import IdGenerator, Op
+from repro.runtime.workload import WorkloadConfig, make_workload
+from repro.specs.memory import MemorySpec
+
+TMS2_SETTINGS = settings(max_examples=40, deadline=None)
+OPACITY_BOUND = 6
+
+
+def _walk(scope_name: str, policy: str, seed: int, steps: int = 48):
+    """Seeded random walk over one registered scope; returns the final
+    node (the same move enumeration the model checker expands)."""
+    spec_cls, programs = SCOPES[scope_name]
+    options = ExploreOptions(pull_policy=policy)
+    node = initial_node(spec_cls(), programs)
+    rng = random.Random(seed)
+    for _ in range(steps):
+        moves = [
+            (rule, successor)
+            for rule, _, successor in _successors(node, options, seen=set())
+            if successor is not None
+        ]
+        if not moves:
+            break
+        _, node = moves[rng.randrange(len(moves))]
+    return node
+
+
+class TestAgreementOnRandomHistories:
+    """(a): bounded rejection implies TMS2 rejection, every scope."""
+
+    @TMS2_SETTINGS
+    @given(
+        scope=st.sampled_from(sorted(SCOPES)),
+        policy=st.sampled_from(["committed", "all"]),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_bounded_reject_implies_tms2_reject(self, scope, policy, seed):
+        node = _walk(scope, policy, seed)
+        history = _terminal_history(node)
+        if history.commit_count() > OPACITY_BOUND:
+            return
+        spec_cls, _ = SCOPES[scope]
+        spec = spec_cls()
+        bounded = check_history_opaque(
+            spec, history, node.machine, max_exhaustive=OPACITY_BOUND
+        )
+        tms2 = check_history_opaque_tms2(
+            spec, history, node.machine, max_exhaustive=OPACITY_BOUND
+        )
+        # Soundness direction of the differential: the bounded checker
+        # never rejects a history the complete checker accepts.
+        assert not (bounded and not tms2), (
+            f"divergence on {scope}/{policy}/seed={seed}: "
+            f"bounded={bounded} tms2={tms2}"
+        )
+
+    @TMS2_SETTINGS
+    @given(
+        scope=st.sampled_from(sorted(SCOPES)),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_committed_policy_walks_agree_exactly(self, scope, seed):
+        """Inside the opaque fragment (``pull_policy="committed"``) the
+        two verdicts coincide on these scopes — nothing tentative is ever
+        observed, so completeness buys no extra rejections."""
+        node = _walk(scope, "committed", seed)
+        history = _terminal_history(node)
+        if history.commit_count() > OPACITY_BOUND:
+            return
+        spec_cls, _ = SCOPES[scope]
+        spec = spec_cls()
+        bounded = check_history_opaque(
+            spec, history, node.machine, max_exhaustive=OPACITY_BOUND
+        )
+        tms2 = check_history_opaque_tms2(
+            spec, history, node.machine, max_exhaustive=OPACITY_BOUND
+        )
+        assert bool(bounded) == bool(tms2)
+
+
+class TestSerialHistoriesAccepted:
+    """(b): serial committed executions are always TMS2-opaque."""
+
+    @TMS2_SETTINGS
+    @given(
+        seed=st.integers(min_value=0, max_value=10**6),
+        transactions=st.integers(min_value=1, max_value=5),
+        read_ratio=st.sampled_from([0.0, 0.5, 1.0]),
+    )
+    def test_serial_workload_history_is_opaque(
+        self, seed, transactions, read_ratio
+    ):
+        spec = MemorySpec()
+        config = WorkloadConfig(
+            transactions=transactions,
+            ops_per_tx=3,
+            keys=2,
+            read_ratio=read_ratio,
+            seed=seed,
+        )
+        programs = make_workload("readwrite", config)
+        history = History()
+        ids = IdGenerator()
+        log = ()
+        for tid, program in enumerate(programs):
+            record = history.begin(tid)
+            full = next(
+                run_transaction_atomically(spec, program, log, ids=ids)
+            )
+            history.commit(record, full[len(log):])
+            log = full
+        verdict = decide_history_opaque_tms2(
+            spec, history, max_exhaustive=OPACITY_BOUND
+        )
+        assert verdict.opaque, verdict.violations
+        # The serial order itself is a witness, so the committed
+        # linearization the automaton found has full coverage.
+        assert len(verdict.witness or ()) == history.commit_count()
+
+
+class TestUncommittedPullRejected:
+    """(c): fragment 1 — PULL of a ``gUCmt`` entry is rejected."""
+
+    @TMS2_SETTINGS
+    @given(
+        scope=st.sampled_from(sorted(SCOPES)),
+        seed=st.integers(min_value=0, max_value=10**6),
+    )
+    def test_opaque_machine_refuses_uncommitted_pull(self, scope, seed):
+        """At every state of a ``pull_policy="all"`` walk, wrapping the
+        machine in :class:`OpaqueMachine` turns any PULL of an
+        uncommitted global entry into an :class:`OpacityViolation` —
+        before the move would even be constructed."""
+        node = _walk(scope, "all", seed)
+        machine = node.machine
+        guard = OpaqueMachine(machine)
+        tid = machine.threads[0].tid if machine.threads else 0
+        uncommitted = [
+            entry.op
+            for entry in machine.global_log
+            if not entry.is_committed
+        ]
+        for op in uncommitted:
+            with pytest.raises(OpacityViolation):
+                guard.pull(tid, op)
+        # Committed entries stay pullable as far as the guard itself is
+        # concerned: the wrapper must reject *only* the gUCmt pulls.
+        for entry in machine.global_log:
+            if entry.is_committed:
+                try:
+                    guard.pull(tid, entry.op)
+                except OpacityViolation as exc:  # pragma: no cover
+                    pytest.fail(f"guard rejected a committed pull: {exc}")
+                except Exception:
+                    pass  # machine-level precondition failures are fine
+
+    def test_dirty_read_history_rejected_by_tms2_only(self):
+        """A committed consumer justified only by an aborted producer's
+        write: TMS2 rejects it (no serial execution of committed
+        transactions returns 1 for an unwritten location), while the
+        bounded checker's own-view projection — which treats the foreign
+        write as part of the view — is structurally blind to it.  This is
+        the completeness gap the differential exists for."""
+        spec = MemorySpec()
+        history = History()
+        producer = history.begin(0)
+        consumer = history.begin(1)
+        write = Op("write", (("k", 0), 1), None, op_id=1)
+        read = Op("read", (("k", 0),), 1, op_id=2)
+        history.abort(producer, "rolled back", observed=(write,))
+        history.commit(
+            consumer, ops=(read,), observed=(write, read),
+            pulled_uncommitted=(write,),
+        )
+        tms2 = check_history_opaque_tms2(spec, history)
+        assert tms2, "TMS2 must reject the dirty read"
+        bounded = check_history_opaque(spec, history, None)
+        assert not bounded, (
+            "expected the bounded checker to accept this history — if it "
+            "now rejects it, the blind spot closed and this pin should be "
+            "updated"
+        )
+
+
+class TestStatsCounters:
+    def test_counters_advance(self):
+        spec = MemorySpec()
+        history = History()
+        record = history.begin(0)
+        history.commit(record, (Op("write", (("k", 0), 7), None, op_id=1),))
+        before = TMS2_STATS["opacity.tms2.checks"]
+        assert check_history_opaque_tms2(spec, history) == []
+        assert TMS2_STATS["opacity.tms2.checks"] == before + 1
